@@ -1,0 +1,224 @@
+// causim — command-line driver for the experiment harness.
+//
+//   causim run     --protocol opt-track -n 20 -p auto --wrate 0.5 [--check]
+//   causim compare -n 16 --wrate 0.5 --ops 300
+//   causim sweep   --axis n --values 5,10,20,30,40 --protocol opt-track
+//
+// Every subcommand prints an aligned table; add --csv for machine-readable
+// output. `-p auto` (default for partial protocols) is the paper's 0.3·n.
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_support/args.hpp"
+#include "bench_support/experiment.hpp"
+#include "stats/table.hpp"
+
+namespace causim::cli {
+namespace {
+
+using bench_support::Args;
+
+const std::vector<std::string> kRunFlags = {
+    "protocol", "n",    "p",     "wrate",  "ops",     "vars", "seeds",
+    "payload",  "zipf", "check", "csv",    "narrow",  "guarded", "help"};
+
+int usage() {
+  std::cout <<
+      R"(causim — causal consistency experiment driver
+
+Subcommands:
+  run      one experiment
+  compare  all protocols side by side on one configuration
+  sweep    one protocol across an axis (n or wrate)
+
+Common flags:
+  --protocol full-track|opt-track|opt-track-crp|optp|full-track-hb
+  --n <sites>            number of sites (default 10)
+  --p <replicas|auto>    replication factor; auto = 0.3n; full protocols force n
+  --wrate <0..1>         write rate (default 0.5)
+  --ops <count>          operations per site (default 600)
+  --vars <count>         shared variables (default 100)
+  --seeds <a,b,...>      seeds to average (default 1,2,3)
+  --payload <bytes>      modelled write payload (default 0)
+  --zipf <s>             Zipf exponent for variable choice (default 0)
+  --narrow               4-byte clock entries (default: 8-byte, JDK-like)
+  --guarded              causally fresh RemoteFetch (the causal-fetch extension)
+  --check                run the causal checker on every seed
+  --csv                  also print CSV
+  --axis n|wrate|p       (sweep) the swept parameter
+  --values a,b,c         (sweep) the swept values (wrate values are %/100: 20 = 0.2)
+)";
+  return 0;
+}
+
+std::optional<causal::ProtocolKind> parse_protocol(const std::string& name) {
+  if (name == "full-track") return causal::ProtocolKind::kFullTrack;
+  if (name == "opt-track") return causal::ProtocolKind::kOptTrack;
+  if (name == "opt-track-crp") return causal::ProtocolKind::kOptTrackCrp;
+  if (name == "optp") return causal::ProtocolKind::kOptP;
+  if (name == "full-track-hb") return causal::ProtocolKind::kFullTrackHb;
+  return std::nullopt;
+}
+
+bench_support::ExperimentParams params_from(const Args& args,
+                                            causal::ProtocolKind kind) {
+  bench_support::ExperimentParams params;
+  params.protocol = kind;
+  params.sites = static_cast<SiteId>(args.get_int("n", 10));
+  const std::string p = args.get("p", "auto");
+  if (causal::requires_full_replication(kind)) {
+    params.replication = 0;
+  } else if (p == "auto") {
+    params.replication = bench_support::partial_replication_factor(params.sites);
+  } else {
+    params.replication = static_cast<SiteId>(std::strtol(p.c_str(), nullptr, 10));
+  }
+  params.write_rate = args.get_double("wrate", 0.5);
+  params.ops_per_site = static_cast<std::size_t>(args.get_int("ops", 600));
+  params.variables = static_cast<VarId>(args.get_int("vars", 100));
+  params.seeds.clear();
+  for (const long s : args.get_int_list("seeds", {1, 2, 3})) {
+    params.seeds.push_back(static_cast<std::uint64_t>(s));
+  }
+  params.payload_lo = params.payload_hi =
+      static_cast<std::uint32_t>(args.get_int("payload", 0));
+  params.zipf_s = args.get_double("zipf", 0.0);
+  params.check = args.has("check");
+  params.causal_fetch = args.has("guarded");
+  if (args.has("narrow")) {
+    params.protocol_options.clock_width = serial::ClockWidth::k4Bytes;
+  }
+  return params;
+}
+
+void result_row(stats::Table& table, const std::string& label,
+                const bench_support::ExperimentResult& r) {
+  table.add_row(
+      {label, stats::Table::integer(static_cast<std::uint64_t>(r.mean_message_count())),
+       stats::Table::num(r.avg_overhead(MessageKind::kSM), 1),
+       r.stats.of(MessageKind::kRM).count == 0
+           ? std::string("-")
+           : stats::Table::num(r.avg_overhead(MessageKind::kRM), 1),
+       stats::Table::num(r.mean_total_overhead_bytes() / 1024.0, 1),
+       stats::Table::num(r.log_entries.mean(), 1),
+       r.check_ok ? (r.violations.empty() ? "ok" : "?") : "VIOLATION"});
+}
+
+std::vector<std::string> result_columns() {
+  return {"configuration", "messages",     "avg SM B",   "avg RM B",
+          "total meta KB", "log entries",  "check"};
+}
+
+int cmd_run(const Args& args) {
+  const auto kind = parse_protocol(args.get("protocol", "opt-track"));
+  if (!kind) {
+    std::cerr << "unknown protocol\n";
+    return 2;
+  }
+  const auto params = params_from(args, *kind);
+  const auto r = bench_support::run_experiment(params);
+  stats::Table table("causim run — " + std::string(to_string(*kind)) + ", n = " +
+                     std::to_string(params.sites) + ", p = " +
+                     std::to_string(params.replication == 0 ? params.sites
+                                                            : params.replication) +
+                     ", w_rate = " + stats::Table::num(params.write_rate, 2));
+  table.set_columns(result_columns());
+  result_row(table, to_string(*kind), r);
+  std::cout << table;
+  if (args.has("csv")) std::cout << "\n" << table.to_csv();
+  if (!r.check_ok) {
+    std::cerr << "CAUSAL VIOLATION: " << r.violations.front() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  stats::Table table("causim compare — n = " + std::to_string(args.get_int("n", 10)) +
+                     ", w_rate = " + stats::Table::num(args.get_double("wrate", 0.5), 2));
+  table.set_columns(result_columns());
+  bool ok = true;
+  for (const auto kind :
+       {causal::ProtocolKind::kFullTrack, causal::ProtocolKind::kOptTrack,
+        causal::ProtocolKind::kOptP, causal::ProtocolKind::kOptTrackCrp}) {
+    const auto params = params_from(args, kind);
+    const auto r = bench_support::run_experiment(params);
+    const bool partial = !causal::requires_full_replication(kind);
+    result_row(table,
+               std::string(to_string(kind)) + (partial ? " (partial)" : " (full)"), r);
+    ok = ok && r.check_ok;
+  }
+  std::cout << table;
+  if (args.has("csv")) std::cout << "\n" << table.to_csv();
+  return ok ? 0 : 1;
+}
+
+int cmd_sweep(const Args& args) {
+  const auto kind = parse_protocol(args.get("protocol", "opt-track"));
+  if (!kind) {
+    std::cerr << "unknown protocol\n";
+    return 2;
+  }
+  const std::string axis = args.get("axis", "n");
+  const auto values = args.get_int_list("values", {5, 10, 20, 30, 40});
+  stats::Table table("causim sweep — " + std::string(to_string(*kind)) + " over " + axis);
+  table.set_columns(result_columns());
+  bool ok = true;
+  for (const long v : values) {
+    Args local = args;  // copy, then override the swept axis via params
+    auto params = params_from(local, *kind);
+    if (axis == "n") {
+      params.sites = static_cast<SiteId>(v);
+      if (!causal::requires_full_replication(*kind) && args.get("p", "auto") == "auto") {
+        params.replication = bench_support::partial_replication_factor(params.sites);
+      }
+    } else if (axis == "wrate") {
+      params.write_rate = static_cast<double>(v) / 100.0;
+    } else if (axis == "p") {
+      if (causal::requires_full_replication(*kind)) {
+        std::cerr << to_string(*kind) << " has a fixed replication factor (p = n)\n";
+        return 2;
+      }
+      params.replication = static_cast<SiteId>(v);
+    } else {
+      std::cerr << "unknown axis: " << axis << "\n";
+      return 2;
+    }
+    const auto r = bench_support::run_experiment(params);
+    result_row(table, axis + " = " + std::to_string(v), r);
+    ok = ok && r.check_ok;
+  }
+  std::cout << table;
+  if (args.has("csv")) std::cout << "\n" << table.to_csv();
+  return ok ? 0 : 1;
+}
+
+int dispatch(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "help") == 0 ||
+      std::strcmp(argv[1], "--help") == 0) {
+    return usage();
+  }
+  std::vector<std::string> flags = kRunFlags;
+  flags.push_back("axis");
+  flags.push_back("values");
+  std::string error;
+  const auto args = Args::parse(argc, argv, 2, flags, &error);
+  if (!args) {
+    std::cerr << error << "\n";
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "run") return cmd_run(*args);
+  if (cmd == "compare") return cmd_compare(*args);
+  if (cmd == "sweep") return cmd_sweep(*args);
+  std::cerr << "unknown subcommand: " << cmd << " (try `causim help`)\n";
+  return 2;
+}
+
+}  // namespace
+}  // namespace causim::cli
+
+int main(int argc, char** argv) { return causim::cli::dispatch(argc, argv); }

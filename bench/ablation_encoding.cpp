@@ -1,0 +1,52 @@
+// Ablation — wire-format clock width (4-byte native vs 8-byte JDK-like).
+//
+// DESIGN.md §1 substitutes an explicit wire format for the paper's Java
+// object sizes; this ablation quantifies how much the per-entry constant
+// shifts each protocol's absolute numbers while leaving every ratio and
+// growth shape intact — the evidence behind "shapes are width-invariant"
+// in EXPERIMENTS.md.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/experiment.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace causim;
+  const auto options = bench_support::parse_bench_args(argc, argv);
+
+  stats::Table table("Ablation — clock-entry width (n = 20, w_rate = 0.5)");
+  table.set_columns(
+      {"protocol", "replication", "avg SM B (4B)", "avg SM B (8B)", "ratio 8B/4B"});
+
+  struct Case {
+    causal::ProtocolKind kind;
+    bool partial;
+  };
+  for (const Case c : {Case{causal::ProtocolKind::kFullTrack, true},
+                       Case{causal::ProtocolKind::kOptTrack, true},
+                       Case{causal::ProtocolKind::kOptP, false},
+                       Case{causal::ProtocolKind::kOptTrackCrp, false}}) {
+    double avg[2];
+    for (int wide = 0; wide < 2; ++wide) {
+      bench_support::ExperimentParams params;
+      params.protocol = c.kind;
+      params.sites = 20;
+      params.replication = c.partial ? bench_support::partial_replication_factor(20) : 0;
+      params.write_rate = 0.5;
+      params.ops_per_site = options.quick ? 150 : 300;
+      params.seeds = {1};
+      params.protocol_options = causal::ProtocolOptions{};
+      params.protocol_options.clock_width =
+          wide ? serial::ClockWidth::k8Bytes : serial::ClockWidth::k4Bytes;
+      avg[wide] = bench_support::run_experiment(params).avg_overhead(MessageKind::kSM);
+    }
+    table.add_row({to_string(c.kind), c.partial ? "partial p=6" : "full",
+                   stats::Table::num(avg[0], 1), stats::Table::num(avg[1], 1),
+                   stats::Table::num(avg[1] / avg[0], 2)});
+  }
+  std::cout << table;
+  if (options.csv) std::cout << "\nCSV:\n" << table.to_csv();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation — how much each Opt-Track pruning rule contributes (§V-A-2's
+// MERGE/PURGE discussion; the design choices called out in DESIGN.md).
+//
+// Variants, cumulative from "all rules on":
+//   full        — the shipped configuration,
+//   no-po       — without the program-order rule (condition (2) through a
+//                 writer's own write sequence at merge time),
+//   no-markers  — without marker garbage collection (every empty entry kept),
+//   no-send     — without send-time pruning (condition (2) at the writer),
+//   no-apply    — without apply-time pruning (conditions (1)+(2) at the
+//                 receiver).
+// All variants remain causally correct (pruning only removes redundant
+// information); the cost is purely meta-data bytes.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/experiment.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace causim;
+  const auto options = bench_support::parse_bench_args(argc, argv);
+
+  struct Variant {
+    const char* name;
+    causal::ProtocolOptions opts;
+  };
+  std::vector<Variant> variants;
+  {
+    causal::ProtocolOptions o;
+    variants.push_back({"full", o});
+    o = {};
+    o.prune_program_order = false;
+    variants.push_back({"no-po", o});
+    o = {};
+    o.purge_markers = false;
+    variants.push_back({"no-markers", o});
+    o = {};
+    o.prune_on_send = false;
+    variants.push_back({"no-send", o});
+    o = {};
+    o.prune_on_apply = false;
+    variants.push_back({"no-apply", o});
+  }
+
+  for (const double wrate : {0.2, 0.8}) {
+    stats::Table table("Ablation — Opt-Track pruning rules (n = 20, p = 6, w_rate = " +
+                       stats::Table::num(wrate, 1) + ")");
+    table.set_columns({"variant", "avg SM bytes", "avg RM bytes", "log entries (mean)",
+                       "total meta bytes", "vs full"});
+    double baseline = 0.0;
+    for (const Variant& v : variants) {
+      bench_support::ExperimentParams params;
+      params.protocol = causal::ProtocolKind::kOptTrack;
+      params.sites = 20;
+      params.replication = bench_support::partial_replication_factor(20);
+      params.write_rate = wrate;
+      params.protocol_options = v.opts;
+      params.seeds = {3};
+      bench_support::apply_quick(params, options);
+      const auto r = bench_support::run_experiment(params);
+      const double total = r.mean_total_overhead_bytes();
+      if (v.name == std::string("full")) baseline = total;
+      table.add_row({v.name, stats::Table::num(r.avg_overhead(MessageKind::kSM), 1),
+                     stats::Table::num(r.avg_overhead(MessageKind::kRM), 1),
+                     stats::Table::num(r.log_entries.mean(), 1),
+                     stats::Table::integer(static_cast<std::uint64_t>(total)),
+                     stats::Table::num(total / baseline, 2) + "x"});
+    }
+    std::cout << table << "\n";
+    if (options.csv) std::cout << "CSV:\n" << table.to_csv() << "\n";
+  }
+  return 0;
+}

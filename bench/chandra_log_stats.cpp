@@ -1,0 +1,96 @@
+// Substrate reproduction — statistical analysis of the KS causal multicast
+// log (Chandra, Gambhire, Kshemkalyani, IEEE TPDS 2004 [18]).
+//
+// §V-A of the paper justifies Opt-Track's O(n) amortized message size by
+// citing [18]: "the amortized log size is almost O(n)" although the worst
+// case is O(n²). This bench reproduces that analysis on our KS
+// implementation: n processes multicast to uniformly random groups; we
+// report the amortized log size (entries and serialized bytes) and the
+// piggybacked meta-data per message, as functions of n and of the
+// multicast group size.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/experiment.hpp"
+#include "ksmulticast/multicast_group.hpp"
+#include "sim/rng.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace causim;
+
+struct Sample {
+  double log_entries;
+  double log_entries_max;
+  double log_bytes;
+  double piggyback_bytes;
+};
+
+Sample run(SiteId n, double group_fraction, int sends_per_process, std::uint64_t seed) {
+  ksmulticast::MulticastGroup::Options options;
+  options.processes = n;
+  options.seed = seed;
+  options.verify = false;
+  ksmulticast::MulticastGroup group(options);
+
+  sim::Pcg32 rng(seed, 0x6368616eULL);
+  // At most n-1 destinations: the sender is never its own destination.
+  const auto group_size = std::clamp<SiteId>(
+      static_cast<SiteId>(group_fraction * n + 0.5), 1, static_cast<SiteId>(n - 1));
+  for (int k = 0; k < sends_per_process * n; ++k) {
+    const auto from = static_cast<SiteId>(rng.uniform_int(0, n - 1));
+    DestSet d(n);
+    while (d.count() < group_size) {
+      const auto s = static_cast<SiteId>(rng.uniform_int(0, n - 1));
+      if (s != from) d.insert(s);
+    }
+    group.multicast(from, d);
+    group.simulator().run_until(group.simulator().now() +
+                                rng.uniform_int(1, 50) * kMillisecond);
+  }
+  group.run();
+  return Sample{group.log_entries().mean(), group.log_entries().max(),
+                group.log_bytes().mean(), group.piggyback_bytes().mean()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench_support::parse_bench_args(argc, argv);
+  const int sends = options.quick ? 40 : 120;
+
+  {
+    stats::Table table(
+        "KS multicast log statistics vs n (group size 0.3n, per Chandra et al. [18]: "
+        "amortized entries ~O(n), worst case O(n^2))");
+    table.set_columns({"n", "log entries mean", "entries/n", "entries max", "log bytes",
+                       "piggyback B/msg"});
+    for (const SiteId n : {5, 10, 20, 30, 40}) {
+      const Sample s = run(n, 0.3, sends, 1);
+      table.add_row({std::to_string(n), stats::Table::num(s.log_entries, 1),
+                     stats::Table::num(s.log_entries / n, 2),
+                     stats::Table::num(s.log_entries_max, 0),
+                     stats::Table::num(s.log_bytes, 0),
+                     stats::Table::num(s.piggyback_bytes, 0)});
+    }
+    std::cout << table << "\n";
+    if (options.csv) std::cout << "CSV:\n" << table.to_csv() << "\n";
+  }
+
+  {
+    stats::Table table("KS multicast log statistics vs group size (n = 20)");
+    table.set_columns({"group fraction", "log entries mean", "entries/n", "piggyback B/msg"});
+    for (const double f : {0.1, 0.3, 0.5, 0.8, 1.0}) {
+      const Sample s = run(20, f, sends, 2);
+      table.add_row({stats::Table::num(f, 1), stats::Table::num(s.log_entries, 1),
+                     stats::Table::num(s.log_entries / 20, 2),
+                     stats::Table::num(s.piggyback_bytes, 0)});
+    }
+    std::cout << table;
+    if (options.csv) std::cout << "\nCSV:\n" << table.to_csv();
+  }
+  return 0;
+}

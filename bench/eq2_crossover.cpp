@@ -1,0 +1,76 @@
+// Eq. (1)/(2) — The partial-vs-full message-count crossover.
+//
+// §V-C derives that partial replication sends fewer messages than full
+// replication exactly when w_rate > 2/(n+1). This bench sweeps the write
+// rate for each n, measures both protocols on identical schedule shapes,
+// locates the empirical crossover, and prints it next to the closed form.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/experiment.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+double measured_count(causim::bench_support::ExperimentParams params) {
+  return causim::bench_support::run_experiment(params).mean_message_count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace causim;
+  const auto options = bench_support::parse_bench_args(argc, argv);
+  const SiteId ns[] = {5, 10, 20, 30, 40};
+
+  stats::Table table("Eq. (2) — message-count crossover w_rate* (partial wins above)");
+  table.set_columns({"n", "predicted 2/(n+1)", "measured crossover", "ratio@0.1",
+                     "ratio@0.5", "ratio@0.9"});
+
+  for (const SiteId n : ns) {
+    bench_support::ExperimentParams base;
+    base.sites = n;
+    base.ops_per_site = 400;
+    base.seeds = {11};
+    if (options.quick) base.ops_per_site = 200;
+
+    auto ratio_at = [&](double wrate) {
+      bench_support::ExperimentParams p = base;
+      p.write_rate = wrate;
+      p.protocol = causal::ProtocolKind::kOptTrack;
+      p.replication = bench_support::partial_replication_factor(n);
+      const double partial = measured_count(p);
+      p.protocol = causal::ProtocolKind::kOptTrackCrp;
+      p.replication = 0;
+      const double full = measured_count(p);
+      return partial / full;
+    };
+
+    // Bisect the crossover ratio(w*) = 1 on [0.02, 0.98].
+    double lo = 0.02, hi = 0.98;
+    double flo = ratio_at(lo);
+    double crossover = -1.0;
+    if (flo < 1.0) {
+      crossover = lo;  // partial already wins at the leftmost point
+    } else {
+      for (int iter = 0; iter < 12; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (ratio_at(mid) > 1.0) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      crossover = 0.5 * (lo + hi);
+    }
+
+    table.add_row({std::to_string(n), stats::Table::num(2.0 / (n + 1), 4),
+                   stats::Table::num(crossover, 4), stats::Table::num(ratio_at(0.1), 3),
+                   stats::Table::num(ratio_at(0.5), 3),
+                   stats::Table::num(ratio_at(0.9), 3)});
+  }
+  std::cout << table;
+  if (options.csv) std::cout << "\nCSV:\n" << table.to_csv();
+  return 0;
+}

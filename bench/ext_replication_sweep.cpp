@@ -1,0 +1,53 @@
+// Extension — the replication-factor trade-off curve.
+//
+// The paper fixes p = 0.3·n; this bench sweeps p at fixed n = 20 and
+// reports the whole trade-off the way §V-C discusses it: message count
+// falls as p shrinks (fewer SM copies) while remote reads — and their
+// wide-area latency — rise. Opt-Track runs every point; Opt-Track-CRP
+// provides the p = n reference.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/experiment.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace causim;
+  const auto options = bench_support::parse_bench_args(argc, argv);
+  constexpr SiteId kN = 20;
+
+  for (const double wrate : {0.2, 0.8}) {
+    stats::Table table("Extension — replication sweep at n = 20, w_rate = " +
+                       stats::Table::num(wrate, 1));
+    table.set_columns({"p", "protocol", "messages", "SM", "FM+RM", "total meta KB",
+                       "remote read share %"});
+    for (const SiteId p : {2, 4, 6, 10, 14, 20}) {
+      bench_support::ExperimentParams params;
+      params.sites = kN;
+      params.write_rate = wrate;
+      params.replication = p == kN ? 0 : p;
+      params.protocol = p == kN ? causal::ProtocolKind::kOptTrackCrp
+                                : causal::ProtocolKind::kOptTrack;
+      params.ops_per_site = options.quick ? 150 : 400;
+      params.seeds = {1};
+      const auto r = bench_support::run_experiment(params);
+      const double remote_share =
+          r.recorded_reads == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(r.stats.of(MessageKind::kFM).count) /
+                    static_cast<double>(r.recorded_reads);
+      table.add_row(
+          {std::to_string(p), to_string(params.protocol),
+           stats::Table::integer(static_cast<std::uint64_t>(r.mean_message_count())),
+           stats::Table::integer(r.stats.of(MessageKind::kSM).count),
+           stats::Table::integer(r.stats.of(MessageKind::kFM).count +
+                                 r.stats.of(MessageKind::kRM).count),
+           stats::Table::num(r.mean_total_overhead_bytes() / 1024.0, 1),
+           stats::Table::num(remote_share, 1)});
+    }
+    std::cout << table << "\n";
+    if (options.csv) std::cout << "CSV:\n" << table.to_csv() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Extension — scalability beyond the paper's testbed limit.
+//
+// The paper stops at n = 40 ("on an Intel Core 2 Duo … we can simulate up
+// to 40 processes"). The discrete-event substrate has no such limit, so
+// this bench extends both comparisons to larger n and shows the asymptotic
+// separation keeps widening: Full-Track/optP grow as O(n²)/O(n) per
+// message while Opt-Track/Opt-Track-CRP stay amortized O(n)/O(d).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/experiment.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace causim;
+  const auto options = bench_support::parse_bench_args(argc, argv);
+
+  {
+    stats::Table table(
+        "Extension — partial replication at larger n (w_rate = 0.5, p = 0.3n, "
+        "200 ops/site)");
+    table.set_columns({"n", "OptTrack avg SM B", "FullTrack avg SM B", "ratio",
+                       "OptTrack log entries"});
+    for (const SiteId n : {20, 40, 60, 80}) {
+      bench_support::ExperimentParams params;
+      params.sites = n;
+      params.write_rate = 0.5;
+      params.replication = bench_support::partial_replication_factor(n);
+      params.ops_per_site = options.quick ? 100 : 200;
+      params.seeds = {1};
+
+      params.protocol = causal::ProtocolKind::kOptTrack;
+      const auto opt = bench_support::run_experiment(params);
+      params.protocol = causal::ProtocolKind::kFullTrack;
+      const auto full = bench_support::run_experiment(params);
+      table.add_row({std::to_string(n),
+                     stats::Table::num(opt.avg_overhead(MessageKind::kSM), 1),
+                     stats::Table::num(full.avg_overhead(MessageKind::kSM), 1),
+                     stats::Table::num(opt.avg_overhead(MessageKind::kSM) /
+                                           full.avg_overhead(MessageKind::kSM),
+                                       3),
+                     stats::Table::num(opt.log_entries.mean(), 1)});
+    }
+    std::cout << table << "\n";
+    if (options.csv) std::cout << "CSV:\n" << table.to_csv() << "\n";
+  }
+
+  {
+    stats::Table table(
+        "Extension — full replication at larger n (w_rate = 0.5, 100 ops/site)");
+    table.set_columns({"n", "CRP avg SM B", "optP avg SM B", "ratio", "CRP log d"});
+    for (const SiteId n : {40, 60, 100, 140}) {
+      bench_support::ExperimentParams params;
+      params.sites = n;
+      params.write_rate = 0.5;
+      params.replication = 0;
+      params.ops_per_site = options.quick ? 60 : 100;
+      params.seeds = {1};
+
+      params.protocol = causal::ProtocolKind::kOptTrackCrp;
+      const auto crp = bench_support::run_experiment(params);
+      params.protocol = causal::ProtocolKind::kOptP;
+      const auto optp = bench_support::run_experiment(params);
+      table.add_row({std::to_string(n),
+                     stats::Table::num(crp.avg_overhead(MessageKind::kSM), 1),
+                     stats::Table::num(optp.avg_overhead(MessageKind::kSM), 1),
+                     stats::Table::num(crp.avg_overhead(MessageKind::kSM) /
+                                           optp.avg_overhead(MessageKind::kSM),
+                                       3),
+                     stats::Table::num(crp.log_entries.mean(), 2)});
+    }
+    std::cout << table;
+    if (options.csv) std::cout << "\nCSV:\n" << table.to_csv();
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 1 — Total message meta-data space overhead of Opt-Track relative to
+// Full-Track, as a function of n and w_rate, under partial replication
+// (p = 0.3·n, q = 100, 600 ops/site, first 15 % discarded).
+//
+// Paper shape: the ratio starts near 0.9 at n = 5 and falls to ~0.10–0.20
+// at n = 40; higher write rates magnify Opt-Track's advantage.
+#include <iostream>
+
+#include "bench_support/experiment.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace causim;
+  const auto options = bench_support::parse_bench_args(argc, argv);
+  const SiteId ns[] = {5, 10, 20, 30, 40};
+  const double write_rates[] = {0.2, 0.5, 0.8};
+
+  stats::Table table(
+      "Fig. 1 — total meta-data overhead ratio, Opt-Track / Full-Track "
+      "(partial replication, p = 0.3n)");
+  table.set_columns({"n", "w_rate=0.2", "w_rate=0.5", "w_rate=0.8"});
+
+  for (const SiteId n : ns) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (const double w : write_rates) {
+      bench_support::ExperimentParams params;
+      params.sites = n;
+      params.write_rate = w;
+      params.replication = bench_support::partial_replication_factor(n);
+      bench_support::apply_quick(params, options);
+
+      params.protocol = causal::ProtocolKind::kOptTrack;
+      const auto opt = bench_support::run_experiment(params);
+      params.protocol = causal::ProtocolKind::kFullTrack;
+      const auto full = bench_support::run_experiment(params);
+
+      const double ratio =
+          opt.mean_total_overhead_bytes() / full.mean_total_overhead_bytes();
+      row.push_back(stats::Table::num(ratio, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table;
+  if (options.csv) std::cout << "\nCSV:\n" << table.to_csv();
+  return 0;
+}

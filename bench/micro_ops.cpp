@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark) for the hot operations behind the
+// simulation: clock merges, KS-log MERGE/PURGE, envelope round-trips, and
+// discrete-event throughput. These are the per-message costs that bound
+// how large an n the harness can sweep.
+#include <benchmark/benchmark.h>
+
+#include "causal/clocks.hpp"
+#include "causal/ks_log.hpp"
+#include "dsm/envelope.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace causim;
+
+void BM_VectorClockMerge(benchmark::State& state) {
+  const auto n = static_cast<SiteId>(state.range(0));
+  causal::VectorClock a(n), b(n);
+  for (SiteId i = 0; i < n; ++i) b[i] = i * 7 + 1;
+  for (auto _ : state) {
+    a.merge(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_VectorClockMerge)->Arg(5)->Arg(40)->Arg(200);
+
+void BM_MatrixClockMerge(benchmark::State& state) {
+  const auto n = static_cast<SiteId>(state.range(0));
+  causal::MatrixClock a(n), b(n);
+  for (SiteId j = 0; j < n; ++j) {
+    for (SiteId k = 0; k < n; ++k) b.at(j, k) = j + k;
+  }
+  for (auto _ : state) {
+    a.merge(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_MatrixClockMerge)->Arg(5)->Arg(40)->Arg(200);
+
+void BM_MatrixClockSerialize(benchmark::State& state) {
+  const auto n = static_cast<SiteId>(state.range(0));
+  causal::MatrixClock m(n);
+  for (auto _ : state) {
+    serial::ByteWriter w;
+    m.serialize(w);
+    benchmark::DoNotOptimize(w.bytes());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(causal::MatrixClock::wire_bytes(n, serial::ClockWidth::k4Bytes)));
+}
+BENCHMARK(BM_MatrixClockSerialize)->Arg(5)->Arg(40);
+
+causal::KsLog make_log(SiteId n, std::size_t entries, std::uint64_t seed) {
+  sim::Pcg32 rng(seed);
+  causal::KsLog log(n);
+  for (std::size_t e = 0; e < entries; ++e) {
+    const auto writer = static_cast<SiteId>(rng.uniform_int(0, n - 1));
+    const auto clock = static_cast<WriteClock>(rng.uniform_int(1, 50));
+    DestSet d(n);
+    const auto count = static_cast<SiteId>(rng.uniform_int(0, n / 3));
+    for (SiteId k = 0; k < count; ++k) {
+      d.insert(static_cast<SiteId>(rng.uniform_int(0, n - 1)));
+    }
+    log.add({writer, clock}, d);
+  }
+  return log;
+}
+
+void BM_KsLogMerge(benchmark::State& state) {
+  const auto n = static_cast<SiteId>(state.range(0));
+  const causal::KsLog incoming = make_log(n, 2 * n, 99);
+  for (auto _ : state) {
+    causal::KsLog local = make_log(n, 2 * n, 7);
+    local.merge(incoming);
+    benchmark::DoNotOptimize(local);
+  }
+}
+BENCHMARK(BM_KsLogMerge)->Arg(5)->Arg(40);
+
+void BM_KsLogPurgeAndPrune(benchmark::State& state) {
+  const auto n = static_cast<SiteId>(state.range(0));
+  for (auto _ : state) {
+    causal::KsLog log = make_log(n, 2 * n, 13);
+    log.prune_by_program_order();
+    log.purge();
+    benchmark::DoNotOptimize(log);
+  }
+}
+BENCHMARK(BM_KsLogPurgeAndPrune)->Arg(5)->Arg(40);
+
+void BM_KsLogSerializeRoundTrip(benchmark::State& state) {
+  const auto n = static_cast<SiteId>(state.range(0));
+  const causal::KsLog log = make_log(n, 2 * n, 21);
+  for (auto _ : state) {
+    serial::ByteWriter w;
+    log.serialize(w);
+    serial::ByteReader r(w.bytes());
+    const causal::KsLog back = causal::KsLog::deserialize(r);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_KsLogSerializeRoundTrip)->Arg(5)->Arg(40);
+
+void BM_EnvelopeRoundTrip(benchmark::State& state) {
+  dsm::Envelope env;
+  env.kind = MessageKind::kSM;
+  env.sender = 3;
+  env.var = 17;
+  env.value = Value{0xabcdef, 128};
+  env.write = WriteId{3, 42};
+  env.meta.assign(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    dsm::Envelope::Sizes sizes;
+    const serial::Bytes bytes = env.encode(serial::ClockWidth::k4Bytes, &sizes);
+    const dsm::Envelope back = dsm::Envelope::decode(bytes, serial::ClockWidth::k4Bytes);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_EnvelopeRoundTrip)->Arg(64)->Arg(6400);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      simulator.schedule_at(i, [&fired] { ++fired; });
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// §V-C discussion — meta-data as a fraction of total transmitted bytes as
+// the data payload grows.
+//
+// The paper argues partial replication's larger *control* meta-data is
+// negligible against realistic payloads (the 2011 average web page was
+// 679 KB [22]); multiplied by full replication's larger message count, raw
+// data dominates total network usage. This bench sweeps the modelled
+// payload size and reports the meta-data share and total bytes for
+// Opt-Track (partial) vs Opt-Track-CRP (full).
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/experiment.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace causim;
+  const auto options = bench_support::parse_bench_args(argc, argv);
+
+  const std::uint32_t payloads[] = {0, 256, 4096, 65536, 679 * 1024};
+  stats::Table table(
+      "§V-C — meta-data share of total bytes vs payload size "
+      "(n = 20, w_rate = 0.5; partial: Opt-Track p = 6, full: Opt-Track-CRP)");
+  table.set_columns({"payload B", "partial meta %", "partial total MB", "full meta %",
+                     "full total MB", "full/partial bytes"});
+
+  for (const std::uint32_t payload : payloads) {
+    double totals[2] = {0, 0};
+    double meta_share[2] = {0, 0};
+    for (int mode = 0; mode < 2; ++mode) {
+      bench_support::ExperimentParams params;
+      params.sites = 20;
+      params.write_rate = 0.5;
+      params.payload_lo = payload;
+      params.payload_hi = payload;
+      params.seeds = {5};
+      if (mode == 0) {
+        params.protocol = causal::ProtocolKind::kOptTrack;
+        params.replication = bench_support::partial_replication_factor(20);
+      } else {
+        params.protocol = causal::ProtocolKind::kOptTrackCrp;
+        params.replication = 0;
+      }
+      bench_support::apply_quick(params, options);
+      const auto r = bench_support::run_experiment(params);
+      const auto t = r.stats.total();
+      totals[mode] = static_cast<double>(t.total_bytes()) / static_cast<double>(r.runs);
+      meta_share[mode] = t.total_bytes() == 0
+                             ? 0.0
+                             : 100.0 * static_cast<double>(t.overhead_bytes()) /
+                                   static_cast<double>(t.total_bytes());
+    }
+    table.add_row({stats::Table::integer(payload), stats::Table::num(meta_share[0], 2),
+                   stats::Table::num(totals[0] / (1024 * 1024), 2),
+                   stats::Table::num(meta_share[1], 2),
+                   stats::Table::num(totals[1] / (1024 * 1024), 2),
+                   stats::Table::num(totals[1] / std::max(totals[0], 1.0), 2) + "x"});
+  }
+  std::cout << table;
+  if (options.csv) std::cout << "\nCSV:\n" << table.to_csv();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Methodology reproduction — the startup transient behind the paper's
+// "experimental data was stored after the first 15 % [of] operation events
+// to eliminate the side effect in startup" (§V).
+//
+// Opt-Track's logs (and therefore its SM/RM sizes) start empty and grow
+// toward their steady state; Full-Track's matrix is fixed-size from the
+// first message. This bench buckets every message by its position in the
+// run and prints the average per-message meta-data size per bucket — the
+// rising-then-flat curve that justifies trimming the first 15 %.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/experiment.hpp"
+#include "dsm/cluster.hpp"
+#include "stats/table.hpp"
+#include "workload/schedule.hpp"
+
+namespace {
+
+using namespace causim;
+
+constexpr int kBuckets = 10;
+
+struct Series {
+  std::vector<double> bytes = std::vector<double>(kBuckets, 0);
+  std::vector<std::uint64_t> count = std::vector<std::uint64_t>(kBuckets, 0);
+
+  double avg(int b) const {
+    return count[b] == 0 ? 0.0 : bytes[b] / static_cast<double>(count[b]);
+  }
+};
+
+std::string sparkline(const Series& s) {
+  static const char* levels[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  double hi = 0;
+  for (int b = 0; b < kBuckets; ++b) hi = std::max(hi, s.avg(b));
+  std::string out;
+  for (int b = 0; b < kBuckets; ++b) {
+    const int idx =
+        hi == 0 ? 0 : std::min(7, static_cast<int>(s.avg(b) / hi * 7.999));
+    out += levels[idx];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench_support::parse_bench_args(argc, argv);
+
+  stats::Table table(
+      "Warm-up transient — average SM meta-data bytes per tenth of the run "
+      "(n = 20, p = 6, w_rate = 0.5; the paper trims the first 15 %)");
+  std::vector<std::string> columns{"protocol"};
+  for (int b = 0; b < kBuckets; ++b) {
+    columns.push_back(std::to_string(b * 10) + "-" + std::to_string((b + 1) * 10) + "%");
+  }
+  columns.push_back("shape");
+  table.set_columns(columns);
+
+  for (const auto kind :
+       {causal::ProtocolKind::kOptTrack, causal::ProtocolKind::kFullTrack}) {
+    dsm::ClusterConfig config;
+    config.sites = 20;
+    config.variables = 100;
+    config.replication = bench_support::partial_replication_factor(20);
+    config.protocol = kind;
+    config.protocol_options = bench_support::jdk_like_options();
+    config.seed = 2;
+    config.record_history = false;
+
+    workload::WorkloadParams wl;
+    wl.variables = 100;
+    wl.write_rate = 0.5;
+    wl.ops_per_site = options.quick ? 200 : 600;
+    wl.warmup_fraction = 0.0;  // record everything: the transient IS the data
+    wl.seed = 2;
+    const auto schedule = workload::generate_schedule(20, wl);
+
+    // Bucket by send time relative to the schedule's horizon.
+    SimTime horizon = 0;
+    for (const auto& ops : schedule.per_site) {
+      horizon = std::max(horizon, ops.back().at);
+    }
+    Series series;
+    dsm::Cluster cluster(config);
+    cluster.set_message_probe([&](MessageKind k, std::size_t bytes, SimTime at) {
+      if (k != MessageKind::kSM) return;
+      const int b = std::min<int>(kBuckets - 1,
+                                  static_cast<int>(at * kBuckets / std::max<SimTime>(
+                                                                       horizon, 1)));
+      series.bytes[b] += static_cast<double>(bytes);
+      ++series.count[b];
+    });
+    cluster.execute(schedule);
+
+    std::vector<std::string> row{to_string(kind)};
+    for (int b = 0; b < kBuckets; ++b) row.push_back(stats::Table::num(series.avg(b), 0));
+    row.push_back(sparkline(series));
+    table.add_row(std::move(row));
+  }
+  std::cout << table;
+  std::cout << "\nOpt-Track climbs through the first ~15 % of the run while logs fill\n"
+               "to steady state; Full-Track is flat from the first message. Trimming\n"
+               "the warm-up, as the paper does, removes exactly this bias.\n";
+  if (options.csv) std::cout << "\nCSV:\n" << table.to_csv();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// geo_replication — causal consistency across geographic regions.
+//
+// Twelve sites spread over four regions on a ring (think us-east, eu-west,
+// ap-south, us-west): intra-region delay ~5 ms, +35 ms per region hop.
+// The example runs the same workload under three replication factors and
+// shows the paper's latency/capacity trade-off directly: fewer replicas
+// mean fewer update messages but more (and slower) remote fetches; full
+// replication makes every read local but multiplies write traffic by n-1.
+#include <iostream>
+#include <memory>
+
+#include "bench_support/experiment.hpp"
+#include "dsm/cluster.hpp"
+#include "sim/latency.hpp"
+#include "stats/table.hpp"
+#include "workload/schedule.hpp"
+
+int main() {
+  using namespace causim;
+
+  constexpr SiteId kSites = 12;
+  constexpr SiteId kRegions = 4;
+
+  workload::WorkloadParams wl;
+  wl.variables = 60;
+  wl.write_rate = 0.4;
+  wl.ops_per_site = 250;
+  wl.seed = 7;
+  const workload::Schedule schedule = workload::generate_schedule(kSites, wl);
+
+  const auto geo = std::make_shared<sim::GeoLatency>(sim::GeoLatency::ring(
+      kSites, kRegions, /*local=*/5 * kMillisecond, /*per_hop=*/35 * kMillisecond,
+      /*jitter=*/0.2));
+  // 100 Mbit/s links: big piggybacks and payloads cost wire time, not just
+  // bytes (the geo shared_ptr must outlive the bandwidth decorator).
+  const auto wire = std::make_shared<sim::BandwidthLatency>(*geo, 12.5e6);
+
+  // Base distances for the nearest-replica fetch policy: the same ring the
+  // latency model uses.
+  std::vector<std::vector<SimTime>> distances(kSites, std::vector<SimTime>(kSites));
+  {
+    sim::Pcg32 probe(1);
+    for (SiteId a = 0; a < kSites; ++a) {
+      for (SiteId b = 0; b < kSites; ++b) distances[a][b] = geo->sample(probe, a, b);
+    }
+  }
+
+  stats::Table table("Geo-replicated causal store (12 sites, 4 regions)");
+  table.set_columns({"replication", "fetch policy", "protocol", "messages", "meta KB",
+                     "remote reads", "avg fetch ms", "max fetch ms"});
+
+  struct Row {
+    SiteId p;
+    dsm::FetchPolicy policy;
+  };
+  for (const Row row : {Row{3, dsm::FetchPolicy::kHashed},
+                        Row{3, dsm::FetchPolicy::kNearest},
+                        Row{6, dsm::FetchPolicy::kHashed},
+                        Row{6, dsm::FetchPolicy::kNearest},
+                        Row{kSites, dsm::FetchPolicy::kHashed}}) {
+    const SiteId p = row.p;
+    dsm::ClusterConfig config;
+    config.sites = kSites;
+    config.variables = 60;
+    config.replication = p == kSites ? 0 : p;
+    config.protocol = p == kSites ? causal::ProtocolKind::kOptTrackCrp
+                                  : causal::ProtocolKind::kOptTrack;
+    config.seed = 7;
+    config.latency_model = wire;
+    config.fetch_policy = row.policy;
+    if (row.policy == dsm::FetchPolicy::kNearest) config.fetch_distances = distances;
+
+    dsm::Cluster cluster(config);
+    cluster.execute(schedule);
+    if (!cluster.check().ok()) {
+      std::cerr << "causal violation at p=" << p << "\n";
+      return 1;
+    }
+
+    const auto stats = cluster.aggregate_message_stats();
+    const auto fetch = cluster.aggregate_fetch_latency();
+    table.add_row(
+        {p == kSites ? "full (p=12)" : "partial (p=" + std::to_string(p) + ")",
+         p == kSites ? "-"
+                     : (row.policy == dsm::FetchPolicy::kNearest ? "nearest" : "hashed"),
+         to_string(config.protocol), stats::Table::integer(stats.total().count),
+         stats::Table::num(static_cast<double>(stats.total().overhead_bytes()) / 1024.0, 1),
+         stats::Table::integer(stats.of(MessageKind::kFM).count),
+         fetch.count() == 0 ? std::string("-")
+                            : stats::Table::num(fetch.mean() / kMillisecond, 1),
+         fetch.count() == 0 ? std::string("-")
+                            : stats::Table::num(fetch.max() / kMillisecond, 1)});
+  }
+
+  std::cout << table;
+  std::cout << "\nReads of locally replicated objects are always served at local\n"
+               "memory speed; only cross-region fetches pay wide-area round trips.\n"
+               "Causal consistency held in every configuration.\n";
+  return 0;
+}

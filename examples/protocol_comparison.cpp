@@ -1,0 +1,69 @@
+// protocol_comparison — all four protocols of the paper on one schedule.
+//
+// Runs Full-Track and Opt-Track under partial replication (p = 0.3·n) and
+// optP and Opt-Track-CRP under full replication, with the same workload
+// shape, and prints the §V metrics side by side: message counts, per-kind
+// average meta-data sizes, local log footprints, and the causal checker's
+// verdict. A compact, runnable summary of the paper's whole evaluation.
+#include <iostream>
+
+#include "bench_support/experiment.hpp"
+#include "dsm/cluster.hpp"
+#include "stats/table.hpp"
+#include "workload/schedule.hpp"
+
+int main() {
+  using namespace causim;
+
+  constexpr SiteId kSites = 16;
+  constexpr double kWriteRate = 0.5;
+
+  stats::Table table("All four protocols, n = 16, q = 100, w_rate = 0.5");
+  table.set_columns({"protocol", "replication", "messages", "avg SM B", "avg RM B",
+                     "total meta KB", "log entries", "causal?"});
+
+  struct Row {
+    causal::ProtocolKind kind;
+    bool partial;
+  };
+  for (const Row row : {Row{causal::ProtocolKind::kFullTrack, true},
+                        Row{causal::ProtocolKind::kOptTrack, true},
+                        Row{causal::ProtocolKind::kOptP, false},
+                        Row{causal::ProtocolKind::kOptTrackCrp, false}}) {
+    bench_support::ExperimentParams params;
+    params.protocol = row.kind;
+    params.sites = kSites;
+    params.write_rate = kWriteRate;
+    params.replication =
+        row.partial ? bench_support::partial_replication_factor(kSites) : 0;
+    params.ops_per_site = 300;
+    params.seeds = {99};
+    params.check = true;
+
+    const auto r = bench_support::run_experiment(params);
+    table.add_row(
+        {to_string(row.kind), row.partial ? "partial p=5" : "full",
+         stats::Table::integer(static_cast<std::uint64_t>(r.mean_message_count())),
+         stats::Table::num(r.avg_overhead(MessageKind::kSM), 1),
+         r.stats.of(MessageKind::kRM).count == 0
+             ? std::string("-")
+             : stats::Table::num(r.avg_overhead(MessageKind::kRM), 1),
+         stats::Table::num(r.mean_total_overhead_bytes() / 1024.0, 1),
+         stats::Table::num(r.log_entries.mean(), 1), r.check_ok ? "yes" : "NO"});
+    if (!r.check_ok) {
+      std::cerr << "violation: " << r.violations.front() << "\n";
+      return 1;
+    }
+  }
+
+  std::cout << table;
+  std::cout
+      << "\nReading the table the way the paper does:\n"
+         "  * Full-Track vs Opt-Track — same message pattern, ~an order of\n"
+         "    magnitude less meta-data at this n (Fig. 1).\n"
+         "  * optP vs Opt-Track-CRP — same (n-1)·w messages, but O(n) vs O(d)\n"
+         "    piggybacks (Figs. 5-8).\n"
+         "  * partial vs full — far fewer messages at this write rate, per the\n"
+         "    crossover condition w_rate > 2/(n+1) (Table IV / Eq. 2).\n";
+  return 0;
+}

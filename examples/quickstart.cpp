@@ -1,0 +1,57 @@
+// Quickstart — a 5-site partially replicated causal store in ~40 lines.
+//
+// Builds a cluster running the Opt-Track protocol, performs a classic
+// causal chain (Alice posts, Bob reads and replies), and shows that every
+// site observes the two writes in causal order.
+#include <iostream>
+
+#include "dsm/cluster.hpp"
+
+int main() {
+  using namespace causim;
+
+  dsm::ClusterConfig config;
+  config.sites = 5;
+  config.variables = 10;
+  config.replication = 2;  // each variable lives on 2 of the 5 sites
+  config.protocol = causal::ProtocolKind::kOptTrack;
+  config.seed = 42;
+
+  dsm::Cluster cluster(config);
+  constexpr VarId kPost = 0;
+  constexpr VarId kReply = 1;
+
+  // Site 0 (Alice) posts; the multicast reaches kPost's replicas.
+  cluster.site(0).write(kPost, /*payload_bytes=*/120);
+  cluster.settle();
+
+  // Site 1 (Bob) reads the post — possibly via a remote fetch — and replies.
+  cluster.site(1).read(kPost, [&](Value v, WriteId w) {
+    std::cout << "Bob read Alice's post (value id " << v.id << ", written by site "
+              << w.writer << ")\n";
+  });
+  cluster.settle();
+  cluster.site(1).write(kReply, /*payload_bytes=*/80);
+  cluster.settle();
+
+  // Everyone who can see the reply can already see the post: that is the
+  // causal guarantee. The checker verifies it over the recorded history.
+  cluster.site(2).read(kReply, [&](Value v, WriteId w) {
+    std::cout << "Site 2 read the reply (value id " << v.id << ", written by site "
+              << w.writer << ")\n";
+  });
+  cluster.settle();
+
+  const auto check = cluster.check();
+  std::cout << (check.ok() ? "causal consistency verified" : "VIOLATION!") << " — "
+            << check.writes << " writes, " << check.reads << " reads, " << check.applies
+            << " applies\n";
+
+  const auto stats = cluster.aggregate_message_stats();
+  std::cout << "messages: " << stats.total().count << " (SM "
+            << stats.of(MessageKind::kSM).count << ", FM "
+            << stats.of(MessageKind::kFM).count << ", RM "
+            << stats.of(MessageKind::kRM).count << "), meta-data bytes "
+            << stats.total().overhead_bytes() << "\n";
+  return check.ok() ? 0 : 1;
+}

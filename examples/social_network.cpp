@@ -1,0 +1,77 @@
+// social_network — the workload that motivates the paper's §V-C argument.
+//
+// A photo-sharing service: users post multimedia objects (large payloads,
+// Zipf-popular), friends read them. The example runs the same social
+// workload twice — partially replicated with Opt-Track (p = 0.3·n) and
+// fully replicated with Opt-Track-CRP — and reports what actually crosses
+// the network: with 100 KB-class payloads the causal meta-data is a
+// fraction of a percent, and full replication ships every photo to every
+// site, so partial replication moves far fewer total bytes while keeping
+// causal consistency (a comment thread never shows a reply before the post
+// it answers).
+#include <iostream>
+
+#include "bench_support/experiment.hpp"
+#include "dsm/cluster.hpp"
+#include "stats/table.hpp"
+#include "workload/schedule.hpp"
+
+int main() {
+  using namespace causim;
+
+  constexpr SiteId kSites = 20;
+  constexpr VarId kObjects = 200;  // user timelines / photo albums
+
+  workload::WorkloadParams wl;
+  wl.variables = kObjects;
+  wl.write_rate = 0.3;        // mostly browsing, some posting
+  wl.ops_per_site = 300;
+  wl.zipf_s = 0.9;            // popular accounts get most traffic
+  wl.payload_lo = 20 * 1024;  // photos: 20 KB – 200 KB
+  wl.payload_hi = 200 * 1024;
+  wl.seed = 2026;
+  const workload::Schedule feed = workload::generate_schedule(kSites, wl);
+
+  stats::Table table("Photo-sharing workload: partial vs full replication");
+  table.set_columns({"deployment", "messages", "meta-data MB", "payload MB",
+                     "meta share %", "avg fetch ms"});
+
+  for (const bool partial : {true, false}) {
+    dsm::ClusterConfig config;
+    config.sites = kSites;
+    config.variables = kObjects;
+    config.replication = partial ? bench_support::partial_replication_factor(kSites) : 0;
+    config.protocol = partial ? causal::ProtocolKind::kOptTrack
+                              : causal::ProtocolKind::kOptTrackCrp;
+    config.seed = 2026;
+    config.record_history = true;
+
+    dsm::Cluster cluster(config);
+    cluster.execute(feed);
+
+    const auto check = cluster.check();
+    if (!check.ok()) {
+      std::cerr << "causal violation: " << check.violations.front() << "\n";
+      return 1;
+    }
+
+    const auto stats = cluster.aggregate_message_stats();
+    const auto total = stats.total();
+    const double meta_mb = static_cast<double>(total.overhead_bytes()) / (1024.0 * 1024.0);
+    const double payload_mb = static_cast<double>(total.payload_bytes) / (1024.0 * 1024.0);
+    const double share = 100.0 * static_cast<double>(total.overhead_bytes()) /
+                         static_cast<double>(total.total_bytes());
+    const auto fetch = cluster.aggregate_fetch_latency();
+    table.add_row({partial ? "partial (Opt-Track, p=6)" : "full (Opt-Track-CRP)",
+                   stats::Table::integer(total.count), stats::Table::num(meta_mb, 2),
+                   stats::Table::num(payload_mb, 1), stats::Table::num(share, 3),
+                   fetch.count() == 0
+                       ? std::string("n/a (all local)")
+                       : stats::Table::num(fetch.mean() / kMillisecond, 1)});
+  }
+
+  std::cout << table;
+  std::cout << "\nEvery execution was verified causally consistent: no reader ever\n"
+               "saw a comment before the photo it was attached to.\n";
+  return 0;
+}

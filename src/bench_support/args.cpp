@@ -1,0 +1,69 @@
+#include "bench_support/args.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace causim::bench_support {
+
+std::optional<Args> Args::parse(int argc, char** argv, int first,
+                                const std::vector<std::string>& known_flags,
+                                std::string* error) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      *error = "unexpected positional argument: " + token;
+      return std::nullopt;
+    }
+    token = token.substr(2);
+    std::string value;
+    const auto eq = token.find('=');
+    bool have_value = false;
+    if (eq != std::string::npos) {
+      value = token.substr(eq + 1);
+      token = token.substr(0, eq);
+      have_value = true;
+    }
+    if (std::find(known_flags.begin(), known_flags.end(), token) == known_flags.end()) {
+      *error = "unknown flag: --" + token;
+      return std::nullopt;
+    }
+    if (!have_value && i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+      have_value = true;
+    }
+    args.values_[token] = have_value ? value : "true";
+  }
+  return args;
+}
+
+std::string Args::get(const std::string& flag, const std::string& fallback) const {
+  const auto it = values_.find(flag);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long Args::get_int(const std::string& flag, long fallback) const {
+  const auto it = values_.find(flag);
+  return it == values_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& flag, double fallback) const {
+  const auto it = values_.find(flag);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::vector<long> Args::get_int_list(const std::string& flag,
+                                     std::vector<long> fallback) const {
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  std::vector<long> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::strtol(item.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+}  // namespace causim::bench_support

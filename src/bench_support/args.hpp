@@ -1,0 +1,34 @@
+// Minimal flag parser for the causim CLI — no external dependencies.
+//
+// Supports `--flag value`, `--flag=value` and boolean `--flag`. Unknown
+// flags are an error (misspelled experiment parameters should fail loudly,
+// not silently run the default).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace causim::bench_support {
+
+class Args {
+ public:
+  /// Parses argv[first..); returns std::nullopt and sets `error` on failure.
+  static std::optional<Args> parse(int argc, char** argv, int first,
+                                   const std::vector<std::string>& known_flags,
+                                   std::string* error);
+
+  bool has(const std::string& flag) const { return values_.count(flag) != 0; }
+  std::string get(const std::string& flag, const std::string& fallback) const;
+  long get_int(const std::string& flag, long fallback) const;
+  double get_double(const std::string& flag, double fallback) const;
+  /// Comma-separated integer list.
+  std::vector<long> get_int_list(const std::string& flag,
+                                 std::vector<long> fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace causim::bench_support

@@ -1,0 +1,97 @@
+#include "bench_support/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/panic.hpp"
+
+namespace causim::bench_support {
+
+SiteId partial_replication_factor(SiteId n) {
+  const auto p = static_cast<SiteId>(std::lround(0.3 * n));
+  return p == 0 ? SiteId{1} : p;
+}
+
+double ExperimentResult::mean_total_overhead_bytes() const {
+  return runs == 0 ? 0.0
+                   : static_cast<double>(stats.total().overhead_bytes()) /
+                         static_cast<double>(runs);
+}
+
+double ExperimentResult::mean_total_meta_bytes() const {
+  return runs == 0 ? 0.0
+                   : static_cast<double>(stats.total().meta_bytes) /
+                         static_cast<double>(runs);
+}
+
+double ExperimentResult::mean_message_count() const {
+  return runs == 0 ? 0.0
+                   : static_cast<double>(stats.total().count) / static_cast<double>(runs);
+}
+
+double ExperimentResult::avg_overhead(MessageKind kind) const {
+  return stats.of(kind).avg_overhead();
+}
+
+ExperimentResult run_experiment(const ExperimentParams& params) {
+  ExperimentResult result;
+  for (const std::uint64_t seed : params.seeds) {
+    dsm::ClusterConfig config;
+    config.sites = params.sites;
+    config.variables = params.variables;
+    config.replication = params.replication;
+    config.protocol = params.protocol;
+    config.protocol_options = params.protocol_options;
+    config.seed = seed;
+    config.record_history = params.check;
+    config.causal_fetch = params.causal_fetch;
+
+    workload::WorkloadParams wl;
+    wl.variables = params.variables;
+    wl.write_rate = params.write_rate;
+    wl.ops_per_site = params.ops_per_site;
+    wl.payload_lo = params.payload_lo;
+    wl.payload_hi = params.payload_hi;
+    wl.zipf_s = params.zipf_s;
+    wl.seed = seed;
+
+    const workload::Schedule schedule = workload::generate_schedule(params.sites, wl);
+    dsm::Cluster cluster(config);
+    cluster.execute(schedule);
+
+    result.stats += cluster.aggregate_message_stats();
+    result.log_entries += cluster.aggregate_log_entries();
+    result.log_bytes += cluster.aggregate_log_bytes();
+    result.recorded_writes += schedule.recorded_writes();
+    result.recorded_reads += schedule.recorded_reads();
+    ++result.runs;
+
+    if (params.check) {
+      const checker::CheckResult check = cluster.check();
+      if (!check.ok()) {
+        result.check_ok = false;
+        result.violations.insert(result.violations.end(), check.violations.begin(),
+                                 check.violations.end());
+      }
+    }
+  }
+  return result;
+}
+
+BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) options.quick = true;
+    if (std::strcmp(argv[i], "--csv") == 0) options.csv = true;
+  }
+  return options;
+}
+
+void apply_quick(ExperimentParams& params, const BenchOptions& options) {
+  if (!options.quick) return;
+  params.seeds = {1};
+  params.ops_per_site = std::min<std::size_t>(params.ops_per_site, 300);
+}
+
+}  // namespace causim::bench_support

@@ -1,0 +1,83 @@
+// Experiment harness shared by the bench binaries: one simulated run per
+// (protocol, n, p, w_rate, seed), averaged over seeds, reproducing the
+// measurement methodology of §V (600·n events, first 15 % discarded,
+// multiple runs averaged).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "causal/protocol.hpp"
+#include "dsm/cluster.hpp"
+#include "stats/histogram.hpp"
+#include "stats/message_stats.hpp"
+#include "workload/schedule.hpp"
+
+namespace causim::bench_support {
+
+/// Protocol options approximating the paper's JDK testbed (8-byte clocks).
+inline causal::ProtocolOptions jdk_like_options() {
+  causal::ProtocolOptions options;
+  options.clock_width = serial::ClockWidth::k8Bytes;
+  return options;
+}
+
+struct ExperimentParams {
+  causal::ProtocolKind protocol = causal::ProtocolKind::kOptTrack;
+  SiteId sites = 5;
+  double write_rate = 0.5;
+  /// Replicas per variable; 0 = full replication. The paper's partial runs
+  /// use p = 0.3·n (rounded up, min 1).
+  SiteId replication = 0;
+  VarId variables = 100;
+  std::size_t ops_per_site = 600;
+  std::vector<std::uint64_t> seeds = {1, 2, 3};
+  std::uint32_t payload_lo = 0;
+  std::uint32_t payload_hi = 0;
+  double zipf_s = 0.0;
+  /// Benches default to 8-byte clock entries, approximating the JDK object
+  /// footprint of the paper's testbed (DESIGN.md §1); the library default
+  /// elsewhere is 4 bytes.
+  causal::ProtocolOptions protocol_options = jdk_like_options();
+  /// Run the causal checker on every seed (tests; too slow for big benches).
+  bool check = false;
+  /// Causally fresh RemoteFetch (the extension; see dsm::ClusterConfig).
+  bool causal_fetch = false;
+};
+
+/// The paper's partial-replication factor: p = 0.3·n, at least 1.
+SiteId partial_replication_factor(SiteId n);
+
+struct ExperimentResult {
+  /// Sums over all recorded messages of all seeds.
+  stats::MessageStats stats;
+  std::size_t runs = 0;
+  std::size_t recorded_writes = 0;  // across all seeds
+  std::size_t recorded_reads = 0;
+  stats::Summary log_entries;  // per-op samples of protocol log size
+  stats::Summary log_bytes;
+  bool check_ok = true;
+  std::vector<std::string> violations;
+
+  // -- derived, per-run means --
+  double mean_total_overhead_bytes() const;  // header+meta per run
+  double mean_total_meta_bytes() const;      // meta only per run
+  double mean_message_count() const;
+  double avg_overhead(MessageKind kind) const;  // per message of that kind
+};
+
+ExperimentResult run_experiment(const ExperimentParams& params);
+
+/// Common CLI handling for bench binaries: `--quick` shrinks seeds/ops for
+/// smoke runs, `--csv` prints tables as CSV as well.
+struct BenchOptions {
+  bool quick = false;
+  bool csv = false;
+};
+BenchOptions parse_bench_args(int argc, char** argv);
+
+/// Applies --quick to params (1 seed, 300 ops/site).
+void apply_quick(ExperimentParams& params, const BenchOptions& options);
+
+}  // namespace causim::bench_support

@@ -1,0 +1,53 @@
+#include "causal/clocks.hpp"
+
+#include <algorithm>
+
+#include "common/panic.hpp"
+
+namespace causim::causal {
+
+void VectorClock::merge(const VectorClock& other) {
+  CAUSIM_CHECK(v_.size() == other.v_.size(), "vector clock size mismatch");
+  for (std::size_t i = 0; i < v_.size(); ++i) v_[i] = std::max(v_[i], other.v_[i]);
+}
+
+bool VectorClock::dominated_by(const VectorClock& other) const {
+  CAUSIM_CHECK(v_.size() == other.v_.size(), "vector clock size mismatch");
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (v_[i] > other.v_[i]) return false;
+  }
+  return true;
+}
+
+void VectorClock::serialize(serial::ByteWriter& w) const {
+  w.put_u16(size());
+  for (WriteClock c : v_) w.put_clock(c);
+}
+
+VectorClock VectorClock::deserialize(serial::ByteReader& r) {
+  const SiteId n = r.get_u16();
+  VectorClock v(n);
+  for (SiteId i = 0; i < n; ++i) v[i] = static_cast<WriteClock>(r.get_clock());
+  return v;
+}
+
+void MatrixClock::merge(const MatrixClock& other) {
+  CAUSIM_CHECK(n_ == other.n_, "matrix clock size mismatch");
+  for (std::size_t i = 0; i < m_.size(); ++i) m_[i] = std::max(m_[i], other.m_[i]);
+}
+
+void MatrixClock::serialize(serial::ByteWriter& w) const {
+  w.put_u16(n_);
+  for (WriteClock c : m_) w.put_clock(c);
+}
+
+MatrixClock MatrixClock::deserialize(serial::ByteReader& r) {
+  const SiteId n = r.get_u16();
+  MatrixClock m(n);
+  for (SiteId j = 0; j < n; ++j) {
+    for (SiteId k = 0; k < n; ++k) m.at(j, k) = static_cast<WriteClock>(r.get_clock());
+  }
+  return m;
+}
+
+}  // namespace causim::causal

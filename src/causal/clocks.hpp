@@ -1,0 +1,76 @@
+// VectorClock and MatrixClock — the Write clocks of optP and Full-Track.
+//
+// Semantics follow §III-A: Write[j][k] counts the write operations by
+// application process ap_j destined to site s_k that causally precede the
+// local state under the →co relation (reads, not message receipts, create
+// the causal edges — so merging happens in local_read/absorb_remote_return,
+// never at message receipt).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+
+namespace causim::causal {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(SiteId n) : v_(n, 0) {}
+
+  SiteId size() const { return static_cast<SiteId>(v_.size()); }
+  WriteClock operator[](SiteId i) const { return v_[i]; }
+  WriteClock& operator[](SiteId i) { return v_[i]; }
+
+  /// Entrywise maximum.
+  void merge(const VectorClock& other);
+
+  /// True if every entry of this clock is <= the matching entry of other.
+  bool dominated_by(const VectorClock& other) const;
+
+  bool operator==(const VectorClock& other) const { return v_ == other.v_; }
+
+  void serialize(serial::ByteWriter& w) const;
+  static VectorClock deserialize(serial::ByteReader& r);
+
+  /// Exact serialized size given the clock-entry width.
+  static std::size_t wire_bytes(SiteId n, serial::ClockWidth cw) {
+    return 2 + static_cast<std::size_t>(n) * static_cast<std::size_t>(cw);
+  }
+
+ private:
+  std::vector<WriteClock> v_;
+};
+
+class MatrixClock {
+ public:
+  MatrixClock() = default;
+  explicit MatrixClock(SiteId n) : n_(n), m_(static_cast<std::size_t>(n) * n, 0) {}
+
+  SiteId size() const { return n_; }
+  WriteClock at(SiteId j, SiteId k) const { return m_[idx(j, k)]; }
+  WriteClock& at(SiteId j, SiteId k) { return m_[idx(j, k)]; }
+
+  /// Entrywise maximum.
+  void merge(const MatrixClock& other);
+
+  bool operator==(const MatrixClock& other) const { return n_ == other.n_ && m_ == other.m_; }
+
+  void serialize(serial::ByteWriter& w) const;
+  static MatrixClock deserialize(serial::ByteReader& r);
+
+  static std::size_t wire_bytes(SiteId n, serial::ClockWidth cw) {
+    return 2 + static_cast<std::size_t>(n) * n * static_cast<std::size_t>(cw);
+  }
+
+ private:
+  std::size_t idx(SiteId j, SiteId k) const { return static_cast<std::size_t>(j) * n_ + k; }
+
+  SiteId n_ = 0;
+  std::vector<WriteClock> m_;
+};
+
+}  // namespace causim::causal

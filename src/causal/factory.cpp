@@ -1,0 +1,40 @@
+#include "causal/factory.hpp"
+
+#include "causal/full_track.hpp"
+#include "causal/full_track_hb.hpp"
+#include "causal/opt_p.hpp"
+#include "causal/opt_track.hpp"
+#include "causal/opt_track_crp.hpp"
+#include "common/panic.hpp"
+
+namespace causim::causal {
+
+const char* to_string(ProtocolKind k) {
+  switch (k) {
+    case ProtocolKind::kFullTrack: return "Full-Track";
+    case ProtocolKind::kOptTrack: return "Opt-Track";
+    case ProtocolKind::kOptTrackCrp: return "Opt-Track-CRP";
+    case ProtocolKind::kOptP: return "optP";
+    case ProtocolKind::kFullTrackHb: return "Full-Track-HB";
+  }
+  return "?";
+}
+
+std::unique_ptr<Protocol> make_protocol(ProtocolKind kind, SiteId self, SiteId n,
+                                        ProtocolOptions options) {
+  switch (kind) {
+    case ProtocolKind::kFullTrack:
+      return std::make_unique<FullTrack>(self, n, options);
+    case ProtocolKind::kOptTrack:
+      return std::make_unique<OptTrack>(self, n, options);
+    case ProtocolKind::kOptTrackCrp:
+      return std::make_unique<OptTrackCrp>(self, n, options);
+    case ProtocolKind::kOptP:
+      return std::make_unique<OptP>(self, n, options);
+    case ProtocolKind::kFullTrackHb:
+      return std::make_unique<FullTrackHb>(self, n, options);
+  }
+  CAUSIM_UNREACHABLE("unknown protocol kind");
+}
+
+}  // namespace causim::causal

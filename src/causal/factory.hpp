@@ -1,0 +1,13 @@
+// Protocol factory — builds a per-site Protocol instance by kind.
+#pragma once
+
+#include <memory>
+
+#include "causal/protocol.hpp"
+
+namespace causim::causal {
+
+std::unique_ptr<Protocol> make_protocol(ProtocolKind kind, SiteId self, SiteId n,
+                                        ProtocolOptions options = {});
+
+}  // namespace causim::causal

@@ -1,0 +1,121 @@
+#include "causal/ks_log.hpp"
+
+#include <vector>
+
+#include "common/panic.hpp"
+
+namespace causim::causal {
+
+const DestSet* KsLog::find(const WriteId& id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void KsLog::add(const WriteId& id, const DestSet& dests) {
+  CAUSIM_CHECK(dests.universe_size() == n_, "dest set universe mismatch");
+  const auto it = entries_.lower_bound(id);
+  if (it != entries_.end() && it->first == id) {
+    it->second &= dests;
+    return;
+  }
+  // Obsolete if a newer entry of the same writer exists (see header).
+  if (it != entries_.end() && it->first.writer == id.writer) return;
+  entries_.emplace_hint(it, id, dests);
+}
+
+void KsLog::merge(const KsLog& other) {
+  CAUSIM_CHECK(n_ == other.n_, "log universe mismatch");
+  for (const auto& [id, dests] : other.entries_) add(id, dests);
+}
+
+void KsLog::prune_dests(const DestSet& d) {
+  for (auto& [id, dests] : entries_) dests -= d;
+}
+
+void KsLog::erase_dest_up_to(SiteId s, SiteId writer, WriteClock clock) {
+  const auto lo = entries_.lower_bound(WriteId{writer, 0});
+  const auto hi = entries_.upper_bound(WriteId{writer, clock});
+  for (auto it = lo; it != hi; ++it) it->second.erase(s);
+}
+
+void KsLog::erase_dest_everywhere(SiteId s) {
+  for (auto& [id, dests] : entries_) dests.erase(s);
+}
+
+void KsLog::prune_applied(SiteId s, const std::vector<WriteClock>& applied) {
+  for (auto& [id, dests] : entries_) {
+    if (id.writer < applied.size() && id.clock <= applied[id.writer]) dests.erase(s);
+  }
+}
+
+void KsLog::purge() {
+  // Most recent entry per writer survives even with an empty dest list (the
+  // marker rule); every other empty entry is dropped.
+  std::vector<const WriteId*> doomed;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (!it->second.empty()) continue;
+    const auto next = std::next(it);
+    const bool is_latest_of_writer =
+        next == entries_.end() || next->first.writer != it->first.writer;
+    if (!is_latest_of_writer) doomed.push_back(&it->first);
+  }
+  for (const WriteId* id : doomed) entries_.erase(*id);
+}
+
+void KsLog::prune_by_program_order() {
+  if (entries_.size() < 2) return;
+  // Entries are ordered by (writer, clock); walk backwards accumulating the
+  // union of newer dest lists per writer.
+  DestSet newer(n_);
+  SiteId current_writer = kInvalidSite;
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->first.writer != current_writer) {
+      current_writer = it->first.writer;
+      newer = DestSet(n_);
+    } else {
+      it->second -= newer;
+    }
+    newer |= it->second;
+  }
+}
+
+WriteClock KsLog::max_clock_of(SiteId writer) const {
+  // Entries are ordered by (writer, clock); the predecessor of the first
+  // entry of writer+1 is writer's maximum, if it belongs to writer.
+  auto it = entries_.lower_bound(WriteId{static_cast<SiteId>(writer + 1), 0});
+  if (it == entries_.begin()) return 0;
+  --it;
+  return it->first.writer == writer ? it->first.clock : 0;
+}
+
+void KsLog::serialize(serial::ByteWriter& w) const {
+  w.put_u16(n_);
+  w.put_u16(static_cast<std::uint16_t>(entries_.size()));
+  for (const auto& [id, dests] : entries_) {
+    w.put_write_id(id);
+    w.put_dest_set(dests);
+  }
+}
+
+KsLog KsLog::deserialize(serial::ByteReader& r) {
+  const SiteId n = r.get_u16();
+  const std::uint16_t count = r.get_u16();
+  KsLog log(n);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const WriteId id = r.get_write_id();
+    log.add(id, r.get_dest_set());
+  }
+  return log;
+}
+
+std::size_t KsLog::wire_bytes(serial::ClockWidth cw) const {
+  std::size_t bytes = 4;  // universe + count
+  for (const auto& [id, dests] : entries_) {
+    (void)id;
+    bytes += 2 + static_cast<std::size_t>(cw);  // WriteId
+    bytes += dests.wire_bytes();
+  }
+  return bytes;
+}
+
+}  // namespace causim::causal

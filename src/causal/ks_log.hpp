@@ -1,0 +1,114 @@
+// KsLog — the Opt-Track local log LOG_i = {⟨j, clock_j, Dests⟩} (§III-B).
+//
+// This is the Kshemkalyani–Singhal causal-ordering log adapted to
+// distributed shared memory: each entry names a write operation in the
+// local causal past (under →co) together with the destination sites for
+// which the "this write must be applied there first" constraint is still
+// known to be necessary. Destination lists only ever shrink from the true
+// replica set — via the two implicit conditions of §III-B — so stale
+// entries can waste bytes but never invent constraints (hence never block
+// progress).
+//
+// An entry whose dest list became empty is a *marker*: it no longer imposes
+// constraints, but during MERGE it suppresses the resurrection of dest info
+// another site still carries for the same write. PURGE keeps at most the
+// most recent such marker per writer (the paper's rule).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/dest_set.hpp"
+#include "common/ids.hpp"
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+
+namespace causim::causal {
+
+class KsLog {
+ public:
+  KsLog() = default;
+  explicit KsLog(SiteId n) : n_(n) {}
+
+  SiteId universe_size() const { return n_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  bool contains(const WriteId& id) const { return entries_.count(id) != 0; }
+  const DestSet* find(const WriteId& id) const;
+
+  /// Adds an entry, maintaining the KS implicit-tracking invariant:
+  ///   * write already present  → dest lists are intersected (each side's
+  ///     absence of a destination is knowledge the constraint is redundant);
+  ///   * write absent but a newer entry of the same writer is present → the
+  ///     incoming entry is *obsolete* and is discarded. Entries only ever
+  ///     leave a log once their whole dest list became redundant (and a
+  ///     newer same-writer entry exists — see purge()), and they travel
+  ///     alongside newer entries on every causal path, so "absent while a
+  ///     newer entry is present" certifies the information is stale.
+  ///     Without this rule, old snapshots (e.g. LastWriteOn logs of rarely
+  ///     written variables) keep resurrecting long-dead entries and the log
+  ///     grows with the read rate instead of staying amortized O(n).
+  void add(const WriteId& id, const DestSet& dests);
+
+  /// MERGE of §V-A-2: folds every entry of `other` into this log with the
+  /// same rules as add().
+  void merge(const KsLog& other);
+
+  /// Implicit condition (2): a message was just sent to every site in `d`,
+  /// so remove `d` from every entry's dest list.
+  void prune_dests(const DestSet& d);
+
+  /// Implicit condition (1) helper: site `s` applied (or is known to have
+  /// applied) every write up to `clock` by `writer`; removes `s` from the
+  /// dest lists of the matching entries.
+  void erase_dest_up_to(SiteId s, SiteId writer, WriteClock clock);
+
+  /// Removes `s` from every entry's dest list (used when the merging site
+  /// knows all these writes were applied at s — e.g. s is itself).
+  void erase_dest_everywhere(SiteId s);
+
+  /// Implicit condition (1) against local apply knowledge: removes `s` from
+  /// every entry ⟨j, c, D⟩ with c <= applied[j] (those writes are known to
+  /// have been applied at s).
+  void prune_applied(SiteId s, const std::vector<WriteClock>& applied);
+
+  /// PURGE of §V-A-2: drops every empty-dest entry that is not the most
+  /// recent entry of its writer.
+  void purge();
+
+  /// Implicit condition (2) through program order: for two writes of the
+  /// same writer with c < c', send(⟨j,c⟩) →co send(⟨j,c'⟩), so every
+  /// destination of the newer entry is redundant in the older entry's dest
+  /// list (any site holding both entries is in the causal future of the
+  /// newer send). Prunes each entry by the union of all newer same-writer
+  /// dest lists. This is the rule that keeps the log amortized O(n).
+  void prune_by_program_order();
+
+  /// Highest clock present for `writer`, 0 if none.
+  WriteClock max_clock_of(SiteId writer) const;
+
+  /// Iterates entries in (writer, clock) order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [id, dests] : entries_) fn(id, dests);
+  }
+
+  bool operator==(const KsLog& other) const {
+    return n_ == other.n_ && entries_ == other.entries_;
+  }
+
+  void clear() { entries_.clear(); }
+
+  void serialize(serial::ByteWriter& w) const;
+  static KsLog deserialize(serial::ByteReader& r);
+
+  /// Exact serialized size: count (u16) + per entry WriteId + dest list.
+  std::size_t wire_bytes(serial::ClockWidth cw) const;
+
+ private:
+  SiteId n_ = 0;
+  std::map<WriteId, DestSet> entries_;
+};
+
+}  // namespace causim::causal

@@ -1,0 +1,183 @@
+#include "causal/opt_track.hpp"
+
+#include "common/panic.hpp"
+
+namespace causim::causal {
+
+OptTrack::OptTrack(SiteId self, SiteId n, ProtocolOptions options)
+    : self_(self), n_(n), options_(options), apply_(n, 0), log_(n) {
+  CAUSIM_CHECK(self < n, "site id " << self << " out of range for n=" << n);
+}
+
+WriteId OptTrack::local_write(VarId var, const Value& v, const DestSet& dests,
+                              serial::ByteWriter& meta_out) {
+  (void)v;
+  ++clock_;
+  const WriteId w{self_, clock_};
+  // Piggyback the log as it stands *before* pruning: the copy must still
+  // carry "e is destined to d" for d in dests — the receivers enforce those
+  // constraints; pruning first would discard exactly what they need.
+  log_.serialize(meta_out);
+  // Implicit condition (2): a message to every d in dests now exists in the
+  // causal future of every logged write, so their dest lists shed dests.
+  if (options_.prune_on_send) log_.prune_dests(dests);
+  // The new write enters the log; we are not a "remaining destination" of
+  // our own write (condition (1): it is applied here immediately, below).
+  DestSet remaining = dests;
+  remaining.erase(self_);
+  log_.add(w, remaining);
+  if (options_.purge_markers) log_.purge();
+  if (dests.contains(self_)) {
+    apply_[self_] = clock_;
+    // The dependency log of this write's value is the post-prune log plus
+    // the write's own entry — i.e. exactly the current log.
+    last_write_on_[var] = log_;
+  }
+  return w;
+}
+
+void OptTrack::local_read(VarId var) {
+  const auto it = last_write_on_.find(var);
+  if (it == last_write_on_.end()) return;  // variable still ⊥
+  log_.merge(it->second);
+  post_merge_cleanup();
+}
+
+std::unique_ptr<PendingUpdate> OptTrack::decode_sm(SmEnvelope env, DestSet dests,
+                                                   serial::ByteReader& meta) {
+  KsLog piggyback = KsLog::deserialize(meta);
+  CAUSIM_CHECK(piggyback.universe_size() == n_, "SM log has wrong universe");
+  return std::make_unique<Pending>(env, std::move(dests), std::move(piggyback));
+}
+
+bool OptTrack::ready(const PendingUpdate& u) const {
+  const auto& p = static_cast<const Pending&>(u);
+  // A_OPT: every write in the sender's causal past that is destined here
+  // must already be applied here. The sender's own previous write destined
+  // here is always among the piggybacked entries (its entry keeps this site
+  // in its dest list until a newer write to this site supersedes it), so
+  // per-writer program order needs no separate check.
+  bool ok = true;
+  p.piggyback.for_each([&](const WriteId& id, const DestSet& dests) {
+    if (ok && dests.contains(self_) && apply_[id.writer] < id.clock) ok = false;
+  });
+  return ok;
+}
+
+void OptTrack::apply(const PendingUpdate& u) {
+  const auto& p = static_cast<const Pending&>(u);
+  CAUSIM_CHECK(ready(u), "apply called with a false activation predicate");
+  const WriteId w = p.env().write;
+  CAUSIM_CHECK(apply_[w.writer] < w.clock, "per-writer applies out of order");
+  apply_[w.writer] = w.clock;
+
+  // Build the dependency log to associate with the variable's new value.
+  KsLog deps = p.piggyback;
+  if (options_.prune_on_apply) {
+    // Condition (2) at the receiver: the applied message itself now carries
+    // the ordering obligation toward each of its destinations, so the
+    // piggybacked entries shed dests(m) — which includes this site, giving
+    // condition (1) as a special case.
+    deps.prune_dests(p.dests());
+  }
+  DestSet remaining = p.dests();
+  remaining.erase(self_);  // condition (1) for the new write itself
+  deps.add(w, remaining);
+  if (options_.prune_program_order) deps.prune_by_program_order();
+  if (options_.purge_markers) deps.purge();
+  last_write_on_[p.env().var] = std::move(deps);
+}
+
+void OptTrack::remote_return_meta(VarId var, serial::ByteWriter& out) const {
+  const auto it = last_write_on_.find(var);
+  if (it != last_write_on_.end()) {
+    it->second.serialize(out);
+  } else {
+    KsLog(n_).serialize(out);  // variable still ⊥
+  }
+}
+
+namespace {
+struct OptTrackReturn final : PendingReturn {
+  explicit OptTrackReturn(KsLog l) : log(std::move(l)) {}
+  KsLog log;
+};
+}  // namespace
+
+std::unique_ptr<PendingReturn> OptTrack::decode_remote_return(
+    serial::ByteReader& meta) const {
+  KsLog incoming = KsLog::deserialize(meta);
+  CAUSIM_CHECK(incoming.universe_size() == n_, "RM log has wrong universe");
+  return std::make_unique<OptTrackReturn>(std::move(incoming));
+}
+
+bool OptTrack::return_ready(const PendingReturn& r) const {
+  const auto& ret = static_cast<const OptTrackReturn&>(r);
+  bool ok = true;
+  ret.log.for_each([&](const WriteId& id, const DestSet& dests) {
+    if (ok && dests.contains(self_) && apply_[id.writer] < id.clock) ok = false;
+  });
+  return ok;
+}
+
+void OptTrack::absorb_remote_return(VarId var, const PendingReturn& r) {
+  (void)var;
+  CAUSIM_CHECK(return_ready(r), "absorb called before the remote return was ready");
+  log_.merge(static_cast<const OptTrackReturn&>(r).log);
+  post_merge_cleanup();
+}
+
+void OptTrack::post_merge_cleanup() {
+  // Condition (1) against local knowledge: writes we have already applied
+  // need no "this site is a destination" records in our own log.
+  log_.prune_applied(self_, apply_);
+  if (options_.prune_program_order) log_.prune_by_program_order();
+  if (options_.purge_markers) log_.purge();
+}
+
+namespace {
+struct OptTrackGuard final : FetchGuard {
+  explicit OptTrackGuard(KsLog l) : log(std::move(l)) {}
+  KsLog log;
+};
+}  // namespace
+
+void OptTrack::fetch_guard_meta(SiteId responder, serial::ByteWriter& out) const {
+  KsLog guard(n_);
+  log_.for_each([&](const WriteId& id, const DestSet& dests) {
+    if (dests.contains(responder)) guard.add(id, dests);
+  });
+  guard.serialize(out);
+}
+
+std::unique_ptr<FetchGuard> OptTrack::decode_fetch_guard(serial::ByteReader& meta) const {
+  KsLog guard = KsLog::deserialize(meta);
+  CAUSIM_CHECK(guard.universe_size() == n_, "fetch guard has wrong universe");
+  return std::make_unique<OptTrackGuard>(std::move(guard));
+}
+
+bool OptTrack::fetch_ready(const FetchGuard& guard) const {
+  const auto& g = static_cast<const OptTrackGuard&>(guard);
+  bool ok = true;
+  g.log.for_each([&](const WriteId& id, const DestSet& dests) {
+    if (ok && dests.contains(self_) && apply_[id.writer] < id.clock) ok = false;
+  });
+  return ok;
+}
+
+const KsLog* OptTrack::last_write_log(VarId var) const {
+  const auto it = last_write_on_.find(var);
+  return it == last_write_on_.end() ? nullptr : &it->second;
+}
+
+std::size_t OptTrack::local_meta_bytes() const {
+  std::size_t bytes = log_.wire_bytes(options_.clock_width);
+  bytes += static_cast<std::size_t>(n_) * static_cast<std::size_t>(options_.clock_width);
+  for (const auto& [var, log] : last_write_on_) {
+    (void)var;
+    bytes += log.wire_bytes(options_.clock_width);
+  }
+  return bytes;
+}
+
+}  // namespace causim::causal

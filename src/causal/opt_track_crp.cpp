@@ -1,0 +1,112 @@
+#include "causal/opt_track_crp.hpp"
+
+#include "common/panic.hpp"
+
+namespace causim::causal {
+
+namespace {
+
+void serialize_log(const std::map<SiteId, WriteClock>& log, serial::ByteWriter& w) {
+  w.put_u16(static_cast<std::uint16_t>(log.size()));
+  for (const auto& [site, clock] : log) {
+    w.put_site(site);
+    w.put_clock(clock);
+  }
+}
+
+std::map<SiteId, WriteClock> deserialize_log(serial::ByteReader& r) {
+  const std::uint16_t count = r.get_u16();
+  std::map<SiteId, WriteClock> log;
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const SiteId site = r.get_site();
+    log[site] = static_cast<WriteClock>(r.get_clock());
+  }
+  return log;
+}
+
+}  // namespace
+
+OptTrackCrp::OptTrackCrp(SiteId self, SiteId n, ProtocolOptions options)
+    : self_(self), n_(n), options_(options), apply_(n, 0) {
+  CAUSIM_CHECK(self < n, "site id " << self << " out of range for n=" << n);
+}
+
+WriteId OptTrackCrp::local_write(VarId var, const Value& v, const DestSet& dests,
+                                 serial::ByteWriter& meta_out) {
+  (void)v;
+  CAUSIM_CHECK(dests.count() == n_, "Opt-Track-CRP requires full replication");
+  ++clock_;
+  const WriteId w{self_, clock_};
+  // Piggyback the dependency log (the d+1 entries of §III-C), then reset:
+  // in full replication condition (2) empties every dest list, and this
+  // write becomes the single entry representing the whole causal past.
+  serialize_log(log_, meta_out);
+  log_.clear();
+  log_[self_] = clock_;
+  apply_[self_] = clock_;
+  last_write_on_[var] = w;
+  return w;
+}
+
+void OptTrackCrp::local_read(VarId var) {
+  const auto it = last_write_on_.find(var);
+  if (it == last_write_on_.end()) return;  // variable still ⊥
+  // One entry per writer: a newer read of the same writer's value
+  // supersedes the older entry (§III-C).
+  WriteClock& slot = log_[it->second.writer];
+  slot = std::max(slot, it->second.clock);
+}
+
+std::unique_ptr<PendingUpdate> OptTrackCrp::decode_sm(SmEnvelope env, DestSet dests,
+                                                      serial::ByteReader& meta) {
+  return std::make_unique<Pending>(env, std::move(dests), deserialize_log(meta));
+}
+
+bool OptTrackCrp::ready(const PendingUpdate& u) const {
+  const auto& p = static_cast<const Pending&>(u);
+  // Program order: this must be the writer's next write (every write
+  // reaches every site under full replication).
+  if (p.env().write.clock != apply_[p.env().write.writer] + 1) return false;
+  // Every write the sender causally depends on must be applied here.
+  for (const auto& [site, clock] : p.piggyback) {
+    if (apply_[site] < clock) return false;
+  }
+  return true;
+}
+
+void OptTrackCrp::apply(const PendingUpdate& u) {
+  const auto& p = static_cast<const Pending&>(u);
+  CAUSIM_CHECK(ready(u), "apply called with a false activation predicate");
+  const WriteId w = p.env().write;
+  apply_[w.writer] = w.clock;
+  // Only the write itself is associated with the variable: once it is
+  // applied in causal order, so is its entire causal past (§III-C).
+  last_write_on_[p.env().var] = w;
+}
+
+void OptTrackCrp::remote_return_meta(VarId, serial::ByteWriter&) const {
+  CAUSIM_UNREACHABLE("Opt-Track-CRP is fully replicated; reads never leave the site");
+}
+
+std::unique_ptr<PendingReturn> OptTrackCrp::decode_remote_return(
+    serial::ByteReader&) const {
+  CAUSIM_UNREACHABLE("Opt-Track-CRP is fully replicated; reads never leave the site");
+}
+
+bool OptTrackCrp::return_ready(const PendingReturn&) const {
+  CAUSIM_UNREACHABLE("Opt-Track-CRP is fully replicated; reads never leave the site");
+}
+
+void OptTrackCrp::absorb_remote_return(VarId, const PendingReturn&) {
+  CAUSIM_UNREACHABLE("Opt-Track-CRP is fully replicated; reads never leave the site");
+}
+
+std::size_t OptTrackCrp::local_meta_bytes() const {
+  const auto cw = static_cast<std::size_t>(options_.clock_width);
+  std::size_t bytes = 2 + log_.size() * (2 + cw);  // the local log
+  bytes += static_cast<std::size_t>(n_) * cw;      // Apply_i
+  bytes += last_write_on_.size() * (2 + cw);       // LastWriteOn 2-tuples
+  return bytes;
+}
+
+}  // namespace causim::causal

@@ -1,0 +1,60 @@
+// causim — umbrella header.
+//
+// Causal consistency protocols for partially and fully replicated
+// distributed shared memory, reproducing Hsu & Kshemkalyani,
+// "Performance of Causal Consistency Algorithms for Partially Replicated
+// Systems" (2016). Include this to get the whole public API; the
+// subsystem headers remain individually includable for faster builds.
+//
+// Layering (bottom to top):
+//   common/    ids, destination sets, values, invariants
+//   serial/    wire format with exact byte accounting
+//   sim/       discrete-event engine, RNG, latency models
+//   net/       Transport: simulated or real-thread FIFO channels
+//   causal/    the protocols: Full-Track, Opt-Track, Opt-Track-CRP, optP,
+//              Full-Track-HB, plus clocks and the KS log
+//   ksmulticast/ the KS causal multicast algorithm in message-passing form
+//   dsm/       the shared-memory runtime: sites, clusters, placement
+//   workload/  randomized operation schedules
+//   stats/     metrics and table rendering
+//   checker/   execution recording + causal-consistency verification
+//   bench_support/ experiment grids and CLI flag parsing
+#pragma once
+
+#include "bench_support/args.hpp"
+#include "bench_support/experiment.hpp"
+#include "causal/clocks.hpp"
+#include "causal/factory.hpp"
+#include "causal/full_track.hpp"
+#include "causal/full_track_hb.hpp"
+#include "causal/ks_log.hpp"
+#include "causal/opt_p.hpp"
+#include "causal/opt_track.hpp"
+#include "causal/opt_track_crp.hpp"
+#include "causal/protocol.hpp"
+#include "checker/causal_checker.hpp"
+#include "checker/history.hpp"
+#include "common/dest_set.hpp"
+#include "common/ids.hpp"
+#include "common/message_kind.hpp"
+#include "common/panic.hpp"
+#include "common/value.hpp"
+#include "dsm/cluster.hpp"
+#include "dsm/envelope.hpp"
+#include "dsm/placement.hpp"
+#include "dsm/site_runtime.hpp"
+#include "dsm/thread_cluster.hpp"
+#include "ksmulticast/ks_process.hpp"
+#include "ksmulticast/multicast_group.hpp"
+#include "net/sim_transport.hpp"
+#include "net/thread_transport.hpp"
+#include "net/transport.hpp"
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+#include "sim/latency.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "stats/histogram.hpp"
+#include "stats/message_stats.hpp"
+#include "stats/table.hpp"
+#include "workload/schedule.hpp"

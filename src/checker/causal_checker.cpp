@@ -1,0 +1,249 @@
+#include "checker/causal_checker.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/panic.hpp"
+
+namespace causim::checker {
+
+namespace {
+
+/// Fixed-capacity bitset sized to the number of writes in the history.
+class Bits {
+ public:
+  explicit Bits(std::size_t nbits = 0) : words_((nbits + 63) / 64, 0) {}
+
+  void set(std::size_t i) { words_[i / 64] |= 1ULL << (i % 64); }
+  bool test(std::size_t i) const { return (words_[i / 64] >> (i % 64)) & 1; }
+
+  Bits& operator|=(const Bits& o) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= o.words_[w];
+    return *this;
+  }
+
+  /// First index present in (this & mask & ~exclude) other than `skip`,
+  /// or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t first_uncovered(const Bits& mask, const Bits& exclude, std::size_t skip) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w] & mask.words_[w] & ~exclude.words_[w];
+      while (bits != 0) {
+        const auto i = w * 64 + static_cast<std::size_t>(__builtin_ctzll(bits));
+        if (i != skip) return i;
+        bits &= bits - 1;
+      }
+    }
+    return npos;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+std::string describe(const WriteId& w) {
+  std::ostringstream os;
+  os << "⟨site " << w.writer << ", clock " << w.clock << "⟩";
+  return os.str();
+}
+
+}  // namespace
+
+CheckResult check_causal_consistency(const std::vector<Event>& events, SiteId sites,
+                                     const std::function<DestSet(VarId)>& replicas,
+                                     CheckOptions options) {
+  CheckResult result;
+  auto violate = [&](const std::string& msg) {
+    if (result.violations.size() < options.max_violations) {
+      result.violations.push_back(msg);
+    }
+  };
+
+  // Pass 1: index all writes.
+  std::unordered_map<WriteId, std::size_t> index;
+  std::vector<VarId> write_var;
+  for (const Event& e : events) {
+    if (e.kind != Event::Kind::kWrite) continue;
+    const auto [it, inserted] = index.emplace(e.write, write_var.size());
+    if (!inserted) {
+      violate("duplicate write id " + describe(e.write));
+      continue;
+    }
+    write_var.push_back(e.var);
+  }
+  const std::size_t nwrites = write_var.size();
+
+  // Destination masks per site, from the placement, and per-variable write
+  // lists for the read-freshness check.
+  std::vector<Bits> destined(sites, Bits(nwrites));
+  std::vector<DestSet> write_dests(nwrites, DestSet(sites));
+  std::unordered_map<VarId, std::vector<std::size_t>> writes_to_var;
+  {
+    std::size_t widx = 0;
+    for (const Event& e : events) {
+      if (e.kind != Event::Kind::kWrite || index.at(e.write) != widx) continue;
+      const DestSet d = replicas(e.var);
+      d.for_each([&](SiteId s) { destined[s].set(widx); });
+      write_dests[widx] = d;
+      writes_to_var[e.var].push_back(widx);
+      ++widx;
+    }
+  }
+
+  // Pass 2: replay in sequence order.
+  std::vector<Bits> past(nwrites, Bits(nwrites));   // causal past per write (inclusive)
+  std::vector<Bits> running(sites, Bits(nwrites));  // per-site program-order past
+  std::vector<Bits> applied(sites, Bits(nwrites));
+  std::vector<std::size_t> apply_count(nwrites, 0);
+  std::vector<std::vector<WriteClock>> last_applied_clock(
+      sites, std::vector<WriteClock>(sites, 0));
+  // latest write applied per (site, var)
+  std::unordered_map<std::uint64_t, WriteId> latest;
+  const auto key = [](SiteId s, VarId v) {
+    return (static_cast<std::uint64_t>(s) << 32) | v;
+  };
+
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case Event::Kind::kWrite: {
+        const std::size_t widx = index.at(e.write);
+        Bits p = running[e.site];
+        p.set(widx);
+        past[widx] = p;
+        running[e.site] = std::move(p);
+        ++result.writes;
+        break;
+      }
+      case Event::Kind::kServe:
+      case Event::Kind::kRead: {
+        // Validity and coherence are judged at the site and instant the
+        // value was *served*: the local replica for a local read, the
+        // responder at RM-creation time (a kServe event) for a remote one.
+        const bool is_serve = e.kind == Event::Kind::kServe;
+        if (!is_serve) ++result.reads;
+        const bool validate = is_serve || !e.remote;
+        const SiteId server = is_serve ? e.site : e.site /* local read */;
+        if (validate) {
+          const auto latest_it = latest.find(key(server, e.var));
+          if (is_null(e.write)) {
+            if (latest_it != latest.end()) {
+              violate("site " + std::to_string(server) + " served ⊥ for var " +
+                      std::to_string(e.var) + " although " +
+                      describe(latest_it->second) + " was applied there");
+            }
+          } else if (const auto it = index.find(e.write); it == index.end()) {
+            violate("read returned unknown write " + describe(e.write));
+          } else {
+            const std::size_t widx = it->second;
+            if (write_var[widx] != e.var) {
+              violate("read of var " + std::to_string(e.var) +
+                      " returned a write to var " + std::to_string(write_var[widx]));
+            }
+            if (!applied[server].test(widx)) {
+              violate("site " + std::to_string(server) + " served " + describe(e.write) +
+                      " before applying it");
+            }
+            if (latest_it == latest.end() || !(latest_it->second == e.write)) {
+              violate("site " + std::to_string(server) + " served " + describe(e.write) +
+                      " for var " + std::to_string(e.var) +
+                      " but its latest applied write is " +
+                      (latest_it == latest.end() ? std::string("⊥")
+                                                 : describe(latest_it->second)));
+            }
+          }
+        }
+        if (!is_serve) {
+          // Read-freshness: a returned value is *stale* when some write to
+          // the same variable already in the reader's causal past is a
+          // strict causal successor of it (⊥ is causally before every
+          // write). The paper's RemoteFetch permits this; the causal-fetch
+          // extension rules it out (see CheckResult::stale_reads).
+          std::size_t ridx = Bits::npos;
+          if (!is_null(e.write)) {
+            const auto it = index.find(e.write);
+            if (it != index.end()) ridx = it->second;
+          }
+          if (const auto wl = writes_to_var.find(e.var); wl != writes_to_var.end()) {
+            for (const std::size_t widx : wl->second) {
+              if (widx == ridx || !running[e.site].test(widx)) continue;
+              const bool returned_precedes =
+                  ridx == Bits::npos || past[widx].test(ridx);
+              if (returned_precedes) {
+                ++result.stale_reads;
+                if (options.strict_read_freshness) {
+                  violate("stale read at site " + std::to_string(e.site) + " of var " +
+                          std::to_string(e.var) + ": returned " +
+                          (ridx == Bits::npos ? std::string("⊥") : describe(e.write)) +
+                          " although a causally newer write is in the reader's past");
+                }
+                break;
+              }
+            }
+          }
+        }
+        if (!is_serve && !is_null(e.write)) {
+          const auto it = index.find(e.write);
+          if (it != index.end()) {
+            running[e.site] |= past[it->second];  // the read-from →co edge
+          } else {
+            violate("read returned unknown write " + describe(e.write));
+          }
+        }
+        break;
+      }
+      case Event::Kind::kApply: {
+        ++result.applies;
+        const auto it = index.find(e.write);
+        if (it == index.end()) {
+          violate("apply of unknown write " + describe(e.write));
+          break;
+        }
+        const std::size_t widx = it->second;
+        if (!write_dests[widx].contains(e.site)) {
+          violate("write " + describe(e.write) + " applied at non-replica site " +
+                  std::to_string(e.site));
+        }
+        if (applied[e.site].test(widx)) {
+          violate("write " + describe(e.write) + " applied twice at site " +
+                  std::to_string(e.site));
+          break;
+        }
+        // The causal-order core check: everything in this write's causal
+        // past that is destined here must already be applied here.
+        const std::size_t missing =
+            past[widx].first_uncovered(destined[e.site], applied[e.site], widx);
+        if (missing != Bits::npos) {
+          violate("site " + std::to_string(e.site) + " applied " + describe(e.write) +
+                  " before its causal predecessor (write #" + std::to_string(missing) +
+                  " to var " + std::to_string(write_var[missing]) + ")");
+        }
+        // Per-writer FIFO order.
+        WriteClock& last = last_applied_clock[e.site][e.write.writer];
+        if (e.write.clock <= last) {
+          violate("site " + std::to_string(e.site) + " applied " + describe(e.write) +
+                  " after clock " + std::to_string(last) + " of the same writer");
+        }
+        last = std::max(last, e.write.clock);
+        applied[e.site].set(widx);
+        ++apply_count[widx];
+        latest[key(e.site, e.var)] = e.write;
+        break;
+      }
+    }
+  }
+
+  // Conservation: applied exactly once per destination (duplicates and
+  // non-replica applies were flagged above, so a count match suffices).
+  for (const auto& [id, widx] : index) {
+    const std::size_t expected = write_dests[widx].count();
+    if (apply_count[widx] != expected) {
+      violate("write " + describe(id) + " applied " + std::to_string(apply_count[widx]) +
+              " times, expected " + std::to_string(expected));
+    }
+  }
+
+  return result;
+}
+
+}  // namespace causim::checker

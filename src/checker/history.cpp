@@ -1,0 +1,66 @@
+#include "checker/history.hpp"
+
+namespace causim::checker {
+
+void HistoryRecorder::push(Event e) {
+  std::lock_guard lock(mutex_);
+  e.seq = next_seq_++;
+  events_.push_back(e);
+}
+
+void HistoryRecorder::record_write(SiteId site, VarId var, const WriteId& w) {
+  Event e;
+  e.kind = Event::Kind::kWrite;
+  e.site = site;
+  e.var = var;
+  e.write = w;
+  push(e);
+}
+
+void HistoryRecorder::record_read(SiteId site, VarId var, const WriteId& read_from,
+                                  bool remote, SiteId responder) {
+  Event e;
+  e.kind = Event::Kind::kRead;
+  e.site = site;
+  e.var = var;
+  e.write = read_from;
+  e.remote = remote;
+  e.responder = responder;
+  push(e);
+}
+
+void HistoryRecorder::record_apply(SiteId site, VarId var, const WriteId& w) {
+  Event e;
+  e.kind = Event::Kind::kApply;
+  e.site = site;
+  e.var = var;
+  e.write = w;
+  push(e);
+}
+
+void HistoryRecorder::record_serve(SiteId site, VarId var, const WriteId& w) {
+  Event e;
+  e.kind = Event::Kind::kServe;
+  e.site = site;
+  e.var = var;
+  e.write = w;
+  push(e);
+}
+
+std::vector<Event> HistoryRecorder::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::size_t HistoryRecorder::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+void HistoryRecorder::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace causim::checker

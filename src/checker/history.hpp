@@ -1,0 +1,62 @@
+// HistoryRecorder — a thread-safe execution trace used to verify causal
+// consistency after a run.
+//
+// The DSM runtime reports three event kinds:
+//   Write — an application process issued w_i(x_h)v (recorded at the op),
+//   Read  — an application process completed r_i(x_h)v, with the WriteId
+//           the returned value originated from (⊥ reads carry a null id),
+//   Apply — a site applied an update to its local replica.
+// Events carry a globally unique, monotonically increasing sequence number
+// assigned under the recorder's lock; program order and read-from edges
+// always point from lower to higher sequence numbers, which the checker
+// exploits to compute causal pasts in one pass.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/value.hpp"
+
+namespace causim::checker {
+
+struct Event {
+  enum class Kind : std::uint8_t { kWrite, kRead, kApply, kServe };
+
+  Kind kind = Kind::kWrite;
+  std::uint64_t seq = 0;
+  SiteId site = kInvalidSite;  // where the op / apply happened
+  VarId var = kInvalidVar;
+  WriteId write;  // Write: own id; Read: read-from id (null for ⊥); Apply: applied id
+  bool remote = false;        // Read only: served by a remote fetch
+  SiteId responder = kInvalidSite;  // Read only: serving site (self if local)
+};
+
+class HistoryRecorder {
+ public:
+  void record_write(SiteId site, VarId var, const WriteId& w);
+  void record_read(SiteId site, VarId var, const WriteId& read_from, bool remote,
+                   SiteId responder);
+  void record_apply(SiteId site, VarId var, const WriteId& w);
+  /// A replica served a remote fetch: the value (write id) it returned is
+  /// validated against the replica's state at *this* instant — the read
+  /// completes at the reader strictly later, when newer applies may already
+  /// have landed at the responder.
+  void record_serve(SiteId site, VarId var, const WriteId& w);
+
+  /// Snapshot of all events in sequence order.
+  std::vector<Event> events() const;
+
+  std::size_t size() const;
+  void clear();
+
+ private:
+  void push(Event e);
+
+  mutable std::mutex mutex_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Event> events_;
+};
+
+}  // namespace causim::checker

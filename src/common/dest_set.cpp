@@ -1,0 +1,99 @@
+#include "common/dest_set.hpp"
+
+#include <bit>
+
+#include "common/panic.hpp"
+
+namespace causim {
+
+DestSet DestSet::all(SiteId n) {
+  DestSet s(n);
+  for (std::size_t w = 0; w < s.words_.size(); ++w) s.words_[w] = ~0ULL;
+  // Clear bits beyond n-1 in the last word.
+  const unsigned tail = n % 64;
+  if (tail != 0 && !s.words_.empty()) {
+    s.words_.back() &= (1ULL << tail) - 1;
+  }
+  return s;
+}
+
+void DestSet::insert(SiteId s) {
+  CAUSIM_CHECK(s < n_, "site " << s << " outside universe of size " << n_);
+  words_[s / 64] |= 1ULL << (s % 64);
+}
+
+void DestSet::erase(SiteId s) {
+  if (s >= n_) return;
+  words_[s / 64] &= ~(1ULL << (s % 64));
+}
+
+bool DestSet::contains(SiteId s) const {
+  if (s >= n_) return false;
+  return (words_[s / 64] >> (s % 64)) & 1;
+}
+
+SiteId DestSet::count() const {
+  std::size_t c = 0;
+  for (std::uint64_t w : words_) c += std::popcount(w);
+  return static_cast<SiteId>(c);
+}
+
+bool DestSet::empty() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+DestSet& DestSet::operator|=(const DestSet& other) {
+  CAUSIM_CHECK(n_ == other.n_, "universe mismatch " << n_ << " vs " << other.n_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DestSet& DestSet::operator&=(const DestSet& other) {
+  CAUSIM_CHECK(n_ == other.n_, "universe mismatch " << n_ << " vs " << other.n_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DestSet& DestSet::operator-=(const DestSet& other) {
+  CAUSIM_CHECK(n_ == other.n_, "universe mismatch " << n_ << " vs " << other.n_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+bool DestSet::operator==(const DestSet& other) const {
+  return n_ == other.n_ && words_ == other.words_;
+}
+
+bool DestSet::is_subset_of(const DestSet& other) const {
+  CAUSIM_CHECK(n_ == other.n_, "universe mismatch " << n_ << " vs " << other.n_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool DestSet::intersects(const DestSet& other) const {
+  CAUSIM_CHECK(n_ == other.n_, "universe mismatch " << n_ << " vs " << other.n_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::vector<SiteId> DestSet::to_vector() const {
+  std::vector<SiteId> out;
+  out.reserve(count());
+  for_each([&out](SiteId s) { out.push_back(s); });
+  return out;
+}
+
+void DestSet::set_words(SiteId n, std::vector<std::uint64_t> words) {
+  CAUSIM_CHECK(words.size() == (n + 63u) / 64u, "word count mismatch for universe " << n);
+  n_ = n;
+  words_ = std::move(words);
+}
+
+}  // namespace causim

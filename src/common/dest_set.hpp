@@ -1,0 +1,86 @@
+// DestSet — a set of site ids, used for write-destination lists.
+//
+// Destination lists are the central data structure of the Opt-Track
+// protocol: each KS-log entry carries the set of replica sites a write was
+// multicast to, progressively pruned by the implicit conditions of §III-B.
+// A bitset keeps union / intersection / difference O(n/64) and makes the
+// wire representation compact (one bit per site).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace causim {
+
+class DestSet {
+ public:
+  DestSet() = default;
+
+  /// An empty set able to hold sites [0, n).
+  explicit DestSet(SiteId n) : n_(n), words_((n + 63) / 64, 0) {}
+
+  DestSet(SiteId n, std::initializer_list<SiteId> sites) : DestSet(n) {
+    for (SiteId s : sites) insert(s);
+  }
+
+  /// The full set {0, …, n-1}.
+  static DestSet all(SiteId n);
+
+  SiteId universe_size() const { return n_; }
+
+  void insert(SiteId s);
+  void erase(SiteId s);
+  bool contains(SiteId s) const;
+
+  /// Number of sites in the set.
+  SiteId count() const;
+  bool empty() const;
+
+  DestSet& operator|=(const DestSet& other);
+  DestSet& operator&=(const DestSet& other);
+  /// Set difference: removes every site in `other` from this set.
+  DestSet& operator-=(const DestSet& other);
+
+  friend DestSet operator|(DestSet a, const DestSet& b) { return a |= b; }
+  friend DestSet operator&(DestSet a, const DestSet& b) { return a &= b; }
+  friend DestSet operator-(DestSet a, const DestSet& b) { return a -= b; }
+
+  bool operator==(const DestSet& other) const;
+
+  /// True if every member of this set is also in `other`.
+  bool is_subset_of(const DestSet& other) const;
+
+  bool intersects(const DestSet& other) const;
+
+  /// Calls fn(SiteId) for each member in increasing order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(static_cast<SiteId>(w * 64 + b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  std::vector<SiteId> to_vector() const;
+
+  /// Exact number of bytes this set occupies on the wire (universe u16 +
+  /// count u16 + one u16 per member; see serial::ByteWriter::put_dest_set).
+  std::size_t wire_bytes() const { return 4 + 2 * static_cast<std::size_t>(count()); }
+
+  /// Raw word access for serialization.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  void set_words(SiteId n, std::vector<std::uint64_t> words);
+
+ private:
+  SiteId n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace causim

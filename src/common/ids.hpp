@@ -1,0 +1,54 @@
+// Fundamental identifier types shared by every causim subsystem.
+//
+// The model follows §II of the paper: n sites, each hosting one application
+// process, sharing q variables. A write operation is globally identified by
+// the pair (writer site, writer-local write counter) — a WriteId.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace causim {
+
+/// Index of a site (and of the application process it hosts), 0-based.
+using SiteId = std::uint16_t;
+
+/// Index of a shared variable x_h, 0-based.
+using VarId = std::uint32_t;
+
+/// A per-writer write-operation counter ("clock_i" in the paper).
+/// Starts at 0; the first write by a site carries clock 1.
+using WriteClock = std::uint32_t;
+
+/// Simulated time in microseconds (the paper schedules operations with
+/// millisecond gaps; microsecond resolution keeps FIFO tie-breaking easy).
+using SimTime = std::int64_t;
+
+inline constexpr SiteId kInvalidSite = std::numeric_limits<SiteId>::max();
+inline constexpr VarId kInvalidVar = std::numeric_limits<VarId>::max();
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Globally unique identifier of a write operation: w = (writer, clock).
+struct WriteId {
+  SiteId writer = kInvalidSite;
+  WriteClock clock = 0;
+
+  friend auto operator<=>(const WriteId&, const WriteId&) = default;
+};
+
+/// True for the sentinel "no write yet" id (variables start at ⊥).
+inline bool is_null(const WriteId& w) { return w.writer == kInvalidSite; }
+
+}  // namespace causim
+
+template <>
+struct std::hash<causim::WriteId> {
+  std::size_t operator()(const causim::WriteId& w) const noexcept {
+    return (static_cast<std::size_t>(w.writer) << 32) ^ w.clock;
+  }
+};

@@ -1,0 +1,13 @@
+#include "common/panic.hpp"
+
+#include <cstdio>
+
+namespace causim {
+
+[[noreturn]] void panic(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "causim panic at %s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace causim

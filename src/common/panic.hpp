@@ -1,0 +1,29 @@
+// Invariant checking for causim.
+//
+// CAUSIM_CHECK is active in every build type: protocol invariants guard
+// causal-consistency correctness, and the cost of the checks is negligible
+// next to message serialization. A failed check aborts with a source
+// location and message; simulations are deterministic, so a failure is
+// always reproducible from the seed.
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace causim {
+
+[[noreturn]] void panic(const char* file, int line, const std::string& message);
+
+}  // namespace causim
+
+#define CAUSIM_CHECK(cond, msg)                                      \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream causim_check_os_;                           \
+      causim_check_os_ << "CHECK failed: " #cond " — " << msg;       \
+      ::causim::panic(__FILE__, __LINE__, causim_check_os_.str());   \
+    }                                                                \
+  } while (0)
+
+#define CAUSIM_UNREACHABLE(msg) ::causim::panic(__FILE__, __LINE__, std::string("unreachable: ") + (msg))

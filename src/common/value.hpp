@@ -1,0 +1,29 @@
+// Value representation for the distributed shared memory.
+//
+// The paper's metric of interest is message *meta-data* size; the data
+// payload itself (photos, web pages, …) is only relevant as a byte count
+// (§V-C). A Value therefore carries a globally unique 64-bit id — which
+// doubles as the exact read-from witness used by the causal checker — and a
+// modelled payload size in bytes that is accounted for on the wire but never
+// materialized.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace causim {
+
+struct Value {
+  /// 0 is the initial value ⊥ of every variable.
+  std::uint64_t id = 0;
+  /// Modelled size of the raw data in bytes (not allocated).
+  std::uint32_t payload_bytes = 0;
+
+  friend auto operator<=>(const Value&, const Value&) = default;
+};
+
+inline constexpr Value kBottom{};
+
+inline bool is_bottom(const Value& v) { return v.id == 0; }
+
+}  // namespace causim

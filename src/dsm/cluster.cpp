@@ -1,0 +1,131 @@
+#include "dsm/cluster.hpp"
+
+#include "common/panic.hpp"
+
+namespace causim::dsm {
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config),
+      placement_(config.sites, config.variables, config.effective_replication(),
+                 config.seed, config.placement_strategy, config.fetch_policy),
+      latency_(config.latency_lo, config.latency_hi) {
+  CAUSIM_CHECK(!causal::requires_full_replication(config.protocol) ||
+                   placement_.fully_replicated(),
+               to_string(config.protocol) << " requires full replication (p = n)");
+  if (!config_.fetch_distances.empty()) {
+    placement_.set_distances(config_.fetch_distances);
+  }
+  const sim::LatencyModel& model =
+      config_.latency_model ? *config_.latency_model
+                            : static_cast<const sim::LatencyModel&>(latency_);
+  transport_ =
+      std::make_unique<net::SimTransport>(simulator_, model, config.sites, config.seed);
+  runtimes_.reserve(config.sites);
+  for (SiteId i = 0; i < config.sites; ++i) {
+    auto protocol = causal::make_protocol(config.protocol, i, config.sites,
+                                          config.protocol_options);
+    runtimes_.push_back(std::make_unique<SiteRuntime>(
+        i, placement_, *transport_, std::move(protocol),
+        config.record_history ? &history_ : nullptr,
+        config.protocol_options.clock_width, [this] { return simulator_.now(); },
+        config.causal_fetch));
+    transport_->attach(i, runtimes_.back().get());
+  }
+}
+
+void Cluster::execute(const workload::Schedule& schedule) {
+  CAUSIM_CHECK(schedule.sites() == config_.sites,
+               "schedule built for " << schedule.sites() << " sites, cluster has "
+                                     << config_.sites);
+  schedule_ = &schedule;
+  cursor_.assign(config_.sites, 0);
+  for (SiteId s = 0; s < config_.sites; ++s) issue_next(s);
+  simulator_.run();
+  schedule_ = nullptr;
+
+  // Quiescence invariants: the network drained and every delivered update
+  // was applied (an unapplied pending update would mean the activation
+  // predicate can never fire — a protocol bug).
+  CAUSIM_CHECK(transport_->packets_sent() == transport_->packets_delivered(),
+               "network did not drain");
+  for (SiteId s = 0; s < config_.sites; ++s) {
+    CAUSIM_CHECK(runtimes_[s]->pending_updates() == 0,
+                 "site " << s << " finished with unapplied updates");
+    CAUSIM_CHECK(!runtimes_[s]->fetch_pending(),
+                 "site " << s << " finished with an unanswered fetch");
+    CAUSIM_CHECK(runtimes_[s]->pending_remote_fetches() == 0,
+                 "site " << s << " finished holding fetch requests");
+  }
+}
+
+void Cluster::issue_next(SiteId s) {
+  const auto& ops = schedule_->per_site[s];
+  if (cursor_[s] >= ops.size()) return;  // this site's application finished
+  const SimTime at = std::max(simulator_.now(), ops[cursor_[s]].at);
+  simulator_.schedule_at(at, [this, s] { run_op(s); });
+}
+
+void Cluster::run_op(SiteId s) {
+  const workload::Op& op = schedule_->per_site[s][cursor_[s]];
+  SiteRuntime& site = *runtimes_[s];
+  if (op.kind == workload::Op::Kind::kWrite) {
+    site.write(op.var, op.payload_bytes, op.record);
+    ++cursor_[s];
+    issue_next(s);
+    return;
+  }
+  // Reads complete asynchronously when remote; the continuation resumes the
+  // site's schedule either way (it runs inline for local reads).
+  site.read(op.var, [this, s](Value, WriteId) {
+    ++cursor_[s];
+    issue_next(s);
+  }, op.record);
+}
+
+void Cluster::set_message_probe(SiteRuntime::MessageProbe probe) {
+  for (auto& r : runtimes_) r->set_message_probe(probe);
+}
+
+stats::MessageStats Cluster::aggregate_message_stats() const {
+  stats::MessageStats total;
+  for (const auto& r : runtimes_) total += r->message_stats();
+  return total;
+}
+
+stats::Summary Cluster::aggregate_log_entries() const {
+  stats::Summary total;
+  for (const auto& r : runtimes_) total += r->log_entries();
+  return total;
+}
+
+stats::Summary Cluster::aggregate_log_bytes() const {
+  stats::Summary total;
+  for (const auto& r : runtimes_) total += r->log_bytes();
+  return total;
+}
+
+stats::Summary Cluster::aggregate_fetch_latency() const {
+  stats::Summary total;
+  for (const auto& r : runtimes_) total += r->fetch_latency();
+  return total;
+}
+
+stats::Summary Cluster::aggregate_apply_delay() const {
+  stats::Summary total;
+  for (const auto& r : runtimes_) total += r->apply_delay();
+  return total;
+}
+
+std::uint64_t Cluster::total_applies() const {
+  std::uint64_t total = 0;
+  for (const auto& r : runtimes_) total += r->total_applies();
+  return total;
+}
+
+checker::CheckResult Cluster::check(checker::CheckOptions options) const {
+  return checker::check_causal_consistency(
+      history_.events(), config_.sites,
+      [this](VarId var) { return placement_.replicas(var); }, options);
+}
+
+}  // namespace causim::dsm

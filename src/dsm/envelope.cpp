@@ -1,0 +1,81 @@
+#include "dsm/envelope.hpp"
+
+#include "common/panic.hpp"
+
+namespace causim::dsm {
+
+serial::Bytes Envelope::encode(serial::ClockWidth cw, Sizes* sizes) const {
+  serial::ByteWriter w(cw);
+  w.put_u8(static_cast<std::uint8_t>(kind));
+  w.put_site(sender);
+  w.put_var(var);
+  switch (kind) {
+    case MessageKind::kSM:
+      w.put_write_id(write);
+      w.put_u64(value.id);
+      w.put_u32(value.payload_bytes);
+      break;
+    case MessageKind::kFM:
+      w.put_u64(fetch_seq);
+      w.put_u8(record ? 1 : 0);
+      break;
+    case MessageKind::kRM:
+      w.put_u64(fetch_seq);
+      w.put_u8(record ? 1 : 0);
+      w.put_write_id(write);
+      w.put_u64(value.id);
+      w.put_u32(value.payload_bytes);
+      break;
+  }
+  w.put_u32(static_cast<std::uint32_t>(meta.size()));
+  const std::size_t header_bytes = w.size();  // everything so far minus nothing: meta not yet written
+  w.put_bytes(meta.data(), meta.size());
+  if (kind != MessageKind::kFM) w.put_opaque(value.payload_bytes);
+  if (sizes != nullptr) {
+    sizes->header = header_bytes;
+    sizes->meta = meta.size();
+    sizes->payload = kind == MessageKind::kFM ? 0 : value.payload_bytes;
+  }
+  return w.take();
+}
+
+Envelope Envelope::decode(const serial::Bytes& bytes, serial::ClockWidth cw) {
+  serial::ByteReader r(bytes, cw);
+  Envelope e;
+  e.kind = static_cast<MessageKind>(r.get_u8());
+  e.sender = r.get_site();
+  e.var = r.get_var();
+  switch (e.kind) {
+    case MessageKind::kSM:
+      e.write = r.get_write_id();
+      e.value.id = r.get_u64();
+      e.value.payload_bytes = r.get_u32();
+      break;
+    case MessageKind::kFM:
+      e.fetch_seq = r.get_u64();
+      e.record = r.get_u8() != 0;
+      break;
+    case MessageKind::kRM:
+      e.fetch_seq = r.get_u64();
+      e.record = r.get_u8() != 0;
+      e.write = r.get_write_id();
+      e.value.id = r.get_u64();
+      e.value.payload_bytes = r.get_u32();
+      break;
+    default:
+      CAUSIM_UNREACHABLE("bad message kind on the wire");
+  }
+  const std::uint32_t meta_len = r.get_u32();
+  CAUSIM_CHECK(r.remaining() >= meta_len, "truncated meta-data");
+  e.meta.assign(bytes.end() - static_cast<std::ptrdiff_t>(r.remaining()),
+                bytes.end() - static_cast<std::ptrdiff_t>(r.remaining()) + meta_len);
+  r.skip(meta_len);
+  if (e.kind != MessageKind::kFM) {
+    CAUSIM_CHECK(r.remaining() == e.value.payload_bytes, "payload length mismatch");
+  } else {
+    CAUSIM_CHECK(r.done(), "trailing bytes after FM");
+  }
+  return e;
+}
+
+}  // namespace causim::dsm

@@ -1,0 +1,54 @@
+// Envelope — the wire representation of SM / FM / RM messages (Table I).
+//
+// The envelope carries the fields the paper lists per message kind plus the
+// implementation fields a real messaging layer needs (sender id, fetch
+// sequence token, length prefixes). Byte accounting is split exactly as the
+// stats module expects:
+//   header  = everything that is not protocol meta-data or payload,
+//   meta    = the protocol's piggybacked bytes (Write clock / L_w / LOG /
+//             LastWriteOn⟨h⟩),
+//   payload = the value's modelled raw-data bytes (zeros on the wire).
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "common/message_kind.hpp"
+#include "common/value.hpp"
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+
+namespace causim::dsm {
+
+struct Envelope {
+  MessageKind kind = MessageKind::kSM;
+  SiteId sender = kInvalidSite;
+  VarId var = kInvalidVar;
+
+  // SM and RM: the value and the id of the write that produced it.
+  Value value;
+  WriteId write;
+
+  // FM and RM: token matching a fetch to its reply; `record` tells the
+  // responder whether the fetch belongs to the measured (post-warm-up)
+  // window so the RM inherits the sender's recording decision.
+  std::uint64_t fetch_seq = 0;
+  bool record = true;
+
+  // Protocol meta-data (already serialized by the protocol).
+  serial::Bytes meta;
+
+  struct Sizes {
+    std::size_t header = 0;
+    std::size_t meta = 0;
+    std::size_t payload = 0;
+    std::size_t total() const { return header + meta + payload; }
+  };
+
+  /// Serializes; fills `sizes` with the exact byte split.
+  serial::Bytes encode(serial::ClockWidth cw, Sizes* sizes = nullptr) const;
+
+  static Envelope decode(const serial::Bytes& bytes, serial::ClockWidth cw);
+};
+
+}  // namespace causim::dsm

@@ -1,0 +1,89 @@
+#include "dsm/placement.hpp"
+
+#include <numeric>
+
+#include "common/panic.hpp"
+#include "sim/rng.hpp"
+
+namespace causim::dsm {
+
+Placement::Placement(SiteId n, VarId q, SiteId p, std::uint64_t seed,
+                     PlacementStrategy strategy, FetchPolicy fetch_policy)
+    : n_(n), q_(q), p_(p), fetch_policy_(fetch_policy) {
+  CAUSIM_CHECK(n > 0 && q > 0, "empty system");
+  CAUSIM_CHECK(p >= 1 && p <= n, "replication factor " << p << " out of [1, " << n << "]");
+  replica_sets_.reserve(q);
+  replica_ids_.reserve(q);
+  std::vector<SiteId> pool(n);
+  std::iota(pool.begin(), pool.end(), SiteId{0});
+  sim::Pcg32 rng(seed, /*stream=*/0x706c6163ULL);
+  for (VarId h = 0; h < q; ++h) {
+    DestSet set(n);
+    if (strategy == PlacementStrategy::kStrided) {
+      for (SiteId k = 0; k < p; ++k) {
+        set.insert(static_cast<SiteId>((static_cast<std::size_t>(h) * p + k) % n));
+      }
+    } else {
+      // Partial Fisher–Yates: the first p entries of a fresh shuffle.
+      for (SiteId k = 0; k < p; ++k) {
+        const auto j = static_cast<SiteId>(rng.uniform_int(k, n - 1));
+        std::swap(pool[k], pool[j]);
+        set.insert(pool[k]);
+      }
+    }
+    replica_ids_.push_back(set.to_vector());
+    replica_sets_.push_back(std::move(set));
+  }
+}
+
+Placement Placement::full(SiteId n, VarId q) {
+  return Placement(n, q, n, /*seed=*/0, PlacementStrategy::kStrided);
+}
+
+const DestSet& Placement::replicas(VarId var) const {
+  CAUSIM_CHECK(var < q_, "variable " << var << " out of range");
+  return replica_sets_[var];
+}
+
+SiteId Placement::fetch_site(VarId var, SiteId reader) const {
+  CAUSIM_CHECK(var < q_, "variable " << var << " out of range");
+  const auto& ids = replica_ids_[var];
+  CAUSIM_CHECK(!replica_sets_[var].contains(reader),
+               "fetch_site called for a locally replicated variable");
+  if (fetch_policy_ == FetchPolicy::kFirstReplica) return ids.front();
+  if (fetch_policy_ == FetchPolicy::kNearest) {
+    CAUSIM_CHECK(!distances_.empty(),
+                 "FetchPolicy::kNearest needs set_distances() first");
+    SiteId best = ids.front();
+    for (const SiteId candidate : ids) {
+      if (distances_[reader][candidate] < distances_[reader][best]) best = candidate;
+    }
+    return best;
+  }
+  // Splitmix-style hash of (var, reader) for a stable, well-spread choice.
+  std::uint64_t x = (static_cast<std::uint64_t>(var) << 16) ^ reader;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return ids[x % ids.size()];
+}
+
+void Placement::set_distances(std::vector<std::vector<SimTime>> distances) {
+  CAUSIM_CHECK(distances.size() == n_, "distance matrix must be n x n");
+  for (const auto& row : distances) {
+    CAUSIM_CHECK(row.size() == n_, "distance matrix must be n x n");
+  }
+  distances_ = std::move(distances);
+}
+
+VarId Placement::vars_at(SiteId site) const {
+  VarId count = 0;
+  for (const auto& set : replica_sets_) {
+    if (set.contains(site)) ++count;
+  }
+  return count;
+}
+
+}  // namespace causim::dsm

@@ -1,0 +1,79 @@
+// Placement — which sites replicate which variables, and where a
+// non-replicating site fetches from.
+//
+// §II-B: each site s_i holds a subset X_i of the q variables; with
+// replication factor p and even replication, |X_i| ≈ pq/n. Placement is a
+// pure function of (n, q, p, seed), known to every site — which is why the
+// Opt-Track SM message does not need to carry its destination list (the
+// receiver reconstructs it from the variable id, exactly as in Table I).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dest_set.hpp"
+#include "common/ids.hpp"
+
+namespace causim::dsm {
+
+/// How a reader chooses the predesignated replica to fetch a non-local
+/// variable from (§II-B: "a predesignated site replicating x").
+enum class FetchPolicy : std::uint8_t {
+  /// Deterministic hash of (variable, reader): spreads fetch load.
+  kHashed,
+  /// Always the variable's first replica: concentrates fetch load.
+  kFirstReplica,
+  /// The replica closest to the reader per set_distances() — what a
+  /// geo-replicated deployment would do (ties broken by lowest site id).
+  kNearest,
+};
+
+enum class PlacementStrategy : std::uint8_t {
+  /// p distinct replicas drawn with a seeded partial Fisher–Yates per
+  /// variable — approximately even site load (the default).
+  kRandom,
+  /// Replicas of variable h are sites (h·p + k) mod n — exactly even load.
+  kStrided,
+};
+
+class Placement {
+ public:
+  /// Partial replication: p replicas per variable out of n sites.
+  Placement(SiteId n, VarId q, SiteId p, std::uint64_t seed,
+            PlacementStrategy strategy = PlacementStrategy::kRandom,
+            FetchPolicy fetch_policy = FetchPolicy::kHashed);
+
+  /// Full replication (p = n).
+  static Placement full(SiteId n, VarId q);
+
+  SiteId sites() const { return n_; }
+  VarId variables() const { return q_; }
+  SiteId replication_factor() const { return p_; }
+  bool fully_replicated() const { return p_ == n_; }
+
+  const DestSet& replicas(VarId var) const;
+  bool replicated_at(VarId var, SiteId site) const { return replicas(var).contains(site); }
+
+  /// The predesignated remote replica `reader` fetches `var` from.
+  /// Precondition: `reader` does not replicate `var`.
+  SiteId fetch_site(VarId var, SiteId reader) const;
+
+  /// Site-to-site distances for FetchPolicy::kNearest (e.g. the latency
+  /// model's base matrix). Must be n×n; required before the first
+  /// fetch_site() call under that policy.
+  void set_distances(std::vector<std::vector<SimTime>> distances);
+
+  /// Number of variables replicated at `site` (|X_i|).
+  VarId vars_at(SiteId site) const;
+
+ private:
+  SiteId n_;
+  VarId q_;
+  SiteId p_;
+  FetchPolicy fetch_policy_;
+  std::vector<DestSet> replica_sets_;           // per variable
+  std::vector<std::vector<SiteId>> replica_ids_;  // per variable, sorted
+  std::vector<std::vector<SimTime>> distances_;   // kNearest only
+};
+
+}  // namespace causim::dsm

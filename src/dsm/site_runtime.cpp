@@ -1,0 +1,326 @@
+#include "dsm/site_runtime.hpp"
+
+#include "common/panic.hpp"
+
+namespace causim::dsm {
+
+SiteRuntime::SiteRuntime(SiteId self, const Placement& placement, net::Transport& transport,
+                         std::unique_ptr<causal::Protocol> protocol,
+                         checker::HistoryRecorder* recorder, serial::ClockWidth clock_width,
+                         std::function<SimTime()> now_fn, bool causal_fetch)
+    : self_(self),
+      placement_(placement),
+      transport_(transport),
+      protocol_(std::move(protocol)),
+      recorder_(recorder),
+      clock_width_(clock_width),
+      now_fn_(std::move(now_fn)),
+      causal_fetch_(causal_fetch) {
+  CAUSIM_CHECK(protocol_ != nullptr, "runtime needs a protocol");
+  CAUSIM_CHECK(protocol_->self() == self_, "protocol bound to a different site");
+}
+
+WriteId SiteRuntime::write(VarId var, std::uint32_t payload_bytes, bool record) {
+  std::unique_lock lock(mutex_);
+  CAUSIM_CHECK(!fetch_.has_value(), "write issued while a remote fetch is outstanding");
+  const DestSet& dests = placement_.replicas(var);
+
+  Value value;
+  value.id = (static_cast<std::uint64_t>(self_) + 1) << 32 | ++next_value_seq_;
+  value.payload_bytes = payload_bytes;
+
+  serial::ByteWriter meta(clock_width_);
+  const WriteId w = protocol_->local_write(var, value, dests, meta);
+  if (recorder_ != nullptr) recorder_->record_write(self_, var, w);
+
+  if (dests.contains(self_)) {
+    store_[var] = {value, w};
+    if (recorder_ != nullptr) recorder_->record_apply(self_, var, w);
+  }
+
+  Envelope env;
+  env.kind = MessageKind::kSM;
+  env.sender = self_;
+  env.var = var;
+  env.value = value;
+  env.write = w;
+  env.meta = meta.take();
+  dests.for_each([&](SiteId d) {
+    if (d != self_) send_envelope(env, d, record);
+  });
+
+  if (record) sample_meta_locked();
+  return w;
+}
+
+bool SiteRuntime::read(VarId var, ReadCallback done, bool record) {
+  std::unique_lock lock(mutex_);
+  CAUSIM_CHECK(!fetch_.has_value(), "read issued while a remote fetch is outstanding");
+
+  if (placement_.replicated_at(var, self_)) {
+    protocol_->local_read(var);
+    const auto it = store_.find(var);
+    const auto [value, w] =
+        it == store_.end() ? std::pair<Value, WriteId>{} : it->second;
+    if (recorder_ != nullptr) recorder_->record_read(self_, var, w, false, self_);
+    if (record) sample_meta_locked();
+    lock.unlock();
+    if (done) done(value, w);
+    return true;
+  }
+
+  const SiteId target = placement_.fetch_site(var, self_);
+  PendingFetch fetch;
+  fetch.var = var;
+  fetch.seq = ++next_fetch_seq_;
+  fetch.done = std::move(done);
+  fetch.record = record;
+  fetch.started = now_fn_ ? now_fn_() : 0;
+  fetch_ = std::move(fetch);
+
+  Envelope env;
+  env.kind = MessageKind::kFM;
+  env.sender = self_;
+  env.var = var;
+  env.fetch_seq = fetch_->seq;
+  env.record = record;
+  if (causal_fetch_) {
+    serial::ByteWriter guard(clock_width_);
+    protocol_->fetch_guard_meta(target, guard);
+    env.meta = guard.take();
+  }
+  send_envelope(env, target, record);
+  return false;
+}
+
+std::pair<Value, WriteId> SiteRuntime::read_blocking(VarId var, bool record) {
+  const bool inline_done = read(
+      var,
+      [this](Value v, WriteId w) {
+        {
+          std::lock_guard lock(mutex_);
+          blocking_result_ = {v, w};
+        }
+        cv_.notify_all();
+      },
+      record);
+  (void)inline_done;  // same wait path either way: the callback always ran or will run
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return blocking_result_.has_value(); });
+  const auto result = *blocking_result_;
+  blocking_result_.reset();
+  return result;
+}
+
+bool SiteRuntime::fetch_pending() const {
+  std::lock_guard lock(mutex_);
+  return fetch_.has_value();
+}
+
+void SiteRuntime::on_packet(net::Packet packet) {
+  Envelope env = Envelope::decode(packet.bytes, clock_width_);
+  switch (env.kind) {
+    case MessageKind::kSM:
+      handle_sm(std::move(env));
+      break;
+    case MessageKind::kFM:
+      handle_fm(env, packet.from);
+      break;
+    case MessageKind::kRM:
+      handle_rm(std::move(env));
+      break;
+  }
+}
+
+void SiteRuntime::handle_sm(Envelope env) {
+  std::function<void()> completion;
+  {
+    std::lock_guard lock(mutex_);
+    CAUSIM_CHECK(placement_.replicated_at(env.var, self_),
+                 "SM for var " << env.var << " reached non-replica site " << self_);
+    serial::ByteReader meta(env.meta, clock_width_);
+    causal::SmEnvelope sm{env.sender, env.var, env.value, env.write};
+    pending_.push_back(QueuedUpdate{
+        protocol_->decode_sm(sm, placement_.replicas(env.var), meta),
+        now_fn_ ? now_fn_() : 0});
+    drain_pending_locked();
+    completion = try_complete_fetch_locked();
+  }
+  if (completion) completion();
+}
+
+void SiteRuntime::handle_fm(const Envelope& env, SiteId from) {
+  std::lock_guard lock(mutex_);
+  CAUSIM_CHECK(placement_.replicated_at(env.var, self_),
+               "fetch for var " << env.var << " reached non-replica site " << self_);
+  if (causal_fetch_ && !env.meta.empty()) {
+    serial::ByteReader guard_meta(env.meta, clock_width_);
+    auto guard = protocol_->decode_fetch_guard(guard_meta);
+    if (guard != nullptr && !protocol_->fetch_ready(*guard)) {
+      held_fetches_.push_back(HeldFetch{env, from, std::move(guard)});
+      return;
+    }
+  }
+  serve_fm_locked(env, from);
+}
+
+void SiteRuntime::serve_fm_locked(const Envelope& env, SiteId from) {
+  serial::ByteWriter meta(clock_width_);
+  protocol_->remote_return_meta(env.var, meta);
+  const auto it = store_.find(env.var);
+  const auto [value, w] = it == store_.end() ? std::pair<Value, WriteId>{} : it->second;
+  if (recorder_ != nullptr) recorder_->record_serve(self_, env.var, w);
+
+  Envelope rm;
+  rm.kind = MessageKind::kRM;
+  rm.sender = self_;
+  rm.var = env.var;
+  rm.value = value;
+  rm.write = w;
+  rm.fetch_seq = env.fetch_seq;
+  rm.record = env.record;  // the RM inherits the fetch's warm-up status
+  rm.meta = meta.take();
+  send_envelope(rm, from, env.record);
+}
+
+void SiteRuntime::handle_rm(Envelope env) {
+  std::function<void()> completion;
+  {
+    std::lock_guard lock(mutex_);
+    CAUSIM_CHECK(fetch_.has_value() && fetch_->seq == env.fetch_seq,
+                 "unexpected RM (seq " << env.fetch_seq << ") at site " << self_);
+    CAUSIM_CHECK(fetch_->var == env.var, "RM variable mismatch");
+    CAUSIM_CHECK(!held_return_.has_value(), "two remote returns outstanding");
+    serial::ByteReader meta(env.meta, clock_width_);
+    held_return_ = HeldReturn{std::move(env), protocol_->decode_remote_return(meta)};
+    completion = try_complete_fetch_locked();
+  }
+  if (completion) completion();
+}
+
+std::function<void()> SiteRuntime::try_complete_fetch_locked() {
+  if (!held_return_.has_value() || !protocol_->return_ready(*held_return_->decoded)) {
+    return {};
+  }
+  const Envelope env = std::move(held_return_->reply);
+  const auto decoded = std::move(held_return_->decoded);
+  held_return_.reset();
+  protocol_->absorb_remote_return(env.var, *decoded);
+  if (recorder_ != nullptr) {
+    recorder_->record_read(self_, env.var, env.write, /*remote=*/true, env.sender);
+  }
+  if (now_fn_ && fetch_->record) {
+    fetch_latency_.record(static_cast<double>(now_fn_() - fetch_->started));
+  }
+  if (fetch_->record) sample_meta_locked();
+  ReadCallback done = std::move(fetch_->done);
+  fetch_.reset();
+  if (!done) return [] {};
+  return [done = std::move(done), value = env.value, w = env.write] { done(value, w); };
+}
+
+void SiteRuntime::drain_pending_locked() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (!protocol_->ready(*it->update)) continue;
+      const QueuedUpdate queued = std::move(*it);
+      pending_.erase(it);
+      protocol_->apply(*queued.update);
+      ++total_applies_;
+      if (now_fn_) {
+        const SimTime waited = now_fn_() - queued.received;
+        if (waited > 0) apply_delay_.record(static_cast<double>(waited));
+      }
+      const auto& env = queued.update->env();
+      store_[env.var] = {env.value, env.write};
+      if (recorder_ != nullptr) recorder_->record_apply(self_, env.var, env.write);
+      progress = true;
+      break;  // iterator invalidated; rescan from the front
+    }
+  }
+  drain_held_fetches_locked();
+}
+
+void SiteRuntime::drain_held_fetches_locked() {
+  for (auto it = held_fetches_.begin(); it != held_fetches_.end();) {
+    if (protocol_->fetch_ready(*it->guard)) {
+      const HeldFetch held = std::move(*it);
+      it = held_fetches_.erase(it);
+      serve_fm_locked(held.request, held.from);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SiteRuntime::send_envelope(const Envelope& env, SiteId to, bool record) {
+  Envelope::Sizes sizes;
+  serial::Bytes bytes = env.encode(clock_width_, &sizes);
+  if (record) {
+    stats_.record(env.kind, sizes.header, sizes.meta, sizes.payload);
+    if (message_probe_) {
+      message_probe_(env.kind, sizes.header + sizes.meta, now_fn_ ? now_fn_() : 0);
+    }
+  }
+  transport_.send(self_, to, std::move(bytes));
+}
+
+void SiteRuntime::set_message_probe(MessageProbe probe) {
+  std::lock_guard lock(mutex_);
+  message_probe_ = std::move(probe);
+}
+
+void SiteRuntime::sample_meta_locked() {
+  log_entries_.record(static_cast<double>(protocol_->log_entry_count()));
+  log_bytes_.record(static_cast<double>(protocol_->local_meta_bytes()));
+}
+
+std::size_t SiteRuntime::pending_updates() const {
+  std::lock_guard lock(mutex_);
+  return pending_.size();
+}
+
+std::size_t SiteRuntime::pending_remote_fetches() const {
+  std::lock_guard lock(mutex_);
+  return held_fetches_.size();
+}
+
+std::pair<Value, WriteId> SiteRuntime::local_value(VarId var) const {
+  std::lock_guard lock(mutex_);
+  const auto it = store_.find(var);
+  return it == store_.end() ? std::pair<Value, WriteId>{} : it->second;
+}
+
+stats::MessageStats SiteRuntime::message_stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+stats::Summary SiteRuntime::log_entries() const {
+  std::lock_guard lock(mutex_);
+  return log_entries_;
+}
+
+stats::Summary SiteRuntime::log_bytes() const {
+  std::lock_guard lock(mutex_);
+  return log_bytes_;
+}
+
+stats::Summary SiteRuntime::fetch_latency() const {
+  std::lock_guard lock(mutex_);
+  return fetch_latency_;
+}
+
+stats::Summary SiteRuntime::apply_delay() const {
+  std::lock_guard lock(mutex_);
+  return apply_delay_;
+}
+
+std::uint64_t SiteRuntime::total_applies() const {
+  std::lock_guard lock(mutex_);
+  return total_applies_;
+}
+
+}  // namespace causim::dsm

@@ -1,0 +1,108 @@
+#include "dsm/thread_cluster.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/panic.hpp"
+
+namespace causim::dsm {
+
+ThreadCluster::ThreadCluster(const ClusterConfig& config)
+    : ThreadCluster(config, Options()) {}
+
+ThreadCluster::ThreadCluster(const ClusterConfig& config, Options options)
+    : config_(config),
+      options_(options),
+      placement_(config.sites, config.variables, config.effective_replication(),
+                 config.seed, config.placement_strategy, config.fetch_policy) {
+  CAUSIM_CHECK(!causal::requires_full_replication(config.protocol) ||
+                   placement_.fully_replicated(),
+               to_string(config.protocol) << " requires full replication (p = n)");
+  net::ThreadTransport::Options topt;
+  topt.max_delay_us = options.max_wire_delay_us;
+  topt.seed = config.seed;
+  transport_ = std::make_unique<net::ThreadTransport>(config.sites, topt);
+  runtimes_.reserve(config.sites);
+  for (SiteId i = 0; i < config.sites; ++i) {
+    auto protocol = causal::make_protocol(config.protocol, i, config.sites,
+                                          config.protocol_options);
+    runtimes_.push_back(std::make_unique<SiteRuntime>(
+        i, placement_, *transport_, std::move(protocol),
+        config.record_history ? &history_ : nullptr,
+        config.protocol_options.clock_width, std::function<SimTime()>{},
+        config.causal_fetch));
+    transport_->attach(i, runtimes_.back().get());
+  }
+}
+
+ThreadCluster::~ThreadCluster() {
+  if (started_) transport_->stop();
+}
+
+void ThreadCluster::execute(const workload::Schedule& schedule) {
+  CAUSIM_CHECK(schedule.sites() == config_.sites,
+               "schedule built for " << schedule.sites() << " sites, cluster has "
+                                     << config_.sites);
+  transport_->start();
+  started_ = true;
+
+  std::vector<std::thread> apps;
+  apps.reserve(config_.sites);
+  for (SiteId s = 0; s < config_.sites; ++s) {
+    apps.emplace_back([this, s, &schedule] {
+      SimTime prev = 0;
+      for (const workload::Op& op : schedule.per_site[s]) {
+        if (options_.time_scale > 0.0) {
+          const auto gap = static_cast<std::int64_t>(
+              static_cast<double>(op.at - prev) * options_.time_scale);
+          if (gap > 0) std::this_thread::sleep_for(std::chrono::microseconds(gap));
+          prev = op.at;
+        }
+        if (op.kind == workload::Op::Kind::kWrite) {
+          runtimes_[s]->write(op.var, op.payload_bytes, op.record);
+        } else {
+          runtimes_[s]->read_blocking(op.var, op.record);
+        }
+      }
+    });
+  }
+  for (auto& t : apps) t.join();
+
+  // All senders are done; wait for the network to drain, then every
+  // received update must have been applied.
+  transport_->quiesce();
+  CAUSIM_CHECK(transport_->packets_sent() == transport_->packets_delivered(),
+               "network did not drain");
+  for (SiteId s = 0; s < config_.sites; ++s) {
+    CAUSIM_CHECK(runtimes_[s]->pending_updates() == 0,
+                 "site " << s << " finished with unapplied updates");
+  }
+  transport_->stop();
+  started_ = false;
+}
+
+stats::MessageStats ThreadCluster::aggregate_message_stats() const {
+  stats::MessageStats total;
+  for (const auto& r : runtimes_) total += r->message_stats();
+  return total;
+}
+
+stats::Summary ThreadCluster::aggregate_log_entries() const {
+  stats::Summary total;
+  for (const auto& r : runtimes_) total += r->log_entries();
+  return total;
+}
+
+stats::Summary ThreadCluster::aggregate_log_bytes() const {
+  stats::Summary total;
+  for (const auto& r : runtimes_) total += r->log_bytes();
+  return total;
+}
+
+checker::CheckResult ThreadCluster::check(checker::CheckOptions options) const {
+  return checker::check_causal_consistency(
+      history_.events(), config_.sites,
+      [this](VarId var) { return placement_.replicas(var); }, options);
+}
+
+}  // namespace causim::dsm

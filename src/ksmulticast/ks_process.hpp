@@ -1,0 +1,91 @@
+// KsProcess — the Kshemkalyani–Singhal optimal causal multicast algorithm
+// in its native message-passing form ([16] Dist. Computing 1998, [17]
+// PODC'96).
+//
+// This is the substrate §III-B adapts into Opt-Track: here *delivery*
+// (not reading) creates the causal edge, so the piggybacked log is merged
+// into the local log at delivery time. Everything else — the ⟨sender,
+// clock, Dests⟩ entries, the delivery condition, the two implicit
+// redundancy conditions, marker purging — is shared with Opt-Track through
+// causal::KsLog. The chandra_log_stats bench reproduces the statistical
+// analysis of Chandra/Gambhire/Kshemkalyani (TPDS 2004 [18]) that the
+// paper cites for the amortized O(n) log-size claim.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "causal/ks_log.hpp"
+#include "common/dest_set.hpp"
+#include "common/ids.hpp"
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+
+namespace causim::ksmulticast {
+
+/// A received multicast waiting for its delivery condition.
+class PendingMessage {
+ public:
+  PendingMessage(SiteId sender, WriteId id, DestSet dests, causal::KsLog piggyback)
+      : sender_(sender), id_(id), dests_(std::move(dests)),
+        piggyback_(std::move(piggyback)) {}
+
+  SiteId sender() const { return sender_; }
+  const WriteId& id() const { return id_; }
+  const DestSet& dests() const { return dests_; }
+  const causal::KsLog& piggyback() const { return piggyback_; }
+
+ private:
+  SiteId sender_;
+  WriteId id_;
+  DestSet dests_;
+  causal::KsLog piggyback_;
+};
+
+struct KsOptions {
+  serial::ClockWidth clock_width = serial::ClockWidth::k4Bytes;
+};
+
+class KsProcess {
+ public:
+  KsProcess(SiteId self, SiteId n, KsOptions options = {});
+
+  SiteId self() const { return self_; }
+  SiteId processes() const { return n_; }
+
+  /// Multicasts a message to `dests` (never includes self — a self-send is
+  /// delivered locally by definition). Serializes the piggyback log into
+  /// `meta_out` and returns the message id.
+  WriteId send(const DestSet& dests, serial::ByteWriter& meta_out);
+
+  /// Decodes a received multicast's piggyback.
+  std::unique_ptr<PendingMessage> decode(SiteId sender, const WriteId& id, DestSet dests,
+                                         serial::ByteReader& meta) const;
+
+  /// The KS delivery condition: every piggybacked message destined to this
+  /// process must already be delivered here.
+  bool deliverable(const PendingMessage& m) const;
+
+  /// Delivers m: merges its piggyback into the local log (delivery creates
+  /// the causal edge in message passing) and prunes per the implicit
+  /// conditions.
+  void deliver(const PendingMessage& m);
+
+  /// Highest clock delivered from `sender`.
+  WriteClock delivered_clock(SiteId sender) const { return delivered_[sender]; }
+  std::uint64_t deliveries() const { return deliveries_; }
+
+  const causal::KsLog& log() const { return log_; }
+  std::size_t log_bytes() const { return log_.wire_bytes(options_.clock_width); }
+
+ private:
+  SiteId self_;
+  SiteId n_;
+  KsOptions options_;
+  WriteClock clock_ = 0;
+  std::vector<WriteClock> delivered_;
+  std::uint64_t deliveries_ = 0;
+  causal::KsLog log_;
+};
+
+}  // namespace causim::ksmulticast

@@ -1,0 +1,165 @@
+#include "ksmulticast/multicast_group.hpp"
+
+#include <sstream>
+
+#include "common/panic.hpp"
+
+namespace causim::ksmulticast {
+
+namespace {
+
+void bits_set(std::vector<std::uint64_t>& bits, std::size_t i) {
+  if (bits.size() <= i / 64) bits.resize(i / 64 + 1, 0);
+  bits[i / 64] |= 1ULL << (i % 64);
+}
+
+bool bits_test(const std::vector<std::uint64_t>& bits, std::size_t i) {
+  return i / 64 < bits.size() && ((bits[i / 64] >> (i % 64)) & 1) != 0;
+}
+
+void bits_union(std::vector<std::uint64_t>& into, const std::vector<std::uint64_t>& from) {
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (std::size_t w = 0; w < from.size(); ++w) into[w] |= from[w];
+}
+
+}  // namespace
+
+/// Wire format: sender u16 | clock | send_index u32 | dest set | meta.
+class MulticastGroup::Endpoint final : public net::PacketHandler {
+ public:
+  Endpoint(MulticastGroup& group, SiteId self) : group_(group), self_(self) {}
+
+  void on_packet(net::Packet p) override {
+    serial::ByteReader r(p.bytes, group_.options_.clock_width);
+    const WriteId id = r.get_write_id();
+    const auto send_index = r.get_u32();
+    DestSet dests = r.get_dest_set();
+    auto message =
+        group_.processes_[self_]->decode(id.writer, id, std::move(dests), r);
+    group_.on_arrival(self_, std::move(message), send_index);
+  }
+
+ private:
+  MulticastGroup& group_;
+  SiteId self_;
+};
+
+MulticastGroup::MulticastGroup(const Options& options)
+    : options_(options),
+      latency_(options.latency_lo, options.latency_hi),
+      pending_(options.processes),
+      causal_past_(options.processes) {
+  transport_ = std::make_unique<net::SimTransport>(simulator_, latency_,
+                                                   options.processes, options.seed);
+  for (SiteId i = 0; i < options.processes; ++i) {
+    processes_.push_back(
+        std::make_unique<KsProcess>(i, options.processes,
+                                    KsOptions{options.clock_width}));
+    endpoints_.push_back(std::make_unique<Endpoint>(*this, i));
+    transport_->attach(i, endpoints_.back().get());
+  }
+}
+
+MulticastGroup::~MulticastGroup() = default;
+
+void MulticastGroup::multicast(SiteId from, DestSet dests) {
+  dests.erase(from);
+  CAUSIM_CHECK(!dests.empty(), "multicast needs at least one destination besides self");
+
+  const std::size_t send_index = sends_.size();
+  serial::ByteWriter meta(options_.clock_width);
+  const WriteId id = processes_[from]->send(dests, meta);
+  piggyback_bytes_.record(static_cast<double>(meta.size()));
+
+  if (options_.verify) {
+    SendRecord record;
+    record.dests = dests;
+    bits_set(causal_past_[from], send_index);  // program order includes this send
+    record.past = causal_past_[from];
+    record.delivered_at.assign(options_.processes, false);
+    sends_.push_back(std::move(record));
+  } else {
+    sends_.emplace_back();  // keep indices aligned, no payload
+  }
+  expected_deliveries_ += dests.count();
+
+  serial::ByteWriter envelope(options_.clock_width);
+  envelope.put_write_id(id);
+  envelope.put_u32(static_cast<std::uint32_t>(send_index));
+  envelope.put_dest_set(dests);
+  envelope.put_bytes(meta.bytes().data(), meta.bytes().size());
+  dests.for_each([&](SiteId d) {
+    transport_->send(from, d, envelope.bytes());  // same bytes per copy
+  });
+}
+
+void MulticastGroup::on_arrival(SiteId at, std::unique_ptr<PendingMessage> m,
+                                std::size_t send_index) {
+  pending_[at].push_back(Queued{std::move(m), send_index});
+  drain(at);
+}
+
+void MulticastGroup::drain(SiteId at) {
+  KsProcess& process = *processes_[at];
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = pending_[at].begin(); it != pending_[at].end(); ++it) {
+      if (!process.deliverable(*it->message)) continue;
+      const Queued queued = std::move(*it);
+      pending_[at].erase(it);
+      deliver_checked(at, *queued.message, queued.send_index);
+      progress = true;
+      break;
+    }
+  }
+}
+
+void MulticastGroup::deliver_checked(SiteId at, const PendingMessage& m,
+                                     std::size_t send_index) {
+  if (options_.verify) {
+    // Ground truth: everything in this send's causal past addressed to
+    // `at` must already be delivered at `at`.
+    const SendRecord& record = sends_[send_index];
+    for (std::size_t s = 0; s < sends_.size(); ++s) {
+      if (s == send_index || !bits_test(record.past, s)) continue;
+      if (sends_[s].dests.contains(at) && !sends_[s].delivered_at[at]) {
+        std::ostringstream os;
+        os << "process " << at << " delivered send #" << send_index
+           << " before its causal predecessor #" << s;
+        violations_.push_back(os.str());
+      }
+    }
+  }
+
+  processes_[at]->deliver(m);
+  log_entries_.record(static_cast<double>(processes_[at]->log().size()));
+  log_bytes_.record(static_cast<double>(processes_[at]->log_bytes()));
+
+  if (options_.verify) {
+    sends_[send_index].delivered_at[at] = true;
+    // Delivery extends the causal past of the delivering process.
+    bits_union(causal_past_[at], sends_[send_index].past);
+  }
+}
+
+void MulticastGroup::run() {
+  simulator_.run();
+  CAUSIM_CHECK(transport_->packets_sent() == transport_->packets_delivered(),
+               "network did not drain");
+  for (SiteId i = 0; i < options_.processes; ++i) {
+    CAUSIM_CHECK(pending_[i].empty(),
+                 "process " << i << " finished with undeliverable messages");
+  }
+  CAUSIM_CHECK(total_deliveries() == expected_deliveries_,
+               "delivery conservation failed: " << total_deliveries() << " of "
+                                                << expected_deliveries_);
+}
+
+std::uint64_t MulticastGroup::total_deliveries() const {
+  std::uint64_t total = 0;
+  for (const auto& p : processes_) total += p->deliveries();
+  return total;
+}
+
+}  // namespace causim::ksmulticast

@@ -1,0 +1,105 @@
+// MulticastGroup — n KsProcesses over the simulated network, with an
+// optional built-in ground-truth verifier for causal delivery order.
+//
+// The harness behind the KS multicast tests and the chandra_log_stats
+// bench: applications call multicast() with arbitrary destination sets;
+// the group runs the discrete-event network, holds undeliverable messages
+// in per-process pending queues (re-examined after every delivery, exactly
+// like the DSM runtime), and samples log/piggyback sizes.
+//
+// Ground truth: each send is stamped (harness-side, not on the wire) with
+// the exact set of sends in its causal past. At delivery the verifier
+// checks that every causally preceding send destined to the delivering
+// process was already delivered there — the definition of causal multicast
+// — independently of the KS data structures under test.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ksmulticast/ks_process.hpp"
+#include "net/sim_transport.hpp"
+#include "sim/latency.hpp"
+#include "sim/simulator.hpp"
+#include "stats/histogram.hpp"
+
+namespace causim::ksmulticast {
+
+class MulticastGroup {
+ public:
+  struct Options {
+    SiteId processes = 4;
+    std::uint64_t seed = 1;
+    SimTime latency_lo = 1 * kMillisecond;
+    SimTime latency_hi = 500 * kMillisecond;
+    serial::ClockWidth clock_width = serial::ClockWidth::k4Bytes;
+    /// Track ground-truth causal pasts and verify at every delivery
+    /// (memory grows quadratically in sends; disable for large benches).
+    bool verify = true;
+  };
+
+  explicit MulticastGroup(const Options& options);
+  ~MulticastGroup();  // out of line: Endpoint is incomplete here
+
+  SiteId processes() const { return options_.processes; }
+  sim::Simulator& simulator() { return simulator_; }
+  KsProcess& process(SiteId i) { return *processes_[i]; }
+
+  /// Issues a multicast from `from` to `dests` (self excluded
+  /// automatically) at the current simulated time.
+  void multicast(SiteId from, DestSet dests);
+
+  /// Runs the network to quiescence and checks every message was delivered
+  /// everywhere it was addressed.
+  void run();
+
+  /// Ground-truth violations observed so far (empty when verify=false).
+  const std::vector<std::string>& violations() const { return violations_; }
+
+  std::uint64_t total_deliveries() const;
+  /// Per-send piggyback meta bytes.
+  const stats::Summary& piggyback_bytes() const { return piggyback_bytes_; }
+  /// Log size (entries / serialized bytes), sampled after every delivery.
+  const stats::Summary& log_entries() const { return log_entries_; }
+  const stats::Summary& log_bytes() const { return log_bytes_; }
+
+ private:
+  class Endpoint;
+
+  struct SendRecord {
+    DestSet dests;
+    std::vector<std::uint64_t> past;  // bitset over send indices
+    std::vector<bool> delivered_at;
+  };
+
+  void on_arrival(SiteId at, std::unique_ptr<PendingMessage> m, std::size_t send_index);
+  void drain(SiteId at);
+  void deliver_checked(SiteId at, const PendingMessage& m, std::size_t send_index);
+
+  Options options_;
+  sim::Simulator simulator_;
+  sim::UniformLatency latency_;
+  std::unique_ptr<net::SimTransport> transport_;
+  std::vector<std::unique_ptr<KsProcess>> processes_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+
+  struct Queued {
+    std::unique_ptr<PendingMessage> message;
+    std::size_t send_index;
+  };
+  std::vector<std::deque<Queued>> pending_;
+
+  // Ground truth (verify mode).
+  std::vector<SendRecord> sends_;
+  std::vector<std::vector<std::uint64_t>> causal_past_;  // per process
+  std::vector<std::string> violations_;
+  std::uint64_t expected_deliveries_ = 0;
+
+  stats::Summary piggyback_bytes_;
+  stats::Summary log_entries_;
+  stats::Summary log_bytes_;
+};
+
+}  // namespace causim::ksmulticast

@@ -1,0 +1,39 @@
+#include "net/sim_transport.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/panic.hpp"
+
+namespace causim::net {
+
+SimTransport::SimTransport(sim::Simulator& simulator, const sim::LatencyModel& latency,
+                           SiteId n, std::uint64_t seed)
+    : simulator_(simulator),
+      latency_(latency),
+      rng_(seed, /*stream=*/0x7261'6e73'706f'7274ULL),
+      handlers_(n, nullptr),
+      last_delivery_(static_cast<std::size_t>(n) * n, 0) {}
+
+void SimTransport::attach(SiteId site, PacketHandler* handler) {
+  CAUSIM_CHECK(site < handlers_.size(), "attach: site " << site << " out of range");
+  handlers_[site] = handler;
+}
+
+void SimTransport::send(SiteId from, SiteId to, serial::Bytes bytes) {
+  CAUSIM_CHECK(to < handlers_.size() && handlers_[to] != nullptr,
+               "send to unattached site " << to);
+  const SimTime delay = latency_.sample_for(rng_, from, to, bytes.size());
+  CAUSIM_CHECK(delay >= 0, "negative latency sampled");
+  SimTime& last = last_delivery_[static_cast<std::size_t>(from) * handlers_.size() + to];
+  const SimTime at = std::max(simulator_.now() + delay, last + 1);
+  last = at;
+  ++sent_;
+  Packet p{from, to, std::move(bytes)};
+  simulator_.schedule_at(at, [this, p = std::move(p)]() mutable {
+    ++delivered_;
+    handlers_[p.to]->on_packet(std::move(p));
+  });
+}
+
+}  // namespace causim::net

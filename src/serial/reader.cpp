@@ -1,0 +1,64 @@
+#include "serial/reader.hpp"
+
+#include "common/panic.hpp"
+
+namespace causim::serial {
+
+std::uint8_t ByteReader::get_u8() {
+  CAUSIM_CHECK(pos_ + 1 <= size_, "read past end of buffer (pos " << pos_ << ", size " << size_ << ")");
+  return buf_[pos_++];
+}
+
+std::uint64_t ByteReader::get_fixed(std::size_t width) {
+  CAUSIM_CHECK(pos_ + width <= size_,
+               "read past end of buffer (pos " << pos_ << " + " << width << " > " << size_ << ")");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    v |= static_cast<std::uint64_t>(buf_[pos_ + i]) << (8 * i);
+  }
+  pos_ += width;
+  return v;
+}
+
+std::uint64_t ByteReader::get_varint() {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  for (;;) {
+    CAUSIM_CHECK(shift < 64, "varint too long");
+    const std::uint8_t b = get_u8();
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+WriteId ByteReader::get_write_id() {
+  WriteId w;
+  w.writer = get_site();
+  w.clock = static_cast<WriteClock>(get_clock());
+  return w;
+}
+
+DestSet ByteReader::get_dest_set() {
+  const SiteId n = get_u16();
+  const SiteId count = get_u16();
+  DestSet d(n);
+  for (SiteId i = 0; i < count; ++i) d.insert(get_site());
+  return d;
+}
+
+std::string ByteReader::get_string() {
+  const std::size_t len = get_varint();
+  CAUSIM_CHECK(pos_ + len <= size_, "string runs past end of buffer");
+  std::string s(reinterpret_cast<const char*>(buf_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+void ByteReader::skip(std::size_t len) {
+  CAUSIM_CHECK(pos_ + len <= size_, "skip past end of buffer");
+  pos_ += len;
+}
+
+}  // namespace causim::serial

@@ -1,0 +1,76 @@
+// ByteWriter — the causim wire format encoder.
+//
+// The paper's headline metric is the exact byte size of protocol meta-data
+// on SM / FM / RM messages, so messages are genuinely serialized rather
+// than size-estimated. The format is little-endian with fixed-width
+// integers by default; LEB128 varints are available for the encoding
+// ablation. Clock entries (matrix / vector / log clocks) are written
+// through put_clock(), whose width is 4 bytes by default and 8 bytes in
+// "wide" mode, approximating the JDK object footprint of the paper's
+// testbed (see DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "common/dest_set.hpp"
+#include "common/ids.hpp"
+
+namespace causim::serial {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Global clock-entry width selector (4 = native, 8 = JDK-like).
+enum class ClockWidth : std::uint8_t { k4Bytes = 4, k8Bytes = 8 };
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(ClockWidth cw = ClockWidth::k4Bytes) : clock_width_(cw) {}
+
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u16(std::uint16_t v) { put_fixed(v, 2); }
+  void put_u32(std::uint32_t v) { put_fixed(v, 4); }
+  void put_u64(std::uint64_t v) { put_fixed(v, 8); }
+
+  /// Unsigned LEB128.
+  void put_varint(std::uint64_t v);
+
+  /// One logical clock entry, at the configured width.
+  void put_clock(std::uint64_t v) { put_fixed(v, static_cast<std::size_t>(clock_width_)); }
+
+  void put_site(SiteId s) { put_u16(s); }
+  void put_var(VarId v) { put_u32(v); }
+  void put_write_id(const WriteId& w) {
+    put_site(w.writer);
+    put_clock(w.clock);
+  }
+
+  /// Bitset encoding: u16 universe size + ceil(n/64) raw words.
+  void put_dest_set(const DestSet& d);
+
+  void put_bytes(const void* data, std::size_t len);
+  void put_string(std::string_view s);
+
+  /// Appends `len` zero bytes — models an opaque payload of that size
+  /// without the caller materializing it.
+  void put_opaque(std::size_t len) { buf_.resize(buf_.size() + len, 0); }
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  ClockWidth clock_width() const { return clock_width_; }
+
+ private:
+  void put_fixed(std::uint64_t v, std::size_t width) {
+    for (std::size_t i = 0; i < width; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  ClockWidth clock_width_;
+  Bytes buf_;
+};
+
+}  // namespace causim::serial

@@ -1,0 +1,42 @@
+#include "sim/latency.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/panic.hpp"
+
+namespace causim::sim {
+
+GeoLatency::GeoLatency(std::vector<std::vector<SimTime>> base, double jitter)
+    : base_(std::move(base)), jitter_(jitter) {
+  CAUSIM_CHECK(!base_.empty(), "GeoLatency needs a non-empty matrix");
+  for (const auto& row : base_) {
+    CAUSIM_CHECK(row.size() == base_.size(), "GeoLatency matrix must be square");
+  }
+}
+
+SimTime GeoLatency::sample(Pcg32& rng, SiteId from, SiteId to) const {
+  CAUSIM_CHECK(from < base_.size() && to < base_.size(),
+               "site out of range for latency matrix");
+  const SimTime base = base_[from][to];
+  const double factor = 1.0 + jitter_ * rng.uniform();
+  return static_cast<SimTime>(static_cast<double>(base) * factor);
+}
+
+GeoLatency GeoLatency::ring(SiteId n, SiteId regions, SimTime local, SimTime per_hop,
+                            double jitter) {
+  CAUSIM_CHECK(regions > 0, "need at least one region");
+  std::vector<std::vector<SimTime>> m(n, std::vector<SimTime>(n, local));
+  for (SiteId i = 0; i < n; ++i) {
+    for (SiteId j = 0; j < n; ++j) {
+      const int ri = i % regions;
+      const int rj = j % regions;
+      int hops = std::abs(ri - rj);
+      hops = std::min(hops, static_cast<int>(regions) - hops);  // ring distance
+      m[i][j] = local + per_hop * hops;
+    }
+  }
+  return GeoLatency(std::move(m), jitter);
+}
+
+}  // namespace causim::sim

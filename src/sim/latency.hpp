@@ -1,0 +1,100 @@
+// Network latency models for the simulated message-passing substrate.
+//
+// The paper's testbed ran all processes on one host over loopback TCP; the
+// protocols themselves only require reliable FIFO channels with arbitrary
+// finite delay. These models let experiments choose anything from a fixed
+// LAN-like delay to a geo-distributed distance matrix (used by the
+// geo_replication example).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/rng.hpp"
+
+namespace causim::sim {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  /// One-way delay for a message from `from` to `to`.
+  virtual SimTime sample(Pcg32& rng, SiteId from, SiteId to) const = 0;
+
+  /// Size-aware delay; the default ignores the size (pure propagation
+  /// delay). BandwidthLatency adds serialization time on top.
+  virtual SimTime sample_for(Pcg32& rng, SiteId from, SiteId to,
+                             std::size_t bytes) const {
+    (void)bytes;
+    return sample(rng, from, to);
+  }
+};
+
+/// Constant one-way delay.
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(SimTime delay) : delay_(delay) {}
+  SimTime sample(Pcg32&, SiteId, SiteId) const override { return delay_; }
+
+ private:
+  SimTime delay_;
+};
+
+/// Uniform delay in [lo, hi] — the default for reproduction runs; wide
+/// enough to exercise out-of-order arrival across different channels.
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(SimTime lo, SimTime hi) : lo_(lo), hi_(hi) {}
+  SimTime sample(Pcg32& rng, SiteId, SiteId) const override {
+    return rng.uniform_int(lo_, hi_);
+  }
+
+ private:
+  SimTime lo_;
+  SimTime hi_;
+};
+
+/// Adds per-byte serialization delay on top of a propagation-delay model —
+/// with this, multi-KB Full-Track matrices and §V-C payloads cost wire
+/// time, not just bytes. The base model must outlive this one.
+class BandwidthLatency final : public LatencyModel {
+ public:
+  /// `bytes_per_second` is the link bandwidth (e.g. 12.5e6 = 100 Mbit/s).
+  BandwidthLatency(const LatencyModel& base, double bytes_per_second)
+      : base_(base), bytes_per_second_(bytes_per_second) {}
+
+  SimTime sample(Pcg32& rng, SiteId from, SiteId to) const override {
+    return base_.sample(rng, from, to);
+  }
+
+  SimTime sample_for(Pcg32& rng, SiteId from, SiteId to,
+                     std::size_t bytes) const override {
+    const double transmission =
+        static_cast<double>(bytes) / bytes_per_second_ * static_cast<double>(kSecond);
+    return base_.sample(rng, from, to) + static_cast<SimTime>(transmission);
+  }
+
+ private:
+  const LatencyModel& base_;
+  double bytes_per_second_;
+};
+
+/// Per-pair base delay from a distance matrix plus multiplicative jitter.
+class GeoLatency final : public LatencyModel {
+ public:
+  /// `base[i][j]` is the one-way delay from site i to site j; jitter is the
+  /// maximum extra fraction (0.2 = up to +20 %).
+  GeoLatency(std::vector<std::vector<SimTime>> base, double jitter);
+  SimTime sample(Pcg32& rng, SiteId from, SiteId to) const override;
+
+  /// Builds a ring-of-regions matrix: sites are spread over `regions`
+  /// equally, intra-region delay `local`, plus `per_hop` per region hop.
+  static GeoLatency ring(SiteId n, SiteId regions, SimTime local, SimTime per_hop,
+                         double jitter);
+
+ private:
+  std::vector<std::vector<SimTime>> base_;
+  double jitter_;
+};
+
+}  // namespace causim::sim

@@ -1,0 +1,25 @@
+#include "sim/rng.hpp"
+
+#include <algorithm>
+
+namespace causim::sim {
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double s) {
+  CAUSIM_CHECK(n > 0, "ZipfSampler needs a non-empty domain");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint32_t ZipfSampler::sample(Pcg32& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+}  // namespace causim::sim

@@ -1,0 +1,92 @@
+// Pcg32 — a small, fast, seedable PRNG (PCG-XSH-RR 64/32).
+//
+// Simulations must be bit-reproducible from a seed across platforms, which
+// rules out std::mt19937's distribution wrappers (unspecified algorithms);
+// the distributions here are implemented explicitly.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/panic.hpp"
+
+namespace causim::sim {
+
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1) | 1;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  std::uint32_t next_u32() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted = static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+    const auto rot = static_cast<std::uint32_t>(old >> 59);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  std::uint64_t next_u64() {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() { return static_cast<double>(next_u32()) * 0x1p-32; }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    CAUSIM_CHECK(lo <= hi, "uniform_int range [" << lo << ", " << hi << "] is empty");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Lemire's bounded rejection method over 64 bits.
+    if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * span;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < span) {
+      const std::uint64_t threshold = -span % span;
+      while (low < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * span;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::int64_t>(m >> 64);
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential with the given mean.
+  double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1p-32;
+    return -mean * std::log(u);
+  }
+
+  /// A statistically independent generator derived from this one
+  /// (distinct PCG stream), for per-site RNGs.
+  Pcg32 split() { return Pcg32(next_u64(), next_u64()); }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Zipf(s) sampler over {0, …, n-1} via precomputed CDF inversion.
+/// s = 0 degenerates to the uniform distribution.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint32_t n, double s);
+  std::uint32_t sample(Pcg32& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace causim::sim

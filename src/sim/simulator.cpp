@@ -1,0 +1,40 @@
+#include "sim/simulator.hpp"
+
+#include "common/panic.hpp"
+
+namespace causim::sim {
+
+void Simulator::schedule_at(SimTime t, Action fn) {
+  CAUSIM_CHECK(t >= now_, "scheduling into the past: " << t << " < now " << now_);
+  queue_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the action must be moved out, so copy
+  // the handle fields and pop before running (the action may schedule more).
+  Entry e = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = e.time;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+std::size_t Simulator::run() {
+  std::size_t count = 0;
+  while (step()) ++count;
+  return count;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    step();
+    ++count;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+}  // namespace causim::sim

@@ -1,0 +1,67 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/panic.hpp"
+
+namespace causim::stats {
+
+void Summary::record(double x) {
+  ++count_;
+  sum_ += x;
+  sum_sq_ += x * x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Summary::variance() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double m = sum_ / n;
+  // Population variance; adequate for reporting spread over thousands of samples.
+  return std::max(0.0, sum_sq_ / n - m * m);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+Summary& Summary::operator+=(const Summary& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  return *this;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), buckets_(buckets, 0) {
+  CAUSIM_CHECK(hi > lo && buckets > 0, "invalid histogram range");
+}
+
+void Histogram::record(double x) {
+  summary_.record(x);
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double offset = std::max(0.0, x - lo_);
+  auto idx = static_cast<std::size_t>(offset / width_);
+  idx = std::min(idx, buckets_.size() - 1);
+  ++buckets_[idx];
+}
+
+double Histogram::quantile(double q) const {
+  CAUSIM_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range: " << q);
+  const std::uint64_t total = summary_.count();
+  if (total == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) return lo_ + width_ * static_cast<double>(i + 1);
+  }
+  return summary_.max();
+}
+
+}  // namespace causim::stats

@@ -1,0 +1,59 @@
+// Streaming histogram / summary statistics for scalar observations
+// (log sizes, apply latencies, read latencies, …).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace causim::stats {
+
+class Summary {
+ public:
+  void record(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  Summary& operator+=(const Summary& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width linear-bucket histogram with exact quantiles up to bucket
+/// resolution; values above the range accumulate in an overflow bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void record(double x);
+  std::uint64_t count() const { return summary_.count(); }
+  double mean() const { return summary_.mean(); }
+  double min() const { return summary_.min(); }
+  double max() const { return summary_.max(); }
+
+  /// q in [0,1]; returns the upper edge of the bucket holding the q-quantile.
+  double quantile(double q) const;
+
+  const Summary& summary() const { return summary_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  Summary summary_;
+};
+
+}  // namespace causim::stats

@@ -1,0 +1,37 @@
+#include "stats/message_stats.hpp"
+
+namespace causim::stats {
+
+SizeBreakdown& SizeBreakdown::operator+=(const SizeBreakdown& other) {
+  count += other.count;
+  header_bytes += other.header_bytes;
+  meta_bytes += other.meta_bytes;
+  payload_bytes += other.payload_bytes;
+  return *this;
+}
+
+void MessageStats::record(MessageKind kind, std::uint64_t header_bytes,
+                          std::uint64_t meta_bytes, std::uint64_t payload_bytes) {
+  SizeBreakdown& b = kinds_[static_cast<std::size_t>(kind)];
+  ++b.count;
+  b.header_bytes += header_bytes;
+  b.meta_bytes += meta_bytes;
+  b.payload_bytes += payload_bytes;
+}
+
+SizeBreakdown MessageStats::total() const {
+  SizeBreakdown t;
+  for (const auto& b : kinds_) t += b;
+  return t;
+}
+
+MessageStats& MessageStats::operator+=(const MessageStats& other) {
+  for (std::size_t i = 0; i < 3; ++i) kinds_[i] += other.kinds_[i];
+  return *this;
+}
+
+void MessageStats::reset() {
+  for (auto& b : kinds_) b = SizeBreakdown{};
+}
+
+}  // namespace causim::stats

@@ -1,0 +1,61 @@
+// MessageStats — per-kind message count and byte accounting.
+//
+// Every transmitted message is split into three byte classes:
+//   header  — fixed envelope fields (kind, sender, variable id, clocks that
+//             identify the write, payload length),
+//   meta    — the causal-ordering control information the paper measures
+//             (Write matrix / vector clocks / KS logs / LastWriteOn logs),
+//   payload — the modelled raw data bytes.
+// "Message meta-data space overhead" in the paper's figures maps to
+// header + meta here (everything except the raw value); both are kept
+// separately so either definition can be reported.
+#pragma once
+
+#include <cstdint>
+
+#include "common/message_kind.hpp"
+
+namespace causim::stats {
+
+struct SizeBreakdown {
+  std::uint64_t count = 0;
+  std::uint64_t header_bytes = 0;
+  std::uint64_t meta_bytes = 0;
+  std::uint64_t payload_bytes = 0;
+
+  std::uint64_t overhead_bytes() const { return header_bytes + meta_bytes; }
+  std::uint64_t total_bytes() const { return overhead_bytes() + payload_bytes; }
+  double avg_overhead() const {
+    return count == 0 ? 0.0 : static_cast<double>(overhead_bytes()) / static_cast<double>(count);
+  }
+  double avg_meta() const {
+    return count == 0 ? 0.0 : static_cast<double>(meta_bytes) / static_cast<double>(count);
+  }
+
+  SizeBreakdown& operator+=(const SizeBreakdown& other);
+};
+
+class MessageStats {
+ public:
+  void record(MessageKind kind, std::uint64_t header_bytes, std::uint64_t meta_bytes,
+              std::uint64_t payload_bytes);
+
+  const SizeBreakdown& of(MessageKind kind) const {
+    return kinds_[static_cast<std::size_t>(kind)];
+  }
+
+  SizeBreakdown total() const;
+
+  std::uint64_t total_count() const { return total().count; }
+  /// Sum of header+meta bytes across all messages — the paper's "total
+  /// message meta-data space overhead".
+  std::uint64_t total_overhead_bytes() const { return total().overhead_bytes(); }
+
+  MessageStats& operator+=(const MessageStats& other);
+  void reset();
+
+ private:
+  SizeBreakdown kinds_[3];
+};
+
+}  // namespace causim::stats

@@ -1,0 +1,97 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/panic.hpp"
+
+namespace causim::stats {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::set_columns(std::vector<std::string> names) {
+  columns_ = std::move(names);
+  return *this;
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  CAUSIM_CHECK(columns_.empty() || cells.size() == columns_.size(),
+               "row has " << cells.size() << " cells, table has " << columns_.size()
+                          << " columns");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::integer(std::uint64_t v) {
+  // Thousands separators, matching the paper's Table IV style.
+  std::string digits = std::to_string(v);
+  std::string out;
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run != 0 && run % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++run;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size(), 0);
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  if (!title_.empty()) os << title_ << "\n";
+  auto line = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << "\n";
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << ' ' << cell << std::string(widths[c] - cell.size() + 1, ' ') << '|';
+    }
+    os << "\n";
+  };
+  line();
+  if (!columns_.empty()) {
+    print_row(columns_);
+    line();
+  }
+  for (const auto& row : rows_) print_row(row);
+  line();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  if (!columns_.empty()) emit(columns_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  t.print(os);
+  return os;
+}
+
+}  // namespace causim::stats

@@ -1,0 +1,41 @@
+// Table — aligned text tables and CSV output for the benchmark harness.
+//
+// Every bench binary renders its figure/table as one of these, so the
+// regenerated results visually match the layout of the paper's Tables
+// II–IV and the data series behind Figs. 1–8.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace causim::stats {
+
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  Table& set_columns(std::vector<std::string> names);
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(std::uint64_t v);
+
+  void print(std::ostream& os) const;
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace causim::stats

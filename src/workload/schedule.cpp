@@ -1,0 +1,77 @@
+#include "workload/schedule.hpp"
+
+#include "common/panic.hpp"
+#include "sim/rng.hpp"
+
+namespace causim::workload {
+
+std::size_t Schedule::total_ops() const {
+  std::size_t total = 0;
+  for (const auto& ops : per_site) total += ops.size();
+  return total;
+}
+
+std::size_t Schedule::total_writes() const {
+  std::size_t total = 0;
+  for (const auto& ops : per_site) {
+    for (const Op& op : ops) total += op.kind == Op::Kind::kWrite ? 1 : 0;
+  }
+  return total;
+}
+
+std::size_t Schedule::recorded_writes() const {
+  std::size_t total = 0;
+  for (const auto& ops : per_site) {
+    for (const Op& op : ops) total += (op.record && op.kind == Op::Kind::kWrite) ? 1 : 0;
+  }
+  return total;
+}
+
+std::size_t Schedule::recorded_reads() const {
+  std::size_t total = 0;
+  for (const auto& ops : per_site) {
+    for (const Op& op : ops) total += (op.record && op.kind == Op::Kind::kRead) ? 1 : 0;
+  }
+  return total;
+}
+
+Schedule generate_schedule(SiteId sites, const WorkloadParams& params) {
+  CAUSIM_CHECK(sites > 0, "empty system");
+  CAUSIM_CHECK(params.variables > 0, "need at least one variable");
+  CAUSIM_CHECK(params.write_rate >= 0.0 && params.write_rate <= 1.0,
+               "write rate " << params.write_rate << " out of [0, 1]");
+  CAUSIM_CHECK(params.gap_lo >= 0 && params.gap_lo <= params.gap_hi, "bad gap range");
+  CAUSIM_CHECK(params.payload_lo <= params.payload_hi, "bad payload range");
+
+  Schedule schedule;
+  schedule.per_site.resize(sites);
+  sim::Pcg32 root(params.seed, /*stream=*/0x736368656455ULL);
+  const sim::ZipfSampler zipf(params.variables, params.zipf_s);
+  const auto warmup =
+      static_cast<std::size_t>(params.warmup_fraction * static_cast<double>(params.ops_per_site));
+
+  for (SiteId s = 0; s < sites; ++s) {
+    sim::Pcg32 rng = root.split();
+    auto& ops = schedule.per_site[s];
+    ops.reserve(params.ops_per_site);
+    SimTime t = 0;
+    for (std::size_t k = 0; k < params.ops_per_site; ++k) {
+      t += rng.uniform_int(params.gap_lo, params.gap_hi);
+      Op op;
+      op.kind = rng.bernoulli(params.write_rate) ? Op::Kind::kWrite : Op::Kind::kRead;
+      op.var = params.zipf_s == 0.0
+                   ? static_cast<VarId>(rng.uniform_int(0, params.variables - 1))
+                   : zipf.sample(rng);
+      op.at = t;
+      if (op.kind == Op::Kind::kWrite && params.payload_hi > 0) {
+        op.payload_bytes =
+            static_cast<std::uint32_t>(rng.uniform_int(params.payload_lo, params.payload_hi));
+      }
+      op.record = k >= warmup;
+      ops.push_back(op);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace causim::workload

@@ -1,0 +1,57 @@
+// Schedule — randomized operation schedules matching §IV-C.
+//
+// Every site executes a pre-planned sequence of read/write events; the
+// inter-event gap is uniform in [5 ms, 2005 ms], the op kind is a Bernoulli
+// draw with probability w_rate, and the target variable is uniform (or
+// Zipf, for the skewed-workload extension) over the q variables. A run is
+// 600·n events in the paper's setup (600 per site); the first 15 % of each
+// site's events are warm-up — messages they trigger are excluded from the
+// recorded statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace causim::workload {
+
+struct Op {
+  enum class Kind : std::uint8_t { kWrite, kRead };
+
+  Kind kind = Kind::kRead;
+  VarId var = 0;
+  /// Absolute simulated issue time at the site (gaps accumulated).
+  SimTime at = 0;
+  /// Modelled raw-data size for writes (0 = metadata-only accounting).
+  std::uint32_t payload_bytes = 0;
+  /// False for warm-up operations: their messages are not counted.
+  bool record = true;
+};
+
+struct Schedule {
+  std::vector<std::vector<Op>> per_site;
+
+  SiteId sites() const { return static_cast<SiteId>(per_site.size()); }
+  std::size_t total_ops() const;
+  std::size_t total_writes() const;
+  std::size_t recorded_writes() const;
+  std::size_t recorded_reads() const;
+};
+
+struct WorkloadParams {
+  VarId variables = 100;          // q
+  double write_rate = 0.5;        // w / (w + r)
+  std::size_t ops_per_site = 600;
+  SimTime gap_lo = 5 * kMillisecond;
+  SimTime gap_hi = 2005 * kMillisecond;
+  double zipf_s = 0.0;            // 0 = uniform variable choice
+  std::uint32_t payload_lo = 0;   // modelled write payload range
+  std::uint32_t payload_hi = 0;
+  double warmup_fraction = 0.15;
+  std::uint64_t seed = 1;
+};
+
+Schedule generate_schedule(SiteId sites, const WorkloadParams& params);
+
+}  // namespace causim::workload

@@ -1,0 +1,137 @@
+// Unit tests for the experiment harness shared by the bench binaries and
+// the CLI flag parser.
+#include <gtest/gtest.h>
+
+#include "bench_support/args.hpp"
+#include "bench_support/experiment.hpp"
+
+namespace causim::bench_support {
+namespace {
+
+TEST(BenchSupport, PartialReplicationFactorMatchesPaper) {
+  // p = 0.3·n for the paper's sweep points; never below 1.
+  EXPECT_EQ(partial_replication_factor(5), 2);   // 1.5 → 2
+  EXPECT_EQ(partial_replication_factor(10), 3);
+  EXPECT_EQ(partial_replication_factor(20), 6);
+  EXPECT_EQ(partial_replication_factor(30), 9);
+  EXPECT_EQ(partial_replication_factor(40), 12);
+  EXPECT_EQ(partial_replication_factor(1), 1);
+  EXPECT_EQ(partial_replication_factor(2), 1);
+}
+
+TEST(BenchSupport, ParseArgs) {
+  const char* argv1[] = {"bench", "--quick"};
+  auto o = parse_bench_args(2, const_cast<char**>(argv1));
+  EXPECT_TRUE(o.quick);
+  EXPECT_FALSE(o.csv);
+
+  const char* argv2[] = {"bench", "--csv", "--quick"};
+  o = parse_bench_args(3, const_cast<char**>(argv2));
+  EXPECT_TRUE(o.quick);
+  EXPECT_TRUE(o.csv);
+
+  o = parse_bench_args(1, const_cast<char**>(argv1));
+  EXPECT_FALSE(o.quick);
+}
+
+TEST(BenchSupport, ApplyQuickShrinksRuns) {
+  ExperimentParams params;
+  params.seeds = {1, 2, 3};
+  params.ops_per_site = 600;
+  BenchOptions options;
+  apply_quick(params, options);  // not quick: unchanged
+  EXPECT_EQ(params.seeds.size(), 3u);
+  options.quick = true;
+  apply_quick(params, options);
+  EXPECT_EQ(params.seeds.size(), 1u);
+  EXPECT_EQ(params.ops_per_site, 300u);
+}
+
+TEST(BenchSupport, JdkLikeOptionsUseWideClocks) {
+  EXPECT_EQ(jdk_like_options().clock_width, serial::ClockWidth::k8Bytes);
+  // And that is the bench default.
+  EXPECT_EQ(ExperimentParams{}.protocol_options.clock_width, serial::ClockWidth::k8Bytes);
+}
+
+TEST(BenchSupport, RunExperimentAggregatesSeeds) {
+  ExperimentParams params;
+  params.protocol = causal::ProtocolKind::kOptTrackCrp;
+  params.sites = 4;
+  params.write_rate = 0.5;
+  params.variables = 10;
+  params.ops_per_site = 60;
+  params.seeds = {1, 2};
+  const auto r = run_experiment(params);
+  EXPECT_EQ(r.runs, 2u);
+  EXPECT_GT(r.recorded_writes, 0u);
+  EXPECT_GT(r.recorded_reads, 0u);
+  // Full replication: per-run message count = (n-1)·w exactly, so the mean
+  // equals (n-1)·(total recorded writes / runs).
+  EXPECT_DOUBLE_EQ(r.mean_message_count(),
+                   3.0 * static_cast<double>(r.recorded_writes) / 2.0);
+  EXPECT_GT(r.mean_total_overhead_bytes(), 0.0);
+  EXPECT_GT(r.log_entries.count(), 0u);
+}
+
+TEST(BenchSupport, CheckFlagRunsChecker) {
+  ExperimentParams params;
+  params.protocol = causal::ProtocolKind::kOptTrack;
+  params.sites = 5;
+  params.replication = 2;
+  params.variables = 10;
+  params.ops_per_site = 50;
+  params.seeds = {3};
+  params.check = true;
+  const auto r = run_experiment(params);
+  EXPECT_TRUE(r.check_ok) << (r.violations.empty() ? "" : r.violations.front());
+}
+
+TEST(Args, ParsesValuesInBothStyles) {
+  const char* argv[] = {"prog", "cmd", "--n", "20", "--wrate=0.5", "--check"};
+  std::string error;
+  const auto args = Args::parse(6, const_cast<char**>(argv), 2,
+                                {"n", "wrate", "check"}, &error);
+  ASSERT_TRUE(args.has_value()) << error;
+  EXPECT_EQ(args->get_int("n", 0), 20);
+  EXPECT_DOUBLE_EQ(args->get_double("wrate", 0.0), 0.5);
+  EXPECT_TRUE(args->has("check"));
+  EXPECT_FALSE(args->has("csv"));
+  EXPECT_EQ(args->get("missing", "fallback"), "fallback");
+}
+
+TEST(Args, RejectsUnknownFlags) {
+  const char* argv[] = {"prog", "cmd", "--bogus", "1"};
+  std::string error;
+  const auto args = Args::parse(4, const_cast<char**>(argv), 2, {"n"}, &error);
+  EXPECT_FALSE(args.has_value());
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+}
+
+TEST(Args, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "cmd", "stray"};
+  std::string error;
+  const auto args = Args::parse(3, const_cast<char**>(argv), 2, {"n"}, &error);
+  EXPECT_FALSE(args.has_value());
+  EXPECT_NE(error.find("positional"), std::string::npos);
+}
+
+TEST(Args, IntListParsing) {
+  const char* argv[] = {"prog", "cmd", "--values", "5,10,20"};
+  std::string error;
+  const auto args = Args::parse(4, const_cast<char**>(argv), 2, {"values"}, &error);
+  ASSERT_TRUE(args.has_value()) << error;
+  EXPECT_EQ(args->get_int_list("values", {}), (std::vector<long>{5, 10, 20}));
+  EXPECT_EQ(args->get_int_list("absent", {1, 2}), (std::vector<long>{1, 2}));
+}
+
+TEST(Args, BooleanFlagBeforeAnotherFlag) {
+  const char* argv[] = {"prog", "cmd", "--check", "--n", "7"};
+  std::string error;
+  const auto args = Args::parse(5, const_cast<char**>(argv), 2, {"check", "n"}, &error);
+  ASSERT_TRUE(args.has_value()) << error;
+  EXPECT_TRUE(args->has("check"));
+  EXPECT_EQ(args->get_int("n", 0), 7);
+}
+
+}  // namespace
+}  // namespace causim::bench_support

@@ -1,0 +1,327 @@
+// Tests for the causal-fetch extension: the paper's RemoteFetch (FM with
+// no meta-data, Table I) can return values causally older than the
+// reader's own past; the extension's guarded fetch cannot.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "bench_support/experiment.hpp"
+#include "causal/factory.hpp"
+#include "causal/full_track.hpp"
+#include "causal/opt_track.hpp"
+#include "checker/causal_checker.hpp"
+#include "dsm/placement.hpp"
+#include "dsm/site_runtime.hpp"
+
+namespace causim::dsm {
+namespace {
+
+/// Transport double that releases packets on demand (copy of the one in
+/// test_site_runtime; duplicated deliberately to keep test binaries
+/// self-contained).
+class ManualTransport final : public net::Transport {
+ public:
+  explicit ManualTransport(SiteId n) : handlers_(n, nullptr) {}
+
+  void attach(SiteId site, net::PacketHandler* handler) override {
+    handlers_[site] = handler;
+  }
+  void send(SiteId from, SiteId to, serial::Bytes bytes) override {
+    ++sent_;
+    outbox_.push_back(net::Packet{from, to, std::move(bytes)});
+  }
+  SiteId size() const override { return static_cast<SiteId>(handlers_.size()); }
+  std::uint64_t packets_sent() const override { return sent_; }
+  std::uint64_t packets_delivered() const override { return delivered_; }
+
+  std::size_t in_flight() const { return outbox_.size(); }
+  SiteId to_of(std::size_t i) const { return outbox_[i].to; }
+  SiteId from_of(std::size_t i) const { return outbox_[i].from; }
+
+  void deliver(std::size_t index) {
+    net::Packet p = std::move(outbox_[index]);
+    outbox_.erase(outbox_.begin() + static_cast<std::ptrdiff_t>(index));
+    ++delivered_;
+    handlers_[p.to]->on_packet(std::move(p));
+  }
+  void deliver_all() {
+    while (!outbox_.empty()) deliver(0);
+  }
+  /// Delivers the oldest packet on channel (from → to); false if none.
+  bool deliver_channel(SiteId from, SiteId to) {
+    for (std::size_t i = 0; i < outbox_.size(); ++i) {
+      if (outbox_[i].from == from && outbox_[i].to == to) {
+        deliver(i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<net::PacketHandler*> handlers_;
+  std::deque<net::Packet> outbox_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+/// The staleness scenario needs two variables sharing a replica pair
+/// {r, x}, a reader s outside it with fetch_site(u) = r and
+/// fetch_site(v) = x.
+struct Scenario {
+  VarId u = kInvalidVar;
+  VarId v = kInvalidVar;
+  SiteId r = kInvalidSite;
+  SiteId x = kInvalidSite;
+  SiteId s = kInvalidSite;
+};
+
+constexpr SiteId kN = 5;
+constexpr VarId kQ = 80;
+
+std::optional<Scenario> find_scenario(const Placement& placement) {
+  for (VarId u = 0; u < kQ; ++u) {
+    for (VarId v = 0; v < kQ; ++v) {
+      if (u == v || !(placement.replicas(u) == placement.replicas(v))) continue;
+      const auto pair = placement.replicas(u).to_vector();
+      for (SiteId s = 0; s < kN; ++s) {
+        if (placement.replicated_at(u, s)) continue;
+        const SiteId fu = placement.fetch_site(u, s);
+        const SiteId fv = placement.fetch_site(v, s);
+        if (fu != fv) {
+          Scenario sc;
+          sc.u = u;
+          sc.v = v;
+          sc.r = fu;
+          sc.x = fv;
+          sc.s = s;
+          (void)pair;
+          return sc;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+class CausalFetchScenario : public ::testing::TestWithParam<
+                                std::tuple<causal::ProtocolKind, bool>> {};
+
+TEST_P(CausalFetchScenario, StaleWithoutGuardFreshWithGuard) {
+  const auto [kind, causal_fetch] = GetParam();
+  const Placement placement(kN, kQ, 2, /*seed=*/17);
+  const auto scenario = find_scenario(placement);
+  ASSERT_TRUE(scenario.has_value()) << "placement seed needs adjusting";
+  const auto [u, v, r, x, s] = *scenario;
+
+  ManualTransport transport(kN);
+  checker::HistoryRecorder history;
+  std::vector<std::unique_ptr<SiteRuntime>> sites;
+  for (SiteId i = 0; i < kN; ++i) {
+    sites.push_back(std::make_unique<SiteRuntime>(
+        i, placement, transport, causal::make_protocol(kind, i, kN), &history,
+        serial::ClockWidth::k4Bytes, /*now_fn=*/nullptr, causal_fetch));
+    transport.attach(i, sites.back().get());
+  }
+
+  // 1. Replica r writes u = w1 (applies locally; SM r→x stays in flight).
+  sites[r]->write(u, 0);
+
+  // 2. Reader s fetches u from r — acquiring w1 into its causal past.
+  bool read_u_done = false;
+  sites[s]->read(u, [&](Value, WriteId w) {
+    read_u_done = true;
+    EXPECT_EQ(w.writer, r);
+  });
+  ASSERT_TRUE(transport.deliver_channel(s, r));  // FM
+  ASSERT_TRUE(transport.deliver_channel(r, s));  // RM
+  ASSERT_TRUE(read_u_done);
+
+  // 3. s writes v = w2; w2 causally follows w1. SM s→x arrives at x but
+  //    cannot apply (w1 still missing at x).
+  sites[s]->write(v, 0);
+  ASSERT_TRUE(transport.deliver_channel(s, x));  // SM(w2) — FIFO: sent first
+  EXPECT_EQ(sites[x]->pending_updates(), 1u);
+
+  // 4. s reads v from x while x is causally behind.
+  bool read_v_done = false;
+  WriteId returned;
+  sites[s]->read(v, [&](Value, WriteId w) {
+    read_v_done = true;
+    returned = w;
+  });
+  ASSERT_TRUE(transport.deliver_channel(s, x));  // FM (FIFO after the SM)
+
+  if (causal_fetch) {
+    // Guarded: x holds the fetch until it catches up.
+    EXPECT_FALSE(read_v_done);
+    EXPECT_EQ(sites[x]->pending_remote_fetches(), 1u);
+    transport.deliver_all();  // release SM(w1) r→x, cascade, serve, reply
+    ASSERT_TRUE(read_v_done);
+    EXPECT_EQ(returned.writer, s) << "guarded fetch must return s's own write";
+  } else {
+    // Paper behaviour: x answers immediately with the stale replica value.
+    ASSERT_TRUE(transport.deliver_channel(x, s));  // RM
+    ASSERT_TRUE(read_v_done);
+    EXPECT_TRUE(is_null(returned)) << "x had not applied w2 yet";
+    transport.deliver_all();
+  }
+
+  // Epilogue: drain everything and check the history.
+  transport.deliver_all();
+  const auto result = checker::check_causal_consistency(
+      history.events(), kN, [&](VarId var) { return placement.replicas(var); });
+  EXPECT_TRUE(result.ok()) << (result.violations.empty() ? ""
+                                                         : result.violations.front());
+  EXPECT_EQ(result.stale_reads, causal_fetch ? 0u : 1u);
+
+  // Strict mode turns the stale read into a violation.
+  checker::CheckOptions strict;
+  strict.strict_read_freshness = true;
+  const auto strict_result = checker::check_causal_consistency(
+      history.events(), kN, [&](VarId var) { return placement.replicas(var); }, strict);
+  EXPECT_EQ(strict_result.ok(), causal_fetch);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, CausalFetchScenario,
+    ::testing::Combine(::testing::Values(causal::ProtocolKind::kFullTrack,
+                                         causal::ProtocolKind::kOptTrack),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<causal::ProtocolKind, bool>>& param_info) {
+      std::string name = to_string(std::get<0>(param_info.param));
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name + (std::get<1>(param_info.param) ? "_guarded" : "_paper");
+    });
+
+TEST(CausalFetchGuard, FullTrackColumnRoundTrip) {
+  causal::FullTrack reader(0, 4);
+  serial::ByteWriter sm(serial::ClockWidth::k4Bytes);
+  reader.local_write(0, Value{1, 0}, DestSet(4, {0, 2, 3}), sm);
+
+  serial::ByteWriter guard_bytes(serial::ClockWidth::k4Bytes);
+  reader.fetch_guard_meta(/*responder=*/2, guard_bytes);
+
+  causal::FullTrack responder(2, 4);
+  serial::ByteReader r(guard_bytes.bytes());
+  const auto guard = responder.decode_fetch_guard(r);
+  ASSERT_NE(guard, nullptr);
+  EXPECT_FALSE(responder.fetch_ready(*guard)) << "responder has not applied the write";
+}
+
+TEST(CausalFetchGuard, OptTrackGuardOnlyCarriesResponderEntries) {
+  causal::OptTrack reader(0, 4);
+  serial::ByteWriter sm1(serial::ClockWidth::k4Bytes);
+  reader.local_write(0, Value{1, 0}, DestSet(4, {0, 1}), sm1);
+  serial::ByteWriter sm2(serial::ClockWidth::k4Bytes);
+  reader.local_write(1, Value{2, 0}, DestSet(4, {0, 2}), sm2);
+
+  serial::ByteWriter guard_bytes(serial::ClockWidth::k4Bytes);
+  reader.fetch_guard_meta(/*responder=*/2, guard_bytes);
+  serial::ByteReader r(guard_bytes.bytes());
+  const causal::KsLog guard = causal::KsLog::deserialize(r);
+  EXPECT_EQ(guard.size(), 1u);  // only the write destined to site 2
+  EXPECT_NE(guard.find(WriteId{0, 2}), nullptr);
+
+  causal::OptTrack responder(2, 4);
+  serial::ByteReader r2(guard_bytes.bytes());
+  const auto decoded = responder.decode_fetch_guard(r2);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_FALSE(responder.fetch_ready(*decoded));
+}
+
+class GuardedFetchGrid
+    : public ::testing::TestWithParam<std::tuple<causal::ProtocolKind, SiteId,
+                                                 std::uint64_t>> {};
+
+TEST_P(GuardedFetchGrid, StrictFreshnessHoldsWithGuardsOn) {
+  // With causal fetch enabled, every read — local or remote — must be
+  // causally fresh: the strict checker mode becomes a hard invariant.
+  const auto [kind, n, seed] = GetParam();
+  dsm::ClusterConfig config;
+  config.sites = n;
+  config.variables = 12;
+  config.replication = bench_support::partial_replication_factor(n);
+  config.protocol = kind;
+  config.seed = seed;
+  config.causal_fetch = true;
+  config.latency_lo = 1 * kMillisecond;
+  config.latency_hi = 2500 * kMillisecond;
+
+  workload::WorkloadParams wl;
+  wl.variables = 12;
+  wl.write_rate = 0.5;
+  wl.gap_lo = 5 * kMillisecond;   // fast clients: maximal staleness pressure
+  wl.gap_hi = 100 * kMillisecond;
+  wl.ops_per_site = 120;
+  wl.zipf_s = 1.0;
+  wl.seed = seed;
+
+  dsm::Cluster cluster(config);
+  cluster.execute(workload::generate_schedule(n, wl));
+  checker::CheckOptions strict;
+  strict.strict_read_freshness = true;
+  const auto result = cluster.check(strict);
+  EXPECT_TRUE(result.ok()) << to_string(kind) << " n=" << n << " seed=" << seed << ": "
+                           << (result.violations.empty() ? ""
+                                                         : result.violations.front());
+  EXPECT_EQ(result.stale_reads, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GuardedFetchGrid,
+    ::testing::Combine(::testing::Values(causal::ProtocolKind::kFullTrack,
+                                         causal::ProtocolKind::kOptTrack),
+                       ::testing::Values<SiteId>(5, 8),
+                       ::testing::Values(1ULL, 2ULL, 3ULL)),
+    [](const ::testing::TestParamInfo<std::tuple<causal::ProtocolKind, SiteId,
+                                                 std::uint64_t>>& param_info) {
+      std::string name = to_string(std::get<0>(param_info.param));
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name + "_n" + std::to_string(std::get<1>(param_info.param)) + "_s" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+TEST(CausalFetch, EndToEndClusterRunStaysConsistent) {
+  bench_support::ExperimentParams params;
+  params.protocol = causal::ProtocolKind::kOptTrack;
+  params.sites = 8;
+  params.replication = 2;
+  params.write_rate = 0.5;
+  params.ops_per_site = 120;
+  params.seeds = {5};
+  params.check = true;
+
+  // The flag is on ClusterConfig; run via a hand-built cluster.
+  dsm::ClusterConfig config;
+  config.sites = params.sites;
+  config.variables = params.variables;
+  config.replication = params.replication;
+  config.protocol = params.protocol;
+  config.seed = 5;
+  config.causal_fetch = true;
+  config.latency_lo = 1 * kMillisecond;
+  config.latency_hi = 2000 * kMillisecond;
+
+  workload::WorkloadParams wl;
+  wl.variables = params.variables;
+  wl.write_rate = params.write_rate;
+  wl.ops_per_site = params.ops_per_site;
+  wl.seed = 5;
+
+  dsm::Cluster cluster(config);
+  cluster.execute(workload::generate_schedule(params.sites, wl));
+  checker::CheckOptions strict;
+  strict.strict_read_freshness = true;
+  const auto result = cluster.check(strict);
+  EXPECT_TRUE(result.ok()) << (result.violations.empty() ? ""
+                                                         : result.violations.front());
+  EXPECT_EQ(result.stale_reads, 0u);
+}
+
+}  // namespace
+}  // namespace causim::dsm

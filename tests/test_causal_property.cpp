@@ -1,0 +1,187 @@
+// Property tests: every protocol, over a grid of (n, p, w_rate, seed),
+// produces causally consistent executions under randomized schedules and
+// adversarially wide channel-latency distributions.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bench_support/experiment.hpp"
+#include "dsm/cluster.hpp"
+#include "workload/schedule.hpp"
+
+namespace causim {
+namespace {
+
+using causal::ProtocolKind;
+
+struct PropertyCase {
+  ProtocolKind protocol;
+  SiteId sites;
+  double write_rate;
+  std::uint64_t seed;
+};
+
+class CausalProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(CausalProperty, ExecutionIsCausallyConsistent) {
+  const PropertyCase& c = GetParam();
+  dsm::ClusterConfig config;
+  config.sites = c.sites;
+  config.variables = 15;
+  config.replication = causal::requires_full_replication(c.protocol)
+                           ? 0
+                           : bench_support::partial_replication_factor(c.sites);
+  config.protocol = c.protocol;
+  config.seed = c.seed;
+  // A very wide latency band maximizes cross-channel reordering, which is
+  // what stresses the activation predicate.
+  config.latency_lo = 1 * kMillisecond;
+  config.latency_hi = 2000 * kMillisecond;
+
+  workload::WorkloadParams wl;
+  wl.variables = 15;
+  wl.write_rate = c.write_rate;
+  wl.ops_per_site = 120;
+  wl.seed = c.seed;
+
+  dsm::Cluster cluster(config);
+  cluster.execute(workload::generate_schedule(c.sites, wl));
+  const auto result = cluster.check();
+  EXPECT_TRUE(result.ok()) << to_string(c.protocol) << " n=" << c.sites << " w="
+                           << c.write_rate << " seed=" << c.seed << ": "
+                           << (result.violations.empty() ? "" : result.violations.front());
+  EXPECT_GT(result.applies, 0u);
+}
+
+std::vector<PropertyCase> property_grid() {
+  std::vector<PropertyCase> cases;
+  for (const ProtocolKind kind :
+       {ProtocolKind::kFullTrack, ProtocolKind::kOptTrack, ProtocolKind::kOptTrackCrp,
+        ProtocolKind::kOptP, ProtocolKind::kFullTrackHb}) {
+    for (const SiteId n : {3, 6, 10}) {
+      for (const double w : {0.2, 0.8}) {
+        for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+          cases.push_back({kind, n, w, seed});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<PropertyCase>& param_info) {
+  const PropertyCase& c = param_info.param;
+  std::string name = to_string(c.protocol);
+  for (auto& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name + "_n" + std::to_string(c.sites) + "_w" +
+         std::to_string(static_cast<int>(c.write_rate * 10)) + "_s" +
+         std::to_string(c.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CausalProperty, ::testing::ValuesIn(property_grid()),
+                         case_name);
+
+// --- cross-protocol invariants on identical schedules ---
+
+class PartialPair : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(PartialPair, OptTrackAndFullTrackSendIdenticalMessageCounts) {
+  const auto [wrate, seed] = GetParam();
+  bench_support::ExperimentParams params;
+  params.sites = 8;
+  params.replication = bench_support::partial_replication_factor(8);
+  params.write_rate = wrate;
+  params.ops_per_site = 150;
+  params.seeds = {seed};
+
+  params.protocol = causal::ProtocolKind::kOptTrack;
+  const auto opt = bench_support::run_experiment(params);
+  params.protocol = causal::ProtocolKind::kFullTrack;
+  const auto full = bench_support::run_experiment(params);
+
+  // Same schedule + same placement ⇒ identical message pattern; only the
+  // piggybacked meta-data differs (§V-A: "Opt-Track runs the same message
+  // pattern … its message count complexity is also the same").
+  EXPECT_EQ(opt.stats.of(MessageKind::kSM).count, full.stats.of(MessageKind::kSM).count);
+  EXPECT_EQ(opt.stats.of(MessageKind::kFM).count, full.stats.of(MessageKind::kFM).count);
+  EXPECT_EQ(opt.stats.of(MessageKind::kRM).count, full.stats.of(MessageKind::kRM).count);
+  // And Opt-Track's meta-data never exceeds Full-Track's total.
+  EXPECT_LE(opt.stats.total().meta_bytes, full.stats.total().meta_bytes);
+}
+
+TEST_P(PartialPair, CrpAndOptPSendIdenticalMessageCounts) {
+  const auto [wrate, seed] = GetParam();
+  bench_support::ExperimentParams params;
+  params.sites = 8;
+  params.replication = 0;
+  params.write_rate = wrate;
+  params.ops_per_site = 150;
+  params.seeds = {seed};
+
+  params.protocol = causal::ProtocolKind::kOptTrackCrp;
+  const auto crp = bench_support::run_experiment(params);
+  params.protocol = causal::ProtocolKind::kOptP;
+  const auto optp = bench_support::run_experiment(params);
+
+  EXPECT_EQ(crp.stats.total().count, optp.stats.total().count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PartialPair,
+                         ::testing::Combine(::testing::Values(0.2, 0.5, 0.8),
+                                            ::testing::Values(1ULL, 7ULL)));
+
+TEST(CrossProtocol, OptTrackWorksUnderFullReplication) {
+  // Opt-Track is a generalization: with p = n it must behave like a
+  // (heavier) Opt-Track-CRP — same counts, causally consistent.
+  bench_support::ExperimentParams params;
+  params.sites = 6;
+  params.replication = 6;
+  params.write_rate = 0.5;
+  params.ops_per_site = 100;
+  params.seeds = {13};
+  params.check = true;
+  params.protocol = causal::ProtocolKind::kOptTrack;
+  const auto opt = bench_support::run_experiment(params);
+  EXPECT_TRUE(opt.check_ok) << (opt.violations.empty() ? "" : opt.violations.front());
+
+  params.protocol = causal::ProtocolKind::kOptTrackCrp;
+  params.replication = 0;
+  const auto crp = bench_support::run_experiment(params);
+  EXPECT_EQ(opt.stats.total().count, crp.stats.total().count);
+  // CRP's specialization pays off in bytes.
+  EXPECT_LT(crp.stats.total().meta_bytes, opt.stats.total().meta_bytes);
+}
+
+TEST(CrossProtocol, CrpLogStaysWithinPaperBound) {
+  // §III-C: the Opt-Track-CRP local log holds at most d + 1 <= n entries.
+  bench_support::ExperimentParams params;
+  params.sites = 8;
+  params.replication = 0;
+  params.write_rate = 0.2;  // read-heavy maximizes d
+  params.ops_per_site = 200;
+  params.seeds = {3};
+  params.protocol = causal::ProtocolKind::kOptTrackCrp;
+  const auto r = bench_support::run_experiment(params);
+  EXPECT_LE(r.log_entries.max(), 8.0);
+}
+
+TEST(CrossProtocol, WriteIntensityReducesOptTrackOverhead) {
+  // §V-A-2: higher write rate ⇒ lower average SM+RM overhead in Opt-Track.
+  bench_support::ExperimentParams params;
+  params.sites = 10;
+  params.replication = 3;
+  params.ops_per_site = 300;
+  params.seeds = {5};
+  params.protocol = causal::ProtocolKind::kOptTrack;
+
+  params.write_rate = 0.2;
+  const auto low = bench_support::run_experiment(params);
+  params.write_rate = 0.8;
+  const auto high = bench_support::run_experiment(params);
+  EXPECT_LT(high.avg_overhead(MessageKind::kSM), low.avg_overhead(MessageKind::kSM));
+}
+
+}  // namespace
+}  // namespace causim

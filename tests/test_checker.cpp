@@ -1,0 +1,289 @@
+// Unit tests for the causal-consistency checker on hand-built histories:
+// valid executions pass; each violation class is detected.
+#include <gtest/gtest.h>
+
+#include "checker/causal_checker.hpp"
+
+namespace causim::checker {
+namespace {
+
+constexpr SiteId kN = 3;
+
+/// All variables replicated everywhere unless overridden.
+DestSet everywhere(VarId) { return DestSet::all(kN); }
+
+class HistoryBuilder {
+ public:
+  HistoryBuilder& write(SiteId s, VarId v, WriteId w) {
+    rec_.record_write(s, v, w);
+    return *this;
+  }
+  HistoryBuilder& apply(SiteId s, VarId v, WriteId w) {
+    rec_.record_apply(s, v, w);
+    return *this;
+  }
+  HistoryBuilder& read(SiteId s, VarId v, WriteId w) {
+    rec_.record_read(s, v, w, false, s);
+    return *this;
+  }
+  HistoryBuilder& serve(SiteId s, VarId v, WriteId w) {
+    rec_.record_serve(s, v, w);
+    return *this;
+  }
+  HistoryBuilder& remote_read(SiteId s, VarId v, WriteId w, SiteId responder) {
+    rec_.record_read(s, v, w, true, responder);
+    return *this;
+  }
+
+  CheckResult check(const std::function<DestSet(VarId)>& replicas = everywhere,
+                    CheckOptions options = {}) {
+    return check_causal_consistency(rec_.events(), kN, replicas, options);
+  }
+
+ private:
+  HistoryRecorder rec_;
+};
+
+const WriteId w0{0, 1};
+const WriteId w1{1, 1};
+
+TEST(Checker, EmptyHistoryPasses) {
+  HistoryBuilder h;
+  EXPECT_TRUE(h.check().ok());
+}
+
+TEST(Checker, SimpleCausalChainPasses) {
+  HistoryBuilder h;
+  h.write(0, 0, w0).apply(0, 0, w0).apply(1, 0, w0).read(1, 0, w0);
+  h.write(1, 1, w1).apply(1, 1, w1).apply(0, 1, w1);
+  h.apply(2, 0, w0).apply(2, 1, w1).read(2, 0, w0);
+  const auto r = h.check();
+  EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "" : r.violations.front());
+  EXPECT_EQ(r.writes, 2u);
+  EXPECT_EQ(r.reads, 2u);
+  EXPECT_EQ(r.applies, 6u);
+}
+
+TEST(Checker, DetectsCausalOrderViolation) {
+  // w0 → (read) → w1 but site 2 applies w1 before w0.
+  HistoryBuilder h;
+  h.write(0, 0, w0).apply(0, 0, w0).apply(1, 0, w0).read(1, 0, w0);
+  h.write(1, 1, w1).apply(1, 1, w1).apply(0, 1, w1);
+  h.apply(2, 1, w1).apply(2, 0, w0);  // out of causal order at site 2
+  const auto r = h.check();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations.front().find("causal predecessor"), std::string::npos);
+}
+
+TEST(Checker, ConcurrentWritesMayApplyInAnyOrder) {
+  // No read-from edge between w0 and w1: both orders are fine.
+  HistoryBuilder h;
+  h.write(0, 0, w0).apply(0, 0, w0);
+  h.write(1, 1, w1).apply(1, 1, w1);
+  h.apply(2, 1, w1).apply(2, 0, w0);
+  h.apply(0, 1, w1).apply(1, 0, w0);
+  EXPECT_TRUE(h.check().ok());
+}
+
+TEST(Checker, ProgramOrderAloneForcesApplyOrder) {
+  const WriteId a{0, 1}, b{0, 2};
+  HistoryBuilder h;
+  h.write(0, 0, a).apply(0, 0, a);
+  h.write(0, 1, b).apply(0, 1, b);
+  h.apply(1, 1, b).apply(1, 0, a);  // b applied before its program-order pred
+  const auto r = h.check();
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(Checker, DetectsDoubleApply) {
+  HistoryBuilder h;
+  h.write(0, 0, w0).apply(0, 0, w0).apply(1, 0, w0).apply(1, 0, w0);
+  const auto r = h.check();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations.front().find("twice"), std::string::npos);
+}
+
+TEST(Checker, DetectsMissingApplies) {
+  HistoryBuilder h;
+  h.write(0, 0, w0).apply(0, 0, w0);  // never applied at sites 1 and 2
+  const auto r = h.check();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations.front().find("expected 3"), std::string::npos);
+}
+
+TEST(Checker, DetectsApplyAtNonReplica) {
+  const auto replicas = [](VarId) { return DestSet(kN, {0, 1}); };
+  HistoryBuilder h;
+  h.write(0, 0, w0).apply(0, 0, w0).apply(1, 0, w0).apply(2, 0, w0);
+  const auto r = h.check(replicas);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations.front().find("non-replica"), std::string::npos);
+}
+
+TEST(Checker, DetectsReadBeforeApply) {
+  HistoryBuilder h;
+  h.write(0, 0, w0).apply(0, 0, w0);
+  h.read(1, 0, w0);  // site 1 never applied w0
+  h.apply(1, 0, w0).apply(2, 0, w0);
+  const auto r = h.check();
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(Checker, DetectsStaleRead) {
+  const WriteId a{0, 1}, b{0, 2};
+  HistoryBuilder h;
+  h.write(0, 0, a).apply(0, 0, a);
+  h.write(0, 0, b).apply(0, 0, b);
+  h.read(0, 0, a);  // returns the overwritten value
+  h.apply(1, 0, a).apply(1, 0, b).apply(2, 0, a).apply(2, 0, b);
+  const auto r = h.check();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations.front().find("latest"), std::string::npos);
+}
+
+TEST(Checker, DetectsBottomReadAfterApply) {
+  HistoryBuilder h;
+  h.write(0, 0, w0).apply(0, 0, w0).apply(1, 0, w0).apply(2, 0, w0);
+  h.read(1, 0, WriteId{});  // ⊥ although w0 was applied at site 1
+  const auto r = h.check();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations.front().find("⊥"), std::string::npos);
+}
+
+TEST(Checker, BottomReadBeforeAnyWritePasses) {
+  HistoryBuilder h;
+  h.read(1, 0, WriteId{});
+  h.write(0, 0, w0).apply(0, 0, w0).apply(1, 0, w0).apply(2, 0, w0);
+  EXPECT_TRUE(h.check().ok());
+}
+
+TEST(Checker, RemoteReadValidatedAtServeTime) {
+  const auto replicas = [](VarId) { return DestSet(kN, {0, 1}); };
+  const WriteId b{0, 2};
+  HistoryBuilder h;
+  h.write(0, 0, w0).apply(0, 0, w0).apply(1, 0, w0);
+  h.serve(1, 0, w0);  // site 1 serves w0 for site 2's fetch...
+  h.write(0, 0, b).apply(0, 0, b).apply(1, 0, b);  // ...then b lands at 1...
+  h.remote_read(2, 0, w0, 1);  // ...and the read completes later: still valid
+  EXPECT_TRUE(h.check(replicas).ok());
+}
+
+TEST(Checker, DetectsStaleServe) {
+  const auto replicas = [](VarId) { return DestSet(kN, {0, 1}); };
+  const WriteId b{0, 2};
+  HistoryBuilder h;
+  h.write(0, 0, w0).apply(0, 0, w0).apply(1, 0, w0);
+  h.write(0, 0, b).apply(0, 0, b).apply(1, 0, b);
+  h.serve(1, 0, w0);  // serves the overwritten value
+  h.remote_read(2, 0, w0, 1);
+  const auto r = h.check(replicas);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(Checker, DetectsUnknownWriteInRead) {
+  HistoryBuilder h;
+  h.read(0, 0, WriteId{5, 99});
+  const auto r = h.check();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations.front().find("unknown write"), std::string::npos);
+}
+
+TEST(Checker, CountsStaleRemoteReads) {
+  // Site 2's causal past contains w1 (it read it via site 1); a later
+  // remote read of the same variable served by a lagging replica returns
+  // ⊥ — stale, but not a violation by default.
+  const auto replicas = [](VarId v) {
+    return v == 0 ? DestSet(kN, {0, 1}) : DestSet::all(kN);
+  };
+  HistoryBuilder h;
+  h.write(0, 0, w0).apply(0, 0, w0).apply(1, 0, w0);
+  h.serve(1, 0, w0);
+  h.remote_read(2, 0, w0, 1);  // site 2 now causally knows w0
+  h.serve(0, 0, w0);           // fine
+  // A second write to var 0 lands at site 1 only for now.
+  const WriteId b{0, 2};
+  h.write(0, 0, b).apply(0, 0, b).apply(1, 0, b);
+  h.serve(1, 0, b);
+  h.remote_read(2, 0, b, 1);  // site 2 now knows b
+  // Replica 0 has applied b by now in reality; pretend site 2 refetches
+  // from a snapshot served before b applied there: build it via serve
+  // order — serve at 0 happened earlier (see above), read completes late.
+  h.remote_read(2, 0, w0, 0);  // returns w0 although b ∈ site 2's past
+  auto r = h.check(replicas);
+  EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "" : r.violations.front());
+  EXPECT_EQ(r.stale_reads, 1u);
+
+  // Strict mode promotes it to a violation.
+  // (rebuild: check() consumed nothing, the recorder still holds events)
+}
+
+TEST(Checker, StrictModeFlagsStaleRead) {
+  const auto replicas = [](VarId) { return DestSet(kN, {0, 1}); };
+  const WriteId b{0, 2};
+  HistoryBuilder h;
+  h.write(0, 0, w0).apply(0, 0, w0).apply(1, 0, w0);
+  h.serve(1, 0, w0);
+  h.remote_read(2, 0, w0, 1);
+  h.write(0, 0, b).apply(0, 0, b).apply(1, 0, b);
+  h.serve(1, 0, b);
+  h.remote_read(2, 0, b, 1);
+  h.serve(0, 0, b);  // replica 0 is fresh when serving…
+  h.remote_read(2, 0, w0, 0);  // …but the read still claims the old value
+  // note: the serve above returned b; returning w0 at the read is also a
+  // read-from/serve mismatch in a real run — here we only exercise the
+  // freshness rule, which fires regardless.
+  CheckResult relaxed = h.check(replicas);
+  EXPECT_TRUE(relaxed.ok());
+  EXPECT_EQ(relaxed.stale_reads, 1u);
+
+  CheckOptions strict;
+  strict.strict_read_freshness = true;
+  const CheckResult strict_result = h.check(replicas, strict);
+  ASSERT_FALSE(strict_result.ok());
+  EXPECT_NE(strict_result.violations.front().find("stale read"), std::string::npos);
+}
+
+TEST(Checker, OwnWriteThenBottomReadIsStale) {
+  const auto replicas = [](VarId) { return DestSet(kN, {0, 1}); };
+  HistoryBuilder h;
+  // Site 2 writes var 0 (not locally replicated), then fetches it from a
+  // replica that has not applied it yet.
+  const WriteId w2{2, 1};
+  h.write(2, 0, w2);
+  h.serve(0, 0, WriteId{});       // replica 0 still at ⊥
+  h.remote_read(2, 0, WriteId{}, 0);
+  h.apply(0, 0, w2).apply(1, 0, w2);
+  const CheckResult r = h.check(replicas);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.stale_reads, 1u);
+}
+
+TEST(Checker, ConcurrentNewerValueIsNotStale) {
+  // The read returns w1 while w0 (concurrent with w1) is in the reader's
+  // past: any serialization may order w0 before w1, so this is fresh.
+  HistoryBuilder h;
+  h.write(0, 0, w0).apply(0, 0, w0);
+  h.write(1, 0, w1).apply(1, 0, w1);
+  h.apply(1, 0, w0).apply(0, 0, w1);
+  h.apply(2, 0, w0).read(2, 0, w0);  // w0 enters site 2's past
+  h.apply(2, 0, w1).read(2, 0, w1);  // returns concurrent w1: fine
+  const CheckResult r = h.check();
+  EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "" : r.violations.front());
+  EXPECT_EQ(r.stale_reads, 0u);
+}
+
+TEST(Checker, DetectsPerWriterOrderInversion) {
+  const WriteId a{0, 1}, b{0, 2};
+  HistoryBuilder h;
+  // No read-from edges, so only the per-writer FIFO rule can catch this.
+  h.write(0, 0, a);
+  h.write(0, 1, b);
+  h.apply(0, 0, a).apply(0, 1, b);
+  h.apply(1, 1, b).apply(1, 0, a);
+  h.apply(2, 0, a).apply(2, 1, b);
+  const auto r = h.check();
+  ASSERT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace causim::checker

@@ -1,0 +1,99 @@
+// Unit tests for VectorClock / MatrixClock.
+#include <gtest/gtest.h>
+
+#include "causal/clocks.hpp"
+
+namespace causim::causal {
+namespace {
+
+TEST(VectorClock, StartsAtZero) {
+  const VectorClock v(4);
+  for (SiteId i = 0; i < 4; ++i) EXPECT_EQ(v[i], 0u);
+  EXPECT_EQ(v.size(), 4);
+}
+
+TEST(VectorClock, MergeIsEntrywiseMax) {
+  VectorClock a(3), b(3);
+  a[0] = 5;
+  a[2] = 1;
+  b[0] = 3;
+  b[1] = 7;
+  a.merge(b);
+  EXPECT_EQ(a[0], 5u);
+  EXPECT_EQ(a[1], 7u);
+  EXPECT_EQ(a[2], 1u);
+}
+
+TEST(VectorClock, MergeIsIdempotentAndCommutative) {
+  VectorClock a(3), b(3);
+  a[0] = 2;
+  b[1] = 4;
+  VectorClock ab = a;
+  ab.merge(b);
+  VectorClock ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+  VectorClock twice = ab;
+  twice.merge(b);
+  EXPECT_EQ(twice, ab);
+}
+
+TEST(VectorClock, DominatedBy) {
+  VectorClock a(2), b(2);
+  b[0] = 1;
+  EXPECT_TRUE(a.dominated_by(b));
+  EXPECT_FALSE(b.dominated_by(a));
+  EXPECT_TRUE(b.dominated_by(b));
+  a[1] = 5;
+  EXPECT_FALSE(a.dominated_by(b));  // incomparable
+  EXPECT_FALSE(b.dominated_by(a));
+}
+
+TEST(VectorClock, SerializeRoundTripAndExactSize) {
+  for (const serial::ClockWidth cw :
+       {serial::ClockWidth::k4Bytes, serial::ClockWidth::k8Bytes}) {
+    VectorClock v(5);
+    v[3] = 1234567;
+    serial::ByteWriter w(cw);
+    v.serialize(w);
+    EXPECT_EQ(w.size(), VectorClock::wire_bytes(5, cw));
+    serial::ByteReader r(w.bytes(), cw);
+    EXPECT_EQ(VectorClock::deserialize(r), v);
+  }
+}
+
+TEST(MatrixClock, AtAndMerge) {
+  MatrixClock a(3), b(3);
+  a.at(0, 1) = 4;
+  b.at(0, 1) = 2;
+  b.at(2, 2) = 9;
+  a.merge(b);
+  EXPECT_EQ(a.at(0, 1), 4u);
+  EXPECT_EQ(a.at(2, 2), 9u);
+  EXPECT_EQ(a.at(1, 1), 0u);
+}
+
+TEST(MatrixClock, SerializeRoundTripAndExactSize) {
+  MatrixClock m(4);
+  m.at(1, 2) = 77;
+  m.at(3, 0) = 5;
+  serial::ByteWriter w;
+  m.serialize(w);
+  EXPECT_EQ(w.size(), MatrixClock::wire_bytes(4, serial::ClockWidth::k4Bytes));
+  serial::ByteReader r(w.bytes());
+  EXPECT_EQ(MatrixClock::deserialize(r), m);
+}
+
+TEST(MatrixClock, WireBytesQuadratic) {
+  EXPECT_EQ(MatrixClock::wire_bytes(40, serial::ClockWidth::k4Bytes), 2u + 40 * 40 * 4);
+  EXPECT_EQ(MatrixClock::wire_bytes(40, serial::ClockWidth::k8Bytes), 2u + 40 * 40 * 8);
+}
+
+TEST(ClockDeathTest, MergeSizeMismatchPanics) {
+  VectorClock a(2);
+  const VectorClock b(3);
+  EXPECT_DEATH(a.merge(b), "size mismatch");
+}
+
+}  // namespace
+}  // namespace causim::causal

@@ -1,0 +1,203 @@
+// Integration tests for the DES cluster: end-to-end schedule execution,
+// quiescence invariants, convergence, and exact message-count identities.
+#include <gtest/gtest.h>
+
+#include "dsm/cluster.hpp"
+#include "workload/schedule.hpp"
+
+namespace causim::dsm {
+namespace {
+
+ClusterConfig small_config(causal::ProtocolKind kind, SiteId n, SiteId p,
+                           std::uint64_t seed) {
+  ClusterConfig c;
+  c.sites = n;
+  c.variables = 20;
+  c.replication = p;
+  c.protocol = kind;
+  c.seed = seed;
+  return c;
+}
+
+workload::Schedule small_schedule(SiteId n, double wrate, std::uint64_t seed,
+                                  std::size_t ops = 80) {
+  workload::WorkloadParams params;
+  params.variables = 20;
+  params.write_rate = wrate;
+  params.ops_per_site = ops;
+  params.seed = seed;
+  return workload::generate_schedule(n, params);
+}
+
+TEST(Cluster, HandDrivenWriteReadAcrossSites) {
+  Cluster cluster(small_config(causal::ProtocolKind::kOptTrack, 4, 2, 3));
+  // Find a variable not replicated at site 3 to force a remote fetch.
+  VarId remote_var = kInvalidVar;
+  for (VarId v = 0; v < 20; ++v) {
+    if (!cluster.placement().replicated_at(v, 3)) {
+      remote_var = v;
+      break;
+    }
+  }
+  ASSERT_NE(remote_var, kInvalidVar);
+
+  const WriteId w = cluster.site(0).write(remote_var, 64);
+  cluster.settle();
+
+  bool completed = false;
+  const bool inline_done = cluster.site(3).read(remote_var, [&](Value v, WriteId from) {
+    completed = true;
+    EXPECT_EQ(from, w);
+    EXPECT_EQ(v.payload_bytes, 64u);
+  });
+  EXPECT_FALSE(inline_done);  // must go remote
+  EXPECT_TRUE(cluster.site(3).fetch_pending());
+  cluster.settle();
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(cluster.site(3).fetch_pending());
+  EXPECT_TRUE(cluster.check().ok());
+
+  const auto stats = cluster.aggregate_message_stats();
+  EXPECT_EQ(stats.of(MessageKind::kFM).count, 1u);
+  EXPECT_EQ(stats.of(MessageKind::kRM).count, 1u);
+  EXPECT_GE(stats.of(MessageKind::kSM).count, 1u);
+  EXPECT_GT(cluster.aggregate_fetch_latency().count(), 0u);
+}
+
+TEST(Cluster, ReadOfUnwrittenVariableReturnsBottom) {
+  Cluster cluster(small_config(causal::ProtocolKind::kFullTrack, 3, 3, 1));
+  bool completed = false;
+  cluster.site(1).read(5, [&](Value v, WriteId w) {
+    completed = true;
+    EXPECT_TRUE(is_bottom(v));
+    EXPECT_TRUE(is_null(w));
+  });
+  cluster.settle();
+  EXPECT_TRUE(completed);
+  EXPECT_TRUE(cluster.check().ok());
+}
+
+TEST(Cluster, ExactMessageCountIdentity) {
+  // SM count = Σ over recorded writes of (p − [writer replicates var]);
+  // FM = RM = number of recorded reads of non-local variables.
+  const SiteId n = 6;
+  const SiteId p = 2;
+  const auto schedule = small_schedule(n, 0.5, 17);
+  Cluster cluster(small_config(causal::ProtocolKind::kOptTrack, n, p, 17));
+  cluster.execute(schedule);
+
+  std::uint64_t expected_sm = 0, expected_fm = 0;
+  for (SiteId s = 0; s < n; ++s) {
+    for (const auto& op : schedule.per_site[s]) {
+      if (!op.record) continue;
+      const bool local = cluster.placement().replicated_at(op.var, s);
+      if (op.kind == workload::Op::Kind::kWrite) {
+        expected_sm += p - (local ? 1 : 0);
+      } else if (!local) {
+        ++expected_fm;
+      }
+    }
+  }
+  const auto stats = cluster.aggregate_message_stats();
+  EXPECT_EQ(stats.of(MessageKind::kSM).count, expected_sm);
+  EXPECT_EQ(stats.of(MessageKind::kFM).count, expected_fm);
+  EXPECT_EQ(stats.of(MessageKind::kRM).count, expected_fm);
+}
+
+TEST(Cluster, FullReplicationSendsNMinusOnePerWrite) {
+  const SiteId n = 5;
+  const auto schedule = small_schedule(n, 0.5, 23);
+  Cluster cluster(small_config(causal::ProtocolKind::kOptTrackCrp, n, 0, 23));
+  cluster.execute(schedule);
+  const auto stats = cluster.aggregate_message_stats();
+  EXPECT_EQ(stats.of(MessageKind::kSM).count, schedule.recorded_writes() * (n - 1));
+  EXPECT_EQ(stats.of(MessageKind::kFM).count, 0u);
+  EXPECT_EQ(stats.of(MessageKind::kRM).count, 0u);
+}
+
+TEST(Cluster, ReplicasConvergeAtQuiescence) {
+  // After the network drains, all replicas of every variable hold the same
+  // (single) latest value per the per-variable apply order… note: replicas
+  // may legitimately disagree on which *concurrent* write is "latest".
+  // What must hold: every replica's value id corresponds to a write that
+  // was applied at that replica, and the per-writer apply clocks agree.
+  const SiteId n = 5;
+  Cluster cluster(small_config(causal::ProtocolKind::kOptTrack, n, 2, 9));
+  cluster.execute(small_schedule(n, 0.6, 9));
+  EXPECT_TRUE(cluster.check().ok());
+  // Spot-check: local_value of a replicated var is never a value of a
+  // different variable (value ids are globally unique per write).
+  for (VarId v = 0; v < 20; ++v) {
+    cluster.placement().replicas(v).for_each([&](SiteId s) {
+      const auto [value, w] = cluster.site(s).local_value(v);
+      if (!is_null(w)) {
+        EXPECT_FALSE(is_bottom(value));
+      }
+    });
+  }
+}
+
+TEST(Cluster, WarmupMessagesAreNotRecorded) {
+  const SiteId n = 4;
+  // All ops are warm-up: zero recorded messages, though traffic flowed.
+  workload::WorkloadParams params;
+  params.variables = 20;
+  params.write_rate = 1.0;
+  params.ops_per_site = 20;
+  params.warmup_fraction = 1.0;
+  params.seed = 5;
+  Cluster cluster(small_config(causal::ProtocolKind::kOptTrack, n, 2, 5));
+  cluster.execute(workload::generate_schedule(n, params));
+  EXPECT_EQ(cluster.aggregate_message_stats().total().count, 0u);
+  EXPECT_GT(cluster.transport().packets_sent(), 0u);
+}
+
+TEST(Cluster, PayloadBytesAccounted) {
+  Cluster cluster(small_config(causal::ProtocolKind::kOptTrackCrp, 3, 0, 2));
+  cluster.site(0).write(0, 1000);
+  cluster.settle();
+  const auto stats = cluster.aggregate_message_stats();
+  EXPECT_EQ(stats.of(MessageKind::kSM).count, 2u);
+  EXPECT_EQ(stats.of(MessageKind::kSM).payload_bytes, 2000u);
+  EXPECT_GT(stats.of(MessageKind::kSM).meta_bytes, 0u);
+}
+
+TEST(Cluster, ApplyDelayInstrumentationRecordsWaits) {
+  // Under →-tracking (Full-Track-HB) with wide latencies, some updates
+  // must sit in the pending queue; the delay summary captures them.
+  ClusterConfig config = small_config(causal::ProtocolKind::kFullTrackHb, 6, 2, 4);
+  config.latency_lo = 1 * kMillisecond;
+  config.latency_hi = 2000 * kMillisecond;
+  Cluster cluster(config);
+  cluster.execute(small_schedule(6, 0.6, 4, 120));
+  EXPECT_GT(cluster.total_applies(), 0u);
+  EXPECT_GT(cluster.aggregate_apply_delay().count(), 0u);
+  EXPECT_GT(cluster.aggregate_apply_delay().mean(), 0.0);
+}
+
+TEST(ClusterDeathTest, FullReplicationProtocolRejectsPartialPlacement) {
+  EXPECT_DEATH(Cluster(small_config(causal::ProtocolKind::kOptP, 4, 2, 1)),
+               "full replication");
+}
+
+TEST(ClusterDeathTest, ScheduleSizeMismatchPanics) {
+  Cluster cluster(small_config(causal::ProtocolKind::kOptTrack, 4, 2, 1));
+  const auto schedule = small_schedule(6, 0.5, 1, 10);  // six sites, cluster has four
+  EXPECT_DEATH(cluster.execute(schedule), "schedule built for");
+}
+
+TEST(ClusterDeathTest, SecondOpDuringFetchPanics) {
+  Cluster cluster(small_config(causal::ProtocolKind::kOptTrack, 4, 2, 3));
+  VarId remote_var = 0;
+  for (VarId v = 0; v < 20; ++v) {
+    if (!cluster.placement().replicated_at(v, 3)) {
+      remote_var = v;
+      break;
+    }
+  }
+  cluster.site(3).read(remote_var, {});
+  EXPECT_DEATH(cluster.site(3).write(0, 0), "outstanding");
+}
+
+}  // namespace
+}  // namespace causim::dsm

@@ -1,0 +1,103 @@
+// Coverage for the small common types: values, write ids, message kinds,
+// protocol names, panic formatting, and envelope error paths.
+#include <gtest/gtest.h>
+
+#include "causal/factory.hpp"
+#include "common/ids.hpp"
+#include "common/message_kind.hpp"
+#include "common/panic.hpp"
+#include "common/value.hpp"
+#include "dsm/envelope.hpp"
+
+namespace causim {
+namespace {
+
+TEST(Value, BottomSemantics) {
+  EXPECT_TRUE(is_bottom(kBottom));
+  EXPECT_TRUE(is_bottom(Value{}));
+  EXPECT_FALSE(is_bottom(Value{1, 0}));
+  EXPECT_EQ(Value{}, kBottom);
+}
+
+TEST(WriteIdTest, NullAndOrdering) {
+  EXPECT_TRUE(is_null(WriteId{}));
+  EXPECT_FALSE(is_null(WriteId{0, 1}));
+  EXPECT_LT((WriteId{1, 5}), (WriteId{1, 6}));
+  EXPECT_LT((WriteId{1, 99}), (WriteId{2, 1}));  // writer-major
+  EXPECT_EQ((WriteId{3, 4}), (WriteId{3, 4}));
+}
+
+TEST(WriteIdTest, HashDistinguishes) {
+  const std::hash<WriteId> h;
+  EXPECT_NE(h(WriteId{1, 2}), h(WriteId{2, 1}));
+  EXPECT_EQ(h(WriteId{5, 7}), h(WriteId{5, 7}));
+}
+
+TEST(MessageKindTest, Names) {
+  EXPECT_STREQ(to_string(MessageKind::kSM), "SM");
+  EXPECT_STREQ(to_string(MessageKind::kFM), "FM");
+  EXPECT_STREQ(to_string(MessageKind::kRM), "RM");
+  EXPECT_EQ(kAllMessageKinds.size(), 3u);
+}
+
+TEST(ProtocolKindTest, Names) {
+  using causal::ProtocolKind;
+  EXPECT_STREQ(to_string(ProtocolKind::kFullTrack), "Full-Track");
+  EXPECT_STREQ(to_string(ProtocolKind::kOptTrack), "Opt-Track");
+  EXPECT_STREQ(to_string(ProtocolKind::kOptTrackCrp), "Opt-Track-CRP");
+  EXPECT_STREQ(to_string(ProtocolKind::kOptP), "optP");
+  EXPECT_STREQ(to_string(ProtocolKind::kFullTrackHb), "Full-Track-HB");
+}
+
+TEST(ProtocolKindTest, FullReplicationRequirement) {
+  using causal::ProtocolKind;
+  EXPECT_FALSE(causal::requires_full_replication(ProtocolKind::kFullTrack));
+  EXPECT_FALSE(causal::requires_full_replication(ProtocolKind::kOptTrack));
+  EXPECT_FALSE(causal::requires_full_replication(ProtocolKind::kFullTrackHb));
+  EXPECT_TRUE(causal::requires_full_replication(ProtocolKind::kOptTrackCrp));
+  EXPECT_TRUE(causal::requires_full_replication(ProtocolKind::kOptP));
+}
+
+TEST(FactoryTest, BuildsEveryKindBoundToTheRightSite) {
+  using causal::ProtocolKind;
+  for (const auto kind : {ProtocolKind::kFullTrack, ProtocolKind::kOptTrack,
+                          ProtocolKind::kOptTrackCrp, ProtocolKind::kOptP,
+                          ProtocolKind::kFullTrackHb}) {
+    const auto protocol = causal::make_protocol(kind, 2, 5);
+    ASSERT_NE(protocol, nullptr);
+    EXPECT_EQ(protocol->kind(), kind);
+    EXPECT_EQ(protocol->self(), 2);
+    EXPECT_EQ(protocol->sites(), 5);
+  }
+}
+
+TEST(PanicDeathTest, IncludesLocationAndMessage) {
+  EXPECT_DEATH(panic("somefile.cpp", 42, "the message"),
+               "somefile.cpp:42: the message");
+}
+
+TEST(PanicDeathTest, CheckMacroFormatsStreamedMessage) {
+  const int x = 7;
+  EXPECT_DEATH(CAUSIM_CHECK(x == 8, "x was " << x), "CHECK failed: x == 8 .* x was 7");
+}
+
+TEST(EnvelopeDeathTest, BadKindByteOnTheWire) {
+  serial::Bytes bytes{0x77};  // not a MessageKind
+  bytes.resize(32, 0);
+  EXPECT_DEATH(dsm::Envelope::decode(bytes, serial::ClockWidth::k4Bytes),
+               "bad message kind");
+}
+
+TEST(EnvelopeDeathTest, TruncatedMetaPanics) {
+  dsm::Envelope e;
+  e.kind = MessageKind::kSM;
+  e.sender = 0;
+  e.var = 0;
+  e.meta = {1, 2, 3, 4};
+  serial::Bytes bytes = e.encode(serial::ClockWidth::k4Bytes);
+  bytes.resize(bytes.size() - 2);  // chop the tail
+  EXPECT_DEATH(dsm::Envelope::decode(bytes, serial::ClockWidth::k4Bytes), "");
+}
+
+}  // namespace
+}  // namespace causim

@@ -1,0 +1,106 @@
+// Unit tests for DestSet (destination lists / bitsets).
+#include <gtest/gtest.h>
+
+#include "common/dest_set.hpp"
+
+namespace causim {
+namespace {
+
+TEST(DestSet, StartsEmpty) {
+  DestSet d(10);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.count(), 0);
+  EXPECT_EQ(d.universe_size(), 10);
+  for (SiteId s = 0; s < 10; ++s) EXPECT_FALSE(d.contains(s));
+}
+
+TEST(DestSet, InsertEraseContains) {
+  DestSet d(10);
+  d.insert(3);
+  d.insert(7);
+  EXPECT_TRUE(d.contains(3));
+  EXPECT_TRUE(d.contains(7));
+  EXPECT_FALSE(d.contains(4));
+  EXPECT_EQ(d.count(), 2);
+  d.erase(3);
+  EXPECT_FALSE(d.contains(3));
+  EXPECT_EQ(d.count(), 1);
+  d.erase(3);  // idempotent
+  EXPECT_EQ(d.count(), 1);
+}
+
+TEST(DestSet, EraseOutOfRangeIsNoop) {
+  DestSet d(4, {1, 2});
+  d.erase(99);
+  EXPECT_EQ(d.count(), 2);
+}
+
+TEST(DestSet, AllClearsTailBits) {
+  for (const SiteId n : {1, 5, 63, 64, 65, 128, 130}) {
+    const DestSet d = DestSet::all(n);
+    EXPECT_EQ(d.count(), n) << "n=" << n;
+    EXPECT_TRUE(d.contains(n - 1));
+    EXPECT_FALSE(d.contains(n));
+  }
+}
+
+TEST(DestSet, SetOperations) {
+  const DestSet a(8, {0, 1, 2, 3});
+  const DestSet b(8, {2, 3, 4, 5});
+  EXPECT_EQ((a | b), DestSet(8, {0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ((a & b), DestSet(8, {2, 3}));
+  EXPECT_EQ((a - b), DestSet(8, {0, 1}));
+  EXPECT_EQ((b - a), DestSet(8, {4, 5}));
+}
+
+TEST(DestSet, SubsetAndIntersects) {
+  const DestSet a(8, {1, 2});
+  const DestSet b(8, {1, 2, 3});
+  const DestSet c(8, {4, 5});
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+  EXPECT_TRUE(DestSet(8).is_subset_of(c));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(DestSet, ForEachVisitsInOrder) {
+  const DestSet d(80, {0, 17, 63, 64, 79});
+  std::vector<SiteId> seen;
+  d.for_each([&](SiteId s) { seen.push_back(s); });
+  EXPECT_EQ(seen, (std::vector<SiteId>{0, 17, 63, 64, 79}));
+  EXPECT_EQ(d.to_vector(), seen);
+}
+
+TEST(DestSet, WireBytesTracksMembership) {
+  DestSet d(40);
+  EXPECT_EQ(d.wire_bytes(), 4u);  // universe + count
+  d.insert(1);
+  d.insert(2);
+  EXPECT_EQ(d.wire_bytes(), 4u + 2 * 2);
+  d.erase(1);
+  EXPECT_EQ(d.wire_bytes(), 4u + 2);
+}
+
+TEST(DestSet, EqualityRequiresSameUniverse) {
+  EXPECT_FALSE(DestSet(4) == DestSet(5));
+  EXPECT_TRUE(DestSet(4, {1}) == DestSet(4, {1}));
+  EXPECT_FALSE(DestSet(4, {1}) == DestSet(4, {2}));
+}
+
+using DestSetDeath = DestSet;
+
+TEST(DestSetDeathTest, InsertOutOfRangePanics) {
+  DestSet d(4);
+  EXPECT_DEATH(d.insert(4), "outside universe");
+}
+
+TEST(DestSetDeathTest, UniverseMismatchPanics) {
+  DestSet a(4);
+  const DestSet b(5);
+  EXPECT_DEATH(a |= b, "universe mismatch");
+}
+
+}  // namespace
+}  // namespace causim

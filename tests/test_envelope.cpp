@@ -1,0 +1,112 @@
+// Unit tests for the message envelope codec and its byte accounting.
+#include <gtest/gtest.h>
+
+#include "dsm/envelope.hpp"
+
+namespace causim::dsm {
+namespace {
+
+TEST(Envelope, SmRoundTripWithSizes) {
+  Envelope e;
+  e.kind = MessageKind::kSM;
+  e.sender = 7;
+  e.var = 42;
+  e.value = Value{0xABCDEF, 1000};
+  e.write = WriteId{7, 33};
+  e.meta = {1, 2, 3, 4, 5};
+
+  Envelope::Sizes sizes;
+  const serial::Bytes bytes = e.encode(serial::ClockWidth::k4Bytes, &sizes);
+  EXPECT_EQ(sizes.meta, 5u);
+  EXPECT_EQ(sizes.payload, 1000u);
+  EXPECT_EQ(sizes.total(), bytes.size());
+  EXPECT_GT(sizes.header, 0u);
+
+  const Envelope d = Envelope::decode(bytes, serial::ClockWidth::k4Bytes);
+  EXPECT_EQ(d.kind, MessageKind::kSM);
+  EXPECT_EQ(d.sender, 7);
+  EXPECT_EQ(d.var, 42u);
+  EXPECT_EQ(d.value, e.value);
+  EXPECT_EQ(d.write, e.write);
+  EXPECT_EQ(d.meta, e.meta);
+}
+
+TEST(Envelope, FmRoundTripCarriesNoPayload) {
+  Envelope e;
+  e.kind = MessageKind::kFM;
+  e.sender = 2;
+  e.var = 9;
+  e.fetch_seq = 777;
+  e.record = false;
+
+  Envelope::Sizes sizes;
+  const serial::Bytes bytes = e.encode(serial::ClockWidth::k4Bytes, &sizes);
+  EXPECT_EQ(sizes.payload, 0u);
+  EXPECT_EQ(sizes.meta, 0u);
+
+  const Envelope d = Envelope::decode(bytes, serial::ClockWidth::k4Bytes);
+  EXPECT_EQ(d.kind, MessageKind::kFM);
+  EXPECT_EQ(d.fetch_seq, 777u);
+  EXPECT_FALSE(d.record);
+}
+
+TEST(Envelope, RmRoundTrip) {
+  Envelope e;
+  e.kind = MessageKind::kRM;
+  e.sender = 3;
+  e.var = 5;
+  e.value = Value{11, 64};
+  e.write = WriteId{1, 2};
+  e.fetch_seq = 12;
+  e.record = true;
+  e.meta = {9, 9};
+
+  Envelope::Sizes sizes;
+  const serial::Bytes bytes = e.encode(serial::ClockWidth::k8Bytes, &sizes);
+  const Envelope d = Envelope::decode(bytes, serial::ClockWidth::k8Bytes);
+  EXPECT_EQ(d.kind, MessageKind::kRM);
+  EXPECT_EQ(d.fetch_seq, 12u);
+  EXPECT_TRUE(d.record);
+  EXPECT_EQ(d.write, e.write);
+  EXPECT_EQ(d.value, e.value);
+  EXPECT_EQ(d.meta, e.meta);
+  EXPECT_EQ(sizes.payload, 64u);
+}
+
+TEST(Envelope, BottomValueRoundTrip) {
+  Envelope e;
+  e.kind = MessageKind::kRM;
+  e.sender = 0;
+  e.var = 1;
+  // value/write left as ⊥ / null
+  const serial::Bytes bytes = e.encode(serial::ClockWidth::k4Bytes);
+  const Envelope d = Envelope::decode(bytes, serial::ClockWidth::k4Bytes);
+  EXPECT_TRUE(is_bottom(d.value));
+  EXPECT_TRUE(is_null(d.write));
+}
+
+TEST(Envelope, PayloadBytesAreOnTheWire) {
+  Envelope small, big;
+  small.kind = big.kind = MessageKind::kSM;
+  small.sender = big.sender = 0;
+  small.var = big.var = 0;
+  small.value = Value{1, 10};
+  big.value = Value{2, 500};
+  const auto sb = small.encode(serial::ClockWidth::k4Bytes);
+  const auto bb = big.encode(serial::ClockWidth::k4Bytes);
+  EXPECT_EQ(bb.size() - sb.size(), 490u);
+}
+
+TEST(Envelope, ClockWidthAffectsWriteIdField) {
+  Envelope e;
+  e.kind = MessageKind::kSM;
+  e.sender = 0;
+  e.var = 0;
+  e.write = WriteId{0, 1};
+  const auto narrow = e.encode(serial::ClockWidth::k4Bytes);
+  const auto wide = e.encode(serial::ClockWidth::k8Bytes);
+  EXPECT_EQ(wide.size() - narrow.size(), 4u);
+}
+
+}  // namespace
+}  // namespace causim::dsm

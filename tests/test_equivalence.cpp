@@ -1,0 +1,131 @@
+// Closed-form checks: the measured message counts equal the complexity
+// formulas of §V-A/§V-B when evaluated exactly (per-op, not in
+// expectation), and the Eq. (2) crossover behaves as derived.
+#include <gtest/gtest.h>
+
+#include "bench_support/experiment.hpp"
+#include "dsm/cluster.hpp"
+#include "workload/schedule.hpp"
+
+namespace causim {
+namespace {
+
+TEST(Formulas, PartialReplicationExpectedCountApproximation) {
+  // The paper's formula ((p-1) + (n-p)/n)·w + 2r(n-p)/n assumes variables
+  // uniformly replicated; the measured count over a uniform workload must
+  // land within a few percent.
+  const SiteId n = 10;
+  const SiteId p = 3;
+  bench_support::ExperimentParams params;
+  params.sites = n;
+  params.replication = p;
+  params.write_rate = 0.5;
+  params.ops_per_site = 500;
+  params.seeds = {1, 2};
+  params.protocol = causal::ProtocolKind::kOptTrack;
+  const auto r = bench_support::run_experiment(params);
+
+  const double w = static_cast<double>(r.recorded_writes) / r.runs;
+  const double reads = static_cast<double>(r.recorded_reads) / r.runs;
+  const double expected =
+      ((p - 1) + static_cast<double>(n - p) / n) * w + 2.0 * reads * (n - p) / n;
+  EXPECT_NEAR(r.mean_message_count() / expected, 1.0, 0.05);
+}
+
+TEST(Formulas, FullReplicationCountIsExact) {
+  bench_support::ExperimentParams params;
+  params.sites = 7;
+  params.replication = 0;
+  params.write_rate = 0.4;
+  params.ops_per_site = 200;
+  params.seeds = {9};
+  params.protocol = causal::ProtocolKind::kOptP;
+  const auto r = bench_support::run_experiment(params);
+  EXPECT_DOUBLE_EQ(r.mean_message_count(),
+                   static_cast<double>(r.recorded_writes) * (7 - 1));
+}
+
+TEST(Formulas, OptPSmOverheadIsExactlyLinear) {
+  // optP's SM meta is the n-vector: meta bytes per SM = 2 + n·width, for
+  // every message, regardless of write rate.
+  for (const SiteId n : {5, 12}) {
+    bench_support::ExperimentParams params;
+    params.sites = n;
+    params.replication = 0;
+    params.write_rate = 0.6;
+    params.ops_per_site = 100;
+    params.seeds = {2};
+    params.protocol = causal::ProtocolKind::kOptP;
+    params.protocol_options = causal::ProtocolOptions{};  // 4-byte clocks
+    const auto r = bench_support::run_experiment(params);
+    const auto& sm = r.stats.of(MessageKind::kSM);
+    EXPECT_EQ(sm.meta_bytes, sm.count * (2 + 4ull * n));
+  }
+}
+
+TEST(Formulas, FullTrackSmOverheadIsExactlyQuadratic) {
+  const SiteId n = 9;
+  bench_support::ExperimentParams params;
+  params.sites = n;
+  params.replication = 3;
+  params.write_rate = 0.5;
+  params.ops_per_site = 100;
+  params.seeds = {4};
+  params.protocol = causal::ProtocolKind::kFullTrack;
+  params.protocol_options = causal::ProtocolOptions{};
+  const auto r = bench_support::run_experiment(params);
+  const auto& sm = r.stats.of(MessageKind::kSM);
+  EXPECT_EQ(sm.meta_bytes, sm.count * (2 + 4ull * n * n));
+  const auto& rm = r.stats.of(MessageKind::kRM);
+  EXPECT_EQ(rm.meta_bytes, rm.count * (2 + 4ull * n * n));
+  // FM carries no meta at all.
+  EXPECT_EQ(r.stats.of(MessageKind::kFM).meta_bytes, 0u);
+}
+
+TEST(Formulas, FmOverheadConstantAcrossProtocolsAndRates) {
+  double sizes[2][2];
+  int pi = 0;
+  for (const auto kind :
+       {causal::ProtocolKind::kOptTrack, causal::ProtocolKind::kFullTrack}) {
+    int wi = 0;
+    for (const double wrate : {0.2, 0.8}) {
+      bench_support::ExperimentParams params;
+      params.sites = 8;
+      params.replication = 2;
+      params.write_rate = wrate;
+      params.ops_per_site = 150;
+      params.seeds = {6};
+      params.protocol = kind;
+      const auto r = bench_support::run_experiment(params);
+      sizes[pi][wi++] = r.avg_overhead(MessageKind::kFM);
+    }
+    ++pi;
+  }
+  EXPECT_DOUBLE_EQ(sizes[0][0], sizes[0][1]);
+  EXPECT_DOUBLE_EQ(sizes[0][0], sizes[1][0]);
+  EXPECT_DOUBLE_EQ(sizes[1][0], sizes[1][1]);
+}
+
+TEST(Formulas, CrossoverFollowsEquationTwo) {
+  // For n = 10 the predicted crossover is 2/11 ≈ 0.18: partial replication
+  // must lose on message count below it and win above it.
+  const SiteId n = 10;
+  const auto count_for = [&](causal::ProtocolKind kind, SiteId p, double wrate) {
+    bench_support::ExperimentParams params;
+    params.sites = n;
+    params.replication = p;
+    params.write_rate = wrate;
+    params.ops_per_site = 400;
+    params.seeds = {8};
+    params.protocol = kind;
+    return bench_support::run_experiment(params).mean_message_count();
+  };
+  const SiteId p = bench_support::partial_replication_factor(n);
+  EXPECT_GT(count_for(causal::ProtocolKind::kOptTrack, p, 0.06),
+            count_for(causal::ProtocolKind::kOptTrackCrp, 0, 0.06));
+  EXPECT_LT(count_for(causal::ProtocolKind::kOptTrack, p, 0.5),
+            count_for(causal::ProtocolKind::kOptTrackCrp, 0, 0.5));
+}
+
+}  // namespace
+}  // namespace causim

@@ -1,0 +1,191 @@
+// Unit tests for the Full-Track protocol: matrix maintenance, the
+// activation predicate, and merge-on-read (→co) semantics.
+#include <gtest/gtest.h>
+
+#include "causal/full_track.hpp"
+
+namespace causim::causal {
+namespace {
+
+constexpr SiteId kN = 4;
+
+serial::Bytes write_at(FullTrack& p, VarId var, const DestSet& dests, WriteId* id) {
+  serial::ByteWriter meta;
+  *id = p.local_write(var, Value{1, 0}, dests, meta);
+  return meta.take();
+}
+
+std::unique_ptr<PendingUpdate> make_pending(FullTrack& receiver, SiteId sender, VarId var,
+                                            const WriteId& id, const DestSet& dests,
+                                            const serial::Bytes& meta) {
+  serial::ByteReader r(meta);
+  return receiver.decode_sm(SmEnvelope{sender, var, Value{1, 0}, id}, dests, r);
+}
+
+TEST(FullTrack, WriteIncrementsPerDestinationCounters) {
+  FullTrack p(0, kN);
+  const DestSet dests(kN, {0, 2});
+  WriteId id;
+  write_at(p, 5, dests, &id);
+  EXPECT_EQ(id, (WriteId{0, 1}));
+  EXPECT_EQ(p.write_clock().at(0, 0), 1u);
+  EXPECT_EQ(p.write_clock().at(0, 2), 1u);
+  EXPECT_EQ(p.write_clock().at(0, 1), 0u);
+  EXPECT_EQ(p.applied_count(0), 1u);  // local replica applied immediately
+}
+
+TEST(FullTrack, WriteToNonLocalVariableSkipsLocalApply) {
+  FullTrack p(0, kN);
+  WriteId id;
+  write_at(p, 5, DestSet(kN, {1, 2}), &id);
+  EXPECT_EQ(p.applied_count(0), 0u);
+  EXPECT_EQ(p.write_clock().at(0, 1), 1u);
+}
+
+TEST(FullTrack, IndependentWriteIsImmediatelyReady) {
+  FullTrack writer(0, kN);
+  FullTrack receiver(1, kN);
+  const DestSet dests(kN, {0, 1});
+  WriteId id;
+  const auto meta = write_at(writer, 3, dests, &id);
+  const auto pending = make_pending(receiver, 0, 3, id, dests, meta);
+  EXPECT_TRUE(receiver.ready(*pending));
+  receiver.apply(*pending);
+  EXPECT_EQ(receiver.applied_count(0), 1u);
+}
+
+TEST(FullTrack, ProgramOrderGatesSecondWrite) {
+  FullTrack writer(0, kN);
+  FullTrack receiver(1, kN);
+  const DestSet dests(kN, {0, 1});
+  WriteId id1, id2;
+  const auto m1 = write_at(writer, 3, dests, &id1);
+  const auto m2 = write_at(writer, 3, dests, &id2);
+  const auto p2 = make_pending(receiver, 0, 3, id2, dests, m2);
+  EXPECT_FALSE(receiver.ready(*p2));  // w1 not applied yet
+  const auto p1 = make_pending(receiver, 0, 3, id1, dests, m1);
+  ASSERT_TRUE(receiver.ready(*p1));
+  receiver.apply(*p1);
+  EXPECT_TRUE(receiver.ready(*p2));
+  receiver.apply(*p2);
+}
+
+TEST(FullTrack, ReadCreatesCausalDependency) {
+  // s0 writes x; s1 applies, READS x, then writes y; s2 must not apply y
+  // before x — but only because s1 read x (→co, not mere receipt).
+  const DestSet dx(kN, {0, 1, 2});
+  const DestSet dy(kN, {1, 2});
+
+  FullTrack s0(0, kN), s1(1, kN), s2(2, kN);
+  WriteId wx, wy;
+  const auto mx = write_at(s0, 0, dx, &wx);
+
+  const auto px = make_pending(s1, 0, 0, wx, dx, mx);
+  ASSERT_TRUE(s1.ready(*px));
+  s1.apply(*px);
+  s1.local_read(0);  // the →co edge
+
+  const auto my = write_at(s1, 1, dy, &wy);
+  const auto py = make_pending(s2, 1, 1, wy, dy, my);
+  EXPECT_FALSE(s2.ready(*py)) << "y depends on x via s1's read";
+
+  const auto px2 = make_pending(s2, 0, 0, wx, dx, mx);
+  ASSERT_TRUE(s2.ready(*px2));
+  s2.apply(*px2);
+  EXPECT_TRUE(s2.ready(*py));
+}
+
+TEST(FullTrack, WithoutReadNoFalseDependency) {
+  // Same as above but s1 does NOT read x before writing y: Full-Track
+  // tracks →co, so y must NOT depend on x (this is exactly the false
+  // causality the paper's protocols eliminate).
+  const DestSet dx(kN, {0, 1, 2});
+  const DestSet dy(kN, {1, 2});
+
+  FullTrack s0(0, kN), s1(1, kN), s2(2, kN);
+  WriteId wx, wy;
+  const auto mx = write_at(s0, 0, dx, &wx);
+  const auto px = make_pending(s1, 0, 0, wx, dx, mx);
+  s1.apply(*px);  // applied but never read
+
+  const auto my = write_at(s1, 1, dy, &wy);
+  const auto py = make_pending(s2, 1, 1, wy, dy, my);
+  EXPECT_TRUE(s2.ready(*py)) << "no read-from edge, so no dependency on x";
+}
+
+TEST(FullTrack, RemoteReturnCarriesLastWriteOn) {
+  FullTrack server(0, kN);
+  FullTrack reader(3, kN);
+  const DestSet dests(kN, {0, 1});
+  WriteId id;
+  write_at(server, 7, dests, &id);
+
+  serial::ByteWriter rm;
+  server.remote_return_meta(7, rm);
+  const serial::Bytes rm_bytes = rm.take();
+  serial::ByteReader r(rm_bytes);
+  const auto ret = reader.decode_remote_return(r);
+  // The write is not destined to the reader (site 3 ∉ {0, 1}), so the
+  // return is immediately absorbable.
+  ASSERT_TRUE(reader.return_ready(*ret));
+  reader.absorb_remote_return(7, *ret);
+  EXPECT_EQ(reader.write_clock().at(0, 0), 1u);
+  EXPECT_EQ(reader.write_clock().at(0, 1), 1u);
+}
+
+TEST(FullTrack, RemoteReturnWaitsForWritesDestinedToReader) {
+  // The value's causal past contains a write destined to the reader that
+  // the reader has not applied: absorbing now would let the reader's next
+  // write apply locally ahead of it. return_ready must gate.
+  FullTrack server(0, kN);
+  FullTrack reader(1, kN);
+  const DestSet dests(kN, {0, 1});
+  WriteId id;
+  const auto sm = write_at(server, 7, dests, &id);
+
+  serial::ByteWriter rm;
+  server.remote_return_meta(7, rm);
+  const serial::Bytes rm_bytes = rm.take();
+  serial::ByteReader r(rm_bytes);
+  const auto ret = reader.decode_remote_return(r);
+  EXPECT_FALSE(reader.return_ready(*ret));
+
+  const auto pending = make_pending(reader, 0, 7, id, dests, sm);
+  reader.apply(*pending);
+  EXPECT_TRUE(reader.return_ready(*ret));
+  reader.absorb_remote_return(7, *ret);
+}
+
+TEST(FullTrack, RemoteReturnForUnwrittenVariableIsZero) {
+  FullTrack server(0, kN);
+  FullTrack reader(1, kN);
+  serial::ByteWriter rm;
+  server.remote_return_meta(9, rm);
+  const serial::Bytes rm_bytes = rm.take();
+  serial::ByteReader r(rm_bytes);
+  const auto ret = reader.decode_remote_return(r);
+  ASSERT_TRUE(reader.return_ready(*ret));
+  reader.absorb_remote_return(9, *ret);
+  EXPECT_EQ(reader.write_clock(), MatrixClock(kN));
+}
+
+TEST(FullTrack, SmMetaSizeIsQuadratic) {
+  FullTrack p(0, kN);
+  WriteId id;
+  const auto meta = write_at(p, 0, DestSet::all(kN), &id);
+  EXPECT_EQ(meta.size(), MatrixClock::wire_bytes(kN, serial::ClockWidth::k4Bytes));
+  EXPECT_EQ(p.log_entry_count(), static_cast<std::size_t>(kN) * kN);
+}
+
+TEST(FullTrackDeathTest, ApplyWhenNotReadyPanics) {
+  FullTrack writer(0, kN), receiver(1, kN);
+  const DestSet dests(kN, {0, 1});
+  WriteId id1, id2;
+  write_at(writer, 3, dests, &id1);
+  const auto m2 = write_at(writer, 3, dests, &id2);
+  const auto p2 = make_pending(receiver, 0, 3, id2, dests, m2);
+  EXPECT_DEATH(receiver.apply(*p2), "activation predicate");
+}
+
+}  // namespace
+}  // namespace causim::causal

@@ -1,0 +1,81 @@
+// Unit tests for FullTrackHb — the →-tracking (false-causality) variant.
+#include <gtest/gtest.h>
+
+#include "bench_support/experiment.hpp"
+#include "causal/full_track_hb.hpp"
+
+namespace causim::causal {
+namespace {
+
+constexpr SiteId kN = 4;
+
+serial::Bytes write_at(FullTrack& p, VarId var, const DestSet& dests, WriteId* id) {
+  serial::ByteWriter meta;
+  *id = p.local_write(var, Value{1, 0}, dests, meta);
+  return meta.take();
+}
+
+std::unique_ptr<PendingUpdate> make_pending(FullTrack& receiver, SiteId sender, VarId var,
+                                            const WriteId& id, const DestSet& dests,
+                                            const serial::Bytes& meta) {
+  serial::ByteReader r(meta);
+  return receiver.decode_sm(SmEnvelope{sender, var, Value{1, 0}, id}, dests, r);
+}
+
+TEST(FullTrackHb, ReceiptAloneCreatesDependency) {
+  // The defining difference from Full-Track: s1 applies x but never reads
+  // it; its next write y still depends on x under → tracking.
+  const DestSet dx(kN, {0, 1, 2});
+  const DestSet dy(kN, {1, 2});
+  FullTrackHb s0(0, kN), s1(1, kN), s2(2, kN);
+  WriteId wx, wy;
+  const auto mx = write_at(s0, 0, dx, &wx);
+  const auto px = make_pending(s1, 0, 0, wx, dx, mx);
+  ASSERT_TRUE(s1.ready(*px));
+  s1.apply(*px);  // no read!
+
+  const auto my = write_at(s1, 1, dy, &wy);
+  const auto py = make_pending(s2, 1, 1, wy, dy, my);
+  EXPECT_FALSE(s2.ready(*py)) << "→ tracking must impose the false dependency";
+
+  const auto px2 = make_pending(s2, 0, 0, wx, dx, mx);
+  s2.apply(*px2);
+  EXPECT_TRUE(s2.ready(*py));
+  s2.apply(*py);
+}
+
+TEST(FullTrackHb, StillSafeOnPropertyGrid) {
+  // Stronger-than-causal ordering is still causal: the checker must pass.
+  for (const std::uint64_t seed : {1ULL, 2ULL}) {
+    bench_support::ExperimentParams params;
+    params.protocol = ProtocolKind::kFullTrackHb;
+    params.sites = 8;
+    params.replication = 3;
+    params.write_rate = 0.5;
+    params.ops_per_site = 120;
+    params.seeds = {seed};
+    params.check = true;
+    const auto r = bench_support::run_experiment(params);
+    EXPECT_TRUE(r.check_ok) << (r.violations.empty() ? "" : r.violations.front());
+  }
+}
+
+TEST(FullTrackHb, SameMessageSizesAsFullTrack) {
+  // Identical wire format — only the merge point differs.
+  bench_support::ExperimentParams params;
+  params.sites = 6;
+  params.replication = 2;
+  params.write_rate = 0.5;
+  params.ops_per_site = 100;
+  params.seeds = {4};
+
+  params.protocol = ProtocolKind::kFullTrack;
+  const auto ft = bench_support::run_experiment(params);
+  params.protocol = ProtocolKind::kFullTrackHb;
+  const auto hb = bench_support::run_experiment(params);
+  EXPECT_EQ(ft.stats.total().count, hb.stats.total().count);
+  EXPECT_EQ(ft.stats.total().meta_bytes, hb.stats.total().meta_bytes);
+}
+
+}  // namespace
+}  // namespace causim::causal

@@ -1,0 +1,173 @@
+// Unit tests for KsLog — the Opt-Track log with the KS pruning rules.
+#include <gtest/gtest.h>
+
+#include "causal/ks_log.hpp"
+
+namespace causim::causal {
+namespace {
+
+constexpr SiteId kN = 8;
+
+DestSet dests(std::initializer_list<SiteId> sites) { return DestSet(kN, sites); }
+
+TEST(KsLog, AddAndFind) {
+  KsLog log(kN);
+  log.add({1, 5}, dests({2, 3}));
+  ASSERT_NE(log.find({1, 5}), nullptr);
+  EXPECT_EQ(*log.find({1, 5}), dests({2, 3}));
+  EXPECT_EQ(log.find({1, 6}), nullptr);
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(KsLog, AddExistingIntersectsDestLists) {
+  KsLog log(kN);
+  log.add({1, 5}, dests({2, 3, 4}));
+  log.add({1, 5}, dests({3, 4, 5}));
+  EXPECT_EQ(*log.find({1, 5}), dests({3, 4}));
+}
+
+TEST(KsLog, ObsoleteEntriesAreDiscarded) {
+  // The KS implicit-tracking rule: an incoming entry older than a present
+  // same-writer entry is stale and must not be (re)added.
+  KsLog log(kN);
+  log.add({1, 9}, dests({2}));
+  log.add({1, 5}, dests({3, 4}));
+  EXPECT_EQ(log.find({1, 5}), nullptr);
+  EXPECT_EQ(log.size(), 1u);
+  // A different writer's older clock is unaffected.
+  log.add({2, 5}, dests({3}));
+  EXPECT_NE(log.find({2, 5}), nullptr);
+}
+
+TEST(KsLog, NewerEntriesAlwaysEnter) {
+  KsLog log(kN);
+  log.add({1, 5}, dests({2}));
+  log.add({1, 9}, dests({3}));
+  EXPECT_NE(log.find({1, 5}), nullptr);
+  EXPECT_NE(log.find({1, 9}), nullptr);
+}
+
+TEST(KsLog, MergeCombinesBothRules) {
+  KsLog a(kN);
+  a.add({1, 5}, dests({2, 3}));
+  a.add({2, 1}, dests({4}));
+
+  KsLog b(kN);
+  b.add({1, 2}, dests({7}));     // obsolete at merge time: a has (1,5)
+  b.add({1, 5}, dests({3, 6}));  // intersects to {3}
+  b.add({3, 4}, dests({0}));     // new writer: added
+
+  a.merge(b);
+  EXPECT_EQ(*a.find({1, 5}), dests({3}));
+  EXPECT_EQ(a.find({1, 2}), nullptr);
+  EXPECT_EQ(*a.find({2, 1}), dests({4}));
+  EXPECT_EQ(*a.find({3, 4}), dests({0}));
+}
+
+TEST(KsLog, PruneDests) {
+  KsLog log(kN);
+  log.add({1, 1}, dests({2, 3, 4}));
+  log.add({2, 1}, dests({3}));
+  log.prune_dests(dests({3, 4}));
+  EXPECT_EQ(*log.find({1, 1}), dests({2}));
+  EXPECT_TRUE(log.find({2, 1})->empty());
+}
+
+TEST(KsLog, EraseDestUpTo) {
+  KsLog log(kN);
+  log.add({1, 3}, dests({5, 6}));
+  log.add({1, 7}, dests({5, 6}));
+  log.erase_dest_up_to(5, /*writer=*/1, /*clock=*/4);
+  EXPECT_EQ(*log.find({1, 3}), dests({6}));   // clock 3 <= 4: pruned
+  EXPECT_EQ(*log.find({1, 7}), dests({5, 6}));  // clock 7 > 4: untouched
+}
+
+TEST(KsLog, PruneApplied) {
+  KsLog log(kN);
+  log.add({0, 2}, dests({1, 5}));
+  log.add({0, 9}, dests({5}));
+  log.add({3, 1}, dests({5}));
+  std::vector<WriteClock> applied(kN, 0);
+  applied[0] = 4;  // writes (0, c<=4) applied at site 5
+  log.prune_applied(5, applied);
+  EXPECT_EQ(*log.find({0, 2}), dests({1}));
+  EXPECT_EQ(*log.find({0, 9}), dests({5}));
+  EXPECT_EQ(*log.find({3, 1}), dests({5}));
+}
+
+TEST(KsLog, PurgeKeepsOnlyLatestEmptyPerWriter) {
+  KsLog log(kN);
+  log.add({1, 1}, dests({}));
+  log.add({1, 2}, dests({}));
+  log.add({1, 3}, dests({4}));
+  log.add({2, 1}, dests({}));
+  log.purge();
+  EXPECT_EQ(log.find({1, 1}), nullptr);
+  EXPECT_EQ(log.find({1, 2}), nullptr);  // empty, superseded by (1,3)
+  EXPECT_NE(log.find({1, 3}), nullptr);
+  EXPECT_NE(log.find({2, 1}), nullptr);  // latest of writer 2: kept as marker
+}
+
+TEST(KsLog, PurgeKeepsNonEmptyOldEntries) {
+  KsLog log(kN);
+  log.add({1, 1}, dests({6}));
+  log.add({1, 2}, dests({7}));
+  log.purge();
+  EXPECT_NE(log.find({1, 1}), nullptr);
+  EXPECT_NE(log.find({1, 2}), nullptr);
+}
+
+TEST(KsLog, ProgramOrderPruneUsesNewerDestUnion) {
+  KsLog log(kN);
+  log.add({1, 1}, dests({2, 3, 4, 5}));
+  log.add({1, 2}, dests({3}));
+  log.add({1, 3}, dests({4}));
+  log.add({2, 1}, dests({3}));  // other writer untouched
+  log.prune_by_program_order();
+  EXPECT_EQ(*log.find({1, 1}), dests({2, 5}));  // 3 and 4 covered by newer
+  EXPECT_EQ(*log.find({1, 2}), dests({3}));     // newest-but-one keeps its own
+  EXPECT_EQ(*log.find({1, 3}), dests({4}));
+  EXPECT_EQ(*log.find({2, 1}), dests({3}));
+}
+
+TEST(KsLog, MaxClockOf) {
+  KsLog log(kN);
+  EXPECT_EQ(log.max_clock_of(1), 0u);
+  log.add({1, 4}, dests({2}));
+  log.add({1, 9}, dests({2}));
+  log.add({2, 7}, dests({2}));
+  EXPECT_EQ(log.max_clock_of(1), 9u);
+  EXPECT_EQ(log.max_clock_of(2), 7u);
+  EXPECT_EQ(log.max_clock_of(0), 0u);
+  EXPECT_EQ(log.max_clock_of(7), 0u);
+}
+
+TEST(KsLog, SerializeRoundTripAndExactSize) {
+  for (const serial::ClockWidth cw :
+       {serial::ClockWidth::k4Bytes, serial::ClockWidth::k8Bytes}) {
+    KsLog log(kN);
+    log.add({1, 5}, dests({2, 3}));
+    log.add({4, 1}, dests({}));
+    serial::ByteWriter w(cw);
+    log.serialize(w);
+    EXPECT_EQ(w.size(), log.wire_bytes(cw));
+    serial::ByteReader r(w.bytes(), cw);
+    EXPECT_EQ(KsLog::deserialize(r), log);
+  }
+}
+
+TEST(KsLog, ForEachIteratesInWriterClockOrder) {
+  KsLog log(kN);
+  log.add({2, 1}, dests({}));
+  log.add({1, 4}, dests({}));
+  log.add({1, 9}, dests({}));
+  std::vector<WriteId> order;
+  log.for_each([&](const WriteId& id, const DestSet&) { order.push_back(id); });
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], (WriteId{1, 4}));
+  EXPECT_EQ(order[1], (WriteId{1, 9}));
+  EXPECT_EQ(order[2], (WriteId{2, 1}));
+}
+
+}  // namespace
+}  // namespace causim::causal

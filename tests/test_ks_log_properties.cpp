@@ -1,0 +1,155 @@
+// Property tests over randomized KsLogs: the algebraic laws the Opt-Track
+// pruning machinery relies on.
+#include <gtest/gtest.h>
+
+#include "causal/ks_log.hpp"
+#include "sim/rng.hpp"
+
+namespace causim::causal {
+namespace {
+
+constexpr SiteId kN = 10;
+
+KsLog random_log(sim::Pcg32& rng, std::size_t entries) {
+  KsLog log(kN);
+  for (std::size_t e = 0; e < entries; ++e) {
+    const auto writer = static_cast<SiteId>(rng.uniform_int(0, kN - 1));
+    const auto clock = static_cast<WriteClock>(rng.uniform_int(1, 30));
+    DestSet d(kN);
+    const auto count = rng.uniform_int(0, 4);
+    for (long k = 0; k < count; ++k) {
+      d.insert(static_cast<SiteId>(rng.uniform_int(0, kN - 1)));
+    }
+    log.add({writer, clock}, d);
+  }
+  return log;
+}
+
+/// True if every constraint (write → destination) in `a` is also in `b`.
+bool constraints_subset(const KsLog& a, const KsLog& b) {
+  bool subset = true;
+  a.for_each([&](const WriteId& id, const DestSet& dests) {
+    if (!subset || dests.empty()) return;
+    const DestSet* other = b.find(id);
+    if (other == nullptr || !dests.is_subset_of(*other)) subset = false;
+  });
+  return subset;
+}
+
+class KsLogProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KsLogProperty, SerializeRoundTripIsIdentity) {
+  sim::Pcg32 rng(GetParam());
+  const KsLog log = random_log(rng, 25);
+  for (const auto cw : {serial::ClockWidth::k4Bytes, serial::ClockWidth::k8Bytes}) {
+    serial::ByteWriter w(cw);
+    log.serialize(w);
+    EXPECT_EQ(w.size(), log.wire_bytes(cw));
+    serial::ByteReader r(w.bytes(), cw);
+    EXPECT_EQ(KsLog::deserialize(r), log);
+  }
+}
+
+TEST_P(KsLogProperty, MergeIsIdempotent) {
+  sim::Pcg32 rng(GetParam());
+  KsLog log = random_log(rng, 25);
+  const KsLog other = random_log(rng, 25);
+  log.merge(other);
+  KsLog again = log;
+  again.merge(other);
+  EXPECT_EQ(again, log);
+}
+
+TEST_P(KsLogProperty, SelfMergeIsIdentity) {
+  sim::Pcg32 rng(GetParam());
+  KsLog log = random_log(rng, 25);
+  const KsLog copy = log;
+  log.merge(copy);
+  EXPECT_EQ(log, copy);
+}
+
+TEST_P(KsLogProperty, MergeNeverInventsConstraints) {
+  // Every (write → destination) constraint after a merge existed in one of
+  // the inputs — pruning may drop information, never create it.
+  sim::Pcg32 rng(GetParam());
+  const KsLog a = random_log(rng, 20);
+  const KsLog b = random_log(rng, 20);
+  KsLog merged = a;
+  merged.merge(b);
+  bool invented = false;
+  merged.for_each([&](const WriteId& id, const DestSet& dests) {
+    dests.for_each([&](SiteId d) {
+      const DestSet* in_a = a.find(id);
+      const DestSet* in_b = b.find(id);
+      const bool from_a = in_a != nullptr && in_a->contains(d);
+      const bool from_b = in_b != nullptr && in_b->contains(d);
+      if (!from_a && !from_b) invented = true;
+    });
+  });
+  EXPECT_FALSE(invented);
+}
+
+TEST_P(KsLogProperty, MergePreservesPerWriterMaxClock) {
+  sim::Pcg32 rng(GetParam());
+  const KsLog a = random_log(rng, 20);
+  const KsLog b = random_log(rng, 20);
+  KsLog merged = a;
+  merged.merge(b);
+  for (SiteId w = 0; w < kN; ++w) {
+    EXPECT_EQ(merged.max_clock_of(w), std::max(a.max_clock_of(w), b.max_clock_of(w)));
+  }
+}
+
+TEST_P(KsLogProperty, PruneOperationsOnlyShrink) {
+  sim::Pcg32 rng(GetParam());
+  KsLog log = random_log(rng, 25);
+  const KsLog before = log;
+
+  DestSet pruned(kN);
+  pruned.insert(static_cast<SiteId>(rng.uniform_int(0, kN - 1)));
+  pruned.insert(static_cast<SiteId>(rng.uniform_int(0, kN - 1)));
+  log.prune_dests(pruned);
+  EXPECT_TRUE(constraints_subset(log, before));
+
+  log.prune_by_program_order();
+  EXPECT_TRUE(constraints_subset(log, before));
+
+  std::vector<WriteClock> applied(kN, 0);
+  applied[0] = 15;
+  log.prune_applied(3, applied);
+  EXPECT_TRUE(constraints_subset(log, before));
+}
+
+TEST_P(KsLogProperty, PurgeDropsOnlyEmptyNonLatestEntries) {
+  sim::Pcg32 rng(GetParam());
+  KsLog log = random_log(rng, 25);
+  const KsLog before = log;
+  log.purge();
+  // No constraint lost…
+  EXPECT_TRUE(constraints_subset(before, log));
+  // …and every surviving empty entry is its writer's latest.
+  log.for_each([&](const WriteId& id, const DestSet& dests) {
+    if (dests.empty()) {
+      EXPECT_EQ(log.max_clock_of(id.writer), id.clock);
+    }
+  });
+  // Purge is idempotent.
+  KsLog again = log;
+  again.purge();
+  EXPECT_EQ(again, log);
+}
+
+TEST_P(KsLogProperty, ProgramOrderPruneIsIdempotent) {
+  sim::Pcg32 rng(GetParam());
+  KsLog log = random_log(rng, 25);
+  log.prune_by_program_order();
+  KsLog again = log;
+  again.prune_by_program_order();
+  EXPECT_EQ(again, log);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KsLogProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace causim::causal

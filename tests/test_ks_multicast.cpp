@@ -1,0 +1,154 @@
+// Tests for the KS causal multicast library (the message-passing substrate
+// Opt-Track is derived from).
+#include <gtest/gtest.h>
+
+#include "ksmulticast/multicast_group.hpp"
+#include "sim/rng.hpp"
+
+namespace causim::ksmulticast {
+namespace {
+
+DestSet dests(SiteId n, std::initializer_list<SiteId> sites) { return DestSet(n, sites); }
+
+TEST(KsProcess, SendPiggybacksAndPrunes) {
+  KsProcess p(0, 4);
+  serial::ByteWriter m1(serial::ClockWidth::k4Bytes);
+  const WriteId id1 = p.send(dests(4, {1, 2}), m1);
+  EXPECT_EQ(id1, (WriteId{0, 1}));
+  {
+    serial::ByteReader r(m1.bytes());
+    EXPECT_TRUE(causal::KsLog::deserialize(r).empty());  // first send: empty log
+  }
+  ASSERT_NE(p.log().find(id1), nullptr);
+  EXPECT_EQ(*p.log().find(id1), dests(4, {1, 2}));
+
+  // Second send to an overlapping set prunes the first entry (condition 2)
+  // and piggybacks the pre-prune log.
+  serial::ByteWriter m2(serial::ClockWidth::k4Bytes);
+  const WriteId id2 = p.send(dests(4, {2, 3}), m2);
+  serial::ByteReader r(m2.bytes());
+  const causal::KsLog piggyback = causal::KsLog::deserialize(r);
+  ASSERT_NE(piggyback.find(id1), nullptr);
+  EXPECT_EQ(*piggyback.find(id1), dests(4, {1, 2}));
+  EXPECT_EQ(*p.log().find(id1), dests(4, {1}));
+  EXPECT_EQ(*p.log().find(id2), dests(4, {2, 3}));
+}
+
+TEST(KsProcess, DeliveryConditionWaitsForCausalPredecessor) {
+  KsProcess a(0, 3), b(1, 3), c(2, 3);
+  // a sends m1 to {1,2}; b delivers m1, then sends m2 to {2}.
+  serial::ByteWriter meta1(serial::ClockWidth::k4Bytes);
+  const WriteId m1 = a.send(dests(3, {1, 2}), meta1);
+  serial::ByteReader r1b(meta1.bytes());
+  const auto pm1b = b.decode(0, m1, dests(3, {1, 2}), r1b);
+  ASSERT_TRUE(b.deliverable(*pm1b));
+  b.deliver(*pm1b);
+
+  serial::ByteWriter meta2(serial::ClockWidth::k4Bytes);
+  const WriteId m2 = b.send(dests(3, {2}), meta2);
+
+  // c receives m2 first: must wait (m1 → m2 and m1 is destined to c).
+  serial::ByteReader r2c(meta2.bytes());
+  const auto pm2c = c.decode(1, m2, dests(3, {2}), r2c);
+  EXPECT_FALSE(c.deliverable(*pm2c));
+
+  serial::ByteReader r1c(meta1.bytes());
+  const auto pm1c = c.decode(0, m1, dests(3, {1, 2}), r1c);
+  ASSERT_TRUE(c.deliverable(*pm1c));
+  c.deliver(*pm1c);
+  EXPECT_TRUE(c.deliverable(*pm2c));
+  c.deliver(*pm2c);
+  EXPECT_EQ(c.delivered_clock(0), 1u);
+  EXPECT_EQ(c.delivered_clock(1), 1u);
+}
+
+TEST(KsProcess, ConcurrentSendsDeliverableInAnyOrder) {
+  KsProcess a(0, 3), b(1, 3), c(2, 3);
+  serial::ByteWriter ma(serial::ClockWidth::k4Bytes), mb(serial::ClockWidth::k4Bytes);
+  const WriteId ia = a.send(dests(3, {2}), ma);
+  const WriteId ib = b.send(dests(3, {2}), mb);
+  serial::ByteReader ra(ma.bytes()), rb(mb.bytes());
+  const auto pa = c.decode(0, ia, dests(3, {2}), ra);
+  const auto pb = c.decode(1, ib, dests(3, {2}), rb);
+  EXPECT_TRUE(c.deliverable(*pb));
+  c.deliver(*pb);
+  EXPECT_TRUE(c.deliverable(*pa));
+  c.deliver(*pa);
+}
+
+TEST(KsProcessDeathTest, DeliverBeforeConditionPanics) {
+  KsProcess a(0, 3), b(1, 3), c(2, 3);
+  serial::ByteWriter meta1(serial::ClockWidth::k4Bytes);
+  const WriteId m1 = a.send(dests(3, {1, 2}), meta1);
+  serial::ByteReader r1(meta1.bytes());
+  const auto pm1 = b.decode(0, m1, dests(3, {1, 2}), r1);
+  b.deliver(*pm1);
+  serial::ByteWriter meta2(serial::ClockWidth::k4Bytes);
+  b.send(dests(3, {2}), meta2);
+  serial::ByteReader r2(meta2.bytes());
+  const auto pm2 = c.decode(1, WriteId{1, 1}, dests(3, {2}), r2);
+  EXPECT_DEATH(c.deliver(*pm2), "delivery condition");
+}
+
+class GroupProperty : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(GroupProperty, RandomMulticastsAreCausallyDelivered) {
+  const auto [n, seed] = GetParam();
+  MulticastGroup::Options options;
+  options.processes = static_cast<SiteId>(n);
+  options.seed = seed;
+  MulticastGroup group(options);
+
+  sim::Pcg32 rng(seed, 0x6d63617374ULL);
+  // Random processes multicast to random non-empty groups at random times.
+  for (int k = 0; k < 60 * n; ++k) {
+    const auto from = static_cast<SiteId>(rng.uniform_int(0, n - 1));
+    DestSet d(static_cast<SiteId>(n));
+    for (SiteId s = 0; s < n; ++s) {
+      if (s != from && rng.bernoulli(0.4)) d.insert(s);
+    }
+    if (d.empty()) d.insert(static_cast<SiteId>((from + 1) % n));
+    group.simulator().schedule_at(group.simulator().now(), [&group, from, d] {
+      // note: sends happen inside the event loop at staggered times
+      group.multicast(from, d);
+    });
+    group.simulator().run_until(group.simulator().now() + rng.uniform_int(0, 40));
+  }
+  group.run();
+
+  EXPECT_TRUE(group.violations().empty())
+      << group.violations().front() << " (n=" << n << " seed=" << seed << ")";
+  EXPECT_GT(group.total_deliveries(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, GroupProperty,
+                         ::testing::Combine(::testing::Values(3, 5, 8),
+                                            ::testing::Values(1ULL, 2ULL, 3ULL)));
+
+TEST(Group, LogSizeStaysAmortizedLinear) {
+  // The Chandra et al. [18] claim the paper's §V-A leans on: the KS log
+  // holds amortized O(n) entries despite O(n²) worst case.
+  MulticastGroup::Options options;
+  options.processes = 12;
+  options.seed = 7;
+  options.verify = false;
+  MulticastGroup group(options);
+
+  sim::Pcg32 rng(7, 0x6c6f67ULL);
+  for (int k = 0; k < 1500; ++k) {
+    const auto from = static_cast<SiteId>(rng.uniform_int(0, 11));
+    DestSet d(12);
+    const auto size = static_cast<SiteId>(rng.uniform_int(1, 5));
+    while (d.count() < size) {
+      const auto s = static_cast<SiteId>(rng.uniform_int(0, 11));
+      if (s != from) d.insert(s);
+    }
+    group.multicast(from, d);
+    group.simulator().run_until(group.simulator().now() + 20 * kMillisecond);
+  }
+  group.run();
+  EXPECT_LT(group.log_entries().mean(), 4.0 * 12);
+}
+
+}  // namespace
+}  // namespace causim::ksmulticast

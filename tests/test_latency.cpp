@@ -1,0 +1,76 @@
+// Unit tests for the channel latency models.
+#include <gtest/gtest.h>
+
+#include "sim/latency.hpp"
+
+namespace causim::sim {
+namespace {
+
+TEST(Latency, FixedIsConstant) {
+  const FixedLatency model(42);
+  Pcg32 rng(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(model.sample(rng, 0, 1), 42);
+}
+
+TEST(Latency, UniformStaysInRange) {
+  const UniformLatency model(10, 50);
+  Pcg32 rng(2);
+  SimTime lo = 1000, hi = -1;
+  for (int i = 0; i < 2000; ++i) {
+    const SimTime d = model.sample(rng, 0, 1);
+    ASSERT_GE(d, 10);
+    ASSERT_LE(d, 50);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_LE(lo, 12);  // both ends actually reached
+  EXPECT_GE(hi, 48);
+}
+
+TEST(Latency, GeoRingDistancesAreSymmetricAndRingShaped) {
+  // 8 sites, 4 regions, local 5, per hop 10: sites i and j in regions
+  // i%4 and j%4, ring distance min(|a-b|, 4-|a-b|).
+  const GeoLatency model = GeoLatency::ring(8, 4, 5, 10, /*jitter=*/0.0);
+  Pcg32 rng(3);
+  EXPECT_EQ(model.sample(rng, 0, 4), 5);   // same region (0 and 0)
+  EXPECT_EQ(model.sample(rng, 0, 1), 15);  // one hop
+  EXPECT_EQ(model.sample(rng, 0, 2), 25);  // two hops
+  EXPECT_EQ(model.sample(rng, 0, 3), 15);  // ring wraps: 3 is one hop back
+  EXPECT_EQ(model.sample(rng, 1, 0), 15);  // symmetric
+}
+
+TEST(Latency, GeoJitterOnlyInflates) {
+  const GeoLatency model = GeoLatency::ring(4, 2, 10, 20, /*jitter=*/0.5);
+  Pcg32 rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const SimTime d = model.sample(rng, 0, 1);
+    ASSERT_GE(d, 30);                // base
+    ASSERT_LE(d, 45);                // base * 1.5
+  }
+}
+
+TEST(Latency, BandwidthAddsTransmissionTime) {
+  const FixedLatency base(1000);  // 1 ms propagation
+  const BandwidthLatency model(base, /*bytes_per_second=*/1'000'000.0);  // 1 MB/s
+  Pcg32 rng(5);
+  EXPECT_EQ(model.sample(rng, 0, 1), 1000);                    // size-unaware path
+  EXPECT_EQ(model.sample_for(rng, 0, 1, 0), 1000);
+  // 1000 bytes at 1 MB/s = 1 ms of serialization on top.
+  EXPECT_EQ(model.sample_for(rng, 0, 1, 1000), 2000);
+  // 1 MB takes a full second.
+  EXPECT_EQ(model.sample_for(rng, 0, 1, 1'000'000), 1000 + kSecond);
+}
+
+TEST(Latency, DefaultSampleForIgnoresSize) {
+  const FixedLatency model(77);
+  Pcg32 rng(6);
+  EXPECT_EQ(model.sample_for(rng, 0, 1, 123456), 77);
+}
+
+TEST(LatencyDeathTest, NonSquareMatrixPanics) {
+  std::vector<std::vector<SimTime>> bad{{1, 2}, {3}};
+  EXPECT_DEATH(GeoLatency(std::move(bad), 0.0), "square");
+}
+
+}  // namespace
+}  // namespace causim::sim

@@ -1,0 +1,98 @@
+// Unit tests for optP — the Baldoni et al. full-replication baseline.
+#include <gtest/gtest.h>
+
+#include "causal/opt_p.hpp"
+
+namespace causim::causal {
+namespace {
+
+constexpr SiteId kN = 4;
+
+serial::Bytes write_at(OptP& p, VarId var, WriteId* id) {
+  serial::ByteWriter meta;
+  *id = p.local_write(var, Value{1, 0}, DestSet::all(kN), meta);
+  return meta.take();
+}
+
+std::unique_ptr<PendingUpdate> make_pending(OptP& receiver, SiteId sender, VarId var,
+                                            const WriteId& id, const serial::Bytes& meta) {
+  serial::ByteReader r(meta);
+  return receiver.decode_sm(SmEnvelope{sender, var, Value{1, 0}, id}, DestSet::all(kN), r);
+}
+
+TEST(OptP, WriteIncrementsOwnEntryAndAppliesLocally) {
+  OptP p(2, kN);
+  WriteId id;
+  write_at(p, 0, &id);
+  EXPECT_EQ(id, (WriteId{2, 1}));
+  EXPECT_EQ(p.write_clock()[2], 1u);
+  EXPECT_EQ(p.applied_count(2), 1u);
+}
+
+TEST(OptP, SmMetaIsExactlyTheVector) {
+  OptP p(0, kN);
+  WriteId id;
+  const auto meta = write_at(p, 0, &id);
+  EXPECT_EQ(meta.size(), VectorClock::wire_bytes(kN, serial::ClockWidth::k4Bytes));
+}
+
+TEST(OptP, SmSizeIndependentOfHistory) {
+  // The hallmark weakness vs Opt-Track-CRP: the piggyback never shrinks or
+  // grows — it is always the n-entry vector.
+  OptP a(0, kN), b(1, kN);
+  WriteId id;
+  const auto first = write_at(a, 0, &id);
+  for (int i = 0; i < 20; ++i) write_at(a, i % 3, &id);
+  const auto later = write_at(a, 1, &id);
+  EXPECT_EQ(first.size(), later.size());
+  (void)b;
+}
+
+TEST(OptP, ProgramOrderGating) {
+  OptP a(0, kN), b(1, kN);
+  WriteId w1, w2;
+  const auto m1 = write_at(a, 0, &w1);
+  const auto m2 = write_at(a, 0, &w2);
+  const auto p2 = make_pending(b, 0, 0, w2, m2);
+  EXPECT_FALSE(b.ready(*p2));
+  const auto p1 = make_pending(b, 0, 0, w1, m1);
+  ASSERT_TRUE(b.ready(*p1));
+  b.apply(*p1);
+  EXPECT_TRUE(b.ready(*p2));
+  b.apply(*p2);
+  EXPECT_EQ(b.applied_count(0), 2u);
+}
+
+TEST(OptP, ReadCreatesDependencyNoReadNoDependency) {
+  for (const bool with_read : {true, false}) {
+    OptP s0(0, kN), s1(1, kN), s2(2, kN);
+    WriteId wx, wy;
+    const auto mx = write_at(s0, 0, &wx);
+    const auto px1 = make_pending(s1, 0, 0, wx, mx);
+    s1.apply(*px1);
+    if (with_read) s1.local_read(0);
+    const auto my = write_at(s1, 1, &wy);
+    const auto py = make_pending(s2, 1, 1, wy, my);
+    EXPECT_EQ(s2.ready(*py), !with_read);
+  }
+}
+
+TEST(OptP, MergeOnReadIsEntrywiseMax) {
+  OptP a(0, kN), b(1, kN);
+  WriteId wb;
+  const auto mb = write_at(b, 3, &wb);
+  const auto pb = make_pending(a, 1, 3, wb, mb);
+  a.apply(*pb);
+  EXPECT_EQ(a.write_clock()[1], 0u) << "receipt alone must not merge (→co, not →)";
+  a.local_read(3);
+  EXPECT_EQ(a.write_clock()[1], 1u);
+}
+
+TEST(OptPDeathTest, RequiresFullReplication) {
+  OptP p(0, kN);
+  serial::ByteWriter meta;
+  EXPECT_DEATH(p.local_write(0, Value{1, 0}, DestSet(kN, {0}), meta), "full replication");
+}
+
+}  // namespace
+}  // namespace causim::causal

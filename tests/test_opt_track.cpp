@@ -1,0 +1,230 @@
+// Unit tests for the Opt-Track protocol: KS-log maintenance, the activation
+// predicate, the two implicit pruning conditions, and merge-on-read.
+#include <gtest/gtest.h>
+
+#include "causal/opt_track.hpp"
+
+namespace causim::causal {
+namespace {
+
+constexpr SiteId kN = 5;
+
+DestSet dests(std::initializer_list<SiteId> sites) { return DestSet(kN, sites); }
+
+serial::Bytes write_at(OptTrack& p, VarId var, const DestSet& d, WriteId* id) {
+  serial::ByteWriter meta;
+  *id = p.local_write(var, Value{1, 0}, d, meta);
+  return meta.take();
+}
+
+std::unique_ptr<PendingUpdate> make_pending(OptTrack& receiver, SiteId sender, VarId var,
+                                            const WriteId& id, const DestSet& d,
+                                            const serial::Bytes& meta) {
+  serial::ByteReader r(meta);
+  return receiver.decode_sm(SmEnvelope{sender, var, Value{1, 0}, id}, d, r);
+}
+
+TEST(OptTrack, FirstWritePiggybacksEmptyLog) {
+  OptTrack p(0, kN);
+  WriteId id;
+  const auto meta = write_at(p, 0, dests({0, 1}), &id);
+  serial::ByteReader r(meta);
+  EXPECT_TRUE(KsLog::deserialize(r).empty());
+  EXPECT_EQ(id, (WriteId{0, 1}));
+}
+
+TEST(OptTrack, LocalWriteEntersLogWithoutSelf) {
+  OptTrack p(0, kN);
+  WriteId id;
+  write_at(p, 0, dests({0, 1, 2}), &id);
+  ASSERT_NE(p.log().find(id), nullptr);
+  EXPECT_EQ(*p.log().find(id), dests({1, 2}));  // condition (1): self applied
+  EXPECT_EQ(p.applied_clock(0), 1u);
+}
+
+TEST(OptTrack, SendTimePruningDropsCoveredDests) {
+  // Condition (2): a second write to an overlapping replica set prunes the
+  // first entry's common destinations.
+  OptTrack p(0, kN);
+  WriteId w1, w2;
+  write_at(p, 0, dests({0, 1, 2}), &w1);
+  write_at(p, 1, dests({0, 2, 3}), &w2);
+  ASSERT_NE(p.log().find(w1), nullptr);
+  EXPECT_EQ(*p.log().find(w1), dests({1}));  // 2 covered by w2's multicast
+  EXPECT_EQ(*p.log().find(w2), dests({2, 3}));
+}
+
+TEST(OptTrack, IndependentWriteImmediatelyReady) {
+  OptTrack a(0, kN), b(1, kN);
+  WriteId id;
+  const auto meta = write_at(a, 0, dests({0, 1}), &id);
+  const auto pending = make_pending(b, 0, 0, id, dests({0, 1}), meta);
+  EXPECT_TRUE(b.ready(*pending));
+  b.apply(*pending);
+  EXPECT_EQ(b.applied_clock(0), 1u);
+}
+
+TEST(OptTrack, ProgramOrderGatesSecondWrite) {
+  OptTrack a(0, kN), b(1, kN);
+  const DestSet d = dests({0, 1});
+  WriteId w1, w2;
+  const auto m1 = write_at(a, 0, d, &w1);
+  const auto m2 = write_at(a, 0, d, &w2);
+  const auto p2 = make_pending(b, 0, 0, w2, d, m2);
+  EXPECT_FALSE(b.ready(*p2));
+  const auto p1 = make_pending(b, 0, 0, w1, d, m1);
+  ASSERT_TRUE(b.ready(*p1));
+  b.apply(*p1);
+  EXPECT_TRUE(b.ready(*p2));
+}
+
+TEST(OptTrack, ReadCreatesCausalDependencyAcrossWriters) {
+  // s0 writes x to {0,1}; s1 applies it, reads it, then writes y: y's
+  // piggybacked log must carry x's entry — with s1 pruned (it applied x,
+  // condition (1)) but the writer-side replica 0 still listed.
+  OptTrack s0(0, kN), s1(1, kN);
+  WriteId wx, wy;
+  const auto mx = write_at(s0, 0, dests({0, 1}), &wx);
+  const auto px = make_pending(s1, 0, 0, wx, dests({0, 1}), mx);
+  ASSERT_TRUE(s1.ready(*px));
+  s1.apply(*px);
+  s1.local_read(0);
+
+  const auto my = write_at(s1, 1, dests({1, 2}), &wy);
+  serial::ByteReader r(my);
+  const KsLog piggyback = KsLog::deserialize(r);
+  ASSERT_NE(piggyback.find(wx), nullptr);
+  EXPECT_EQ(*piggyback.find(wx), dests({0}));
+}
+
+TEST(OptTrack, PredicateWaitsForPiggybackedDependency) {
+  // x destined to {1,2}; s1 reads x then writes y to {1,2}; s2 must apply x
+  // before y.
+  OptTrack s0(0, kN), s1(1, kN), s2(2, kN);
+  WriteId wx, wy;
+  const auto mx = write_at(s0, 0, dests({1, 2}), &wx);
+  const auto px1 = make_pending(s1, 0, 0, wx, dests({1, 2}), mx);
+  ASSERT_TRUE(s1.ready(*px1));
+  s1.apply(*px1);
+  s1.local_read(0);
+
+  const auto my = write_at(s1, 1, dests({1, 2}), &wy);
+  const auto py = make_pending(s2, 1, 1, wy, dests({1, 2}), my);
+  EXPECT_FALSE(s2.ready(*py)) << "y causally follows x and both are destined to s2";
+
+  const auto px2 = make_pending(s2, 0, 0, wx, dests({1, 2}), mx);
+  ASSERT_TRUE(s2.ready(*px2));
+  s2.apply(*px2);
+  EXPECT_TRUE(s2.ready(*py));
+  s2.apply(*py);
+}
+
+TEST(OptTrack, NoFalseDependencyWithoutRead) {
+  OptTrack s0(0, kN), s1(1, kN), s2(2, kN);
+  WriteId wx, wy;
+  const auto mx = write_at(s0, 0, dests({1, 2}), &wx);
+  const auto px1 = make_pending(s1, 0, 0, wx, dests({1, 2}), mx);
+  s1.apply(*px1);  // applied, never read
+
+  const auto my = write_at(s1, 1, dests({1, 2}), &wy);
+  const auto py = make_pending(s2, 1, 1, wy, dests({1, 2}), my);
+  EXPECT_TRUE(s2.ready(*py));
+}
+
+TEST(OptTrack, ApplyPrunesReceiverAndMessageDests) {
+  // Receiver stores LastWriteOn with condition (1)+(2) pruning applied.
+  OptTrack s0(0, kN), s1(1, kN);
+  WriteId wx, wy;
+  const auto mx = write_at(s0, 0, dests({0, 1, 3}), &wx);
+  const auto my = write_at(s0, 1, dests({1, 2}), &wy);  // piggybacks x's entry
+
+  const auto py = make_pending(s1, 0, 1, wy, dests({1, 2}), my);
+  EXPECT_FALSE(s1.ready(*py)) << "x is destined to s1 and precedes y";
+  const auto px = make_pending(s1, 0, 0, wx, dests({0, 1, 3}), mx);
+  ASSERT_TRUE(s1.ready(*px));
+  s1.apply(*px);
+  ASSERT_TRUE(s1.ready(*py));
+  s1.apply(*py);
+
+  // LastWriteOn⟨var 1⟩ at s1: x's entry pruned by dests(y) ∪ {self} → {3};
+  // y's own entry keeps {2} (condition (1) removed the receiver).
+  const KsLog* deps = s1.last_write_log(1);
+  ASSERT_NE(deps, nullptr);
+  ASSERT_NE(deps->find(wx), nullptr);
+  EXPECT_EQ(*deps->find(wx), dests({3}));
+  ASSERT_NE(deps->find(wy), nullptr);
+  EXPECT_EQ(*deps->find(wy), dests({2}));
+}
+
+TEST(OptTrack, RemoteReturnMergesIntoLocalLog) {
+  OptTrack server(0, kN), reader(4, kN);
+  WriteId wx;
+  write_at(server, 2, dests({0, 1}), &wx);
+
+  serial::ByteWriter rm;
+  server.remote_return_meta(2, rm);
+  const serial::Bytes bytes = rm.take();
+  serial::ByteReader r(bytes);
+  const auto ret = reader.decode_remote_return(r);
+  // wx is not destined to site 4, so the return is immediately ready.
+  ASSERT_TRUE(reader.return_ready(*ret));
+  reader.absorb_remote_return(2, *ret);
+  ASSERT_NE(reader.log().find(wx), nullptr);
+  // Server pruned itself (condition 1), destination 1 remains.
+  EXPECT_EQ(*reader.log().find(wx), dests({1}));
+}
+
+TEST(OptTrack, RemoteReturnWaitsForWritesDestinedToReader) {
+  OptTrack server(0, kN), reader(1, kN);
+  WriteId wx;
+  const auto sm = write_at(server, 2, dests({0, 1}), &wx);
+
+  serial::ByteWriter rm;
+  server.remote_return_meta(2, rm);
+  const serial::Bytes bytes = rm.take();
+  serial::ByteReader r(bytes);
+  const auto ret = reader.decode_remote_return(r);
+  EXPECT_FALSE(reader.return_ready(*ret)) << "wx is destined to the reader, unapplied";
+
+  const auto pending = make_pending(reader, 0, 2, wx, dests({0, 1}), sm);
+  reader.apply(*pending);
+  EXPECT_TRUE(reader.return_ready(*ret));
+  reader.absorb_remote_return(2, *ret);
+}
+
+TEST(OptTrack, LastWriteOnStoredPerVariable) {
+  OptTrack p(0, kN);
+  WriteId w1, w2;
+  write_at(p, 0, dests({0, 1}), &w1);
+  write_at(p, 1, dests({0, 2}), &w2);
+  ASSERT_NE(p.last_write_log(0), nullptr);
+  ASSERT_NE(p.last_write_log(1), nullptr);
+  EXPECT_NE(p.last_write_log(0)->find(w1), nullptr);
+  EXPECT_NE(p.last_write_log(1)->find(w2), nullptr);
+  EXPECT_EQ(p.last_write_log(7), nullptr);
+}
+
+TEST(OptTrack, LogStaysBoundedUnderManyWrites) {
+  // Repeated writes to the same variables with overlapping replica sets
+  // must not grow the log: condition (2) + purge keep at most a handful of
+  // entries per writer.
+  OptTrack p(0, kN);
+  WriteId id;
+  for (int i = 0; i < 200; ++i) {
+    write_at(p, static_cast<VarId>(i % 3), dests({0, 1, 2}), &id);
+  }
+  EXPECT_LE(p.log().size(), 3u);
+}
+
+TEST(OptTrackDeathTest, ApplyWhenNotReadyPanics) {
+  OptTrack a(0, kN), b(1, kN);
+  const DestSet d = dests({0, 1});
+  WriteId w1, w2;
+  write_at(a, 0, d, &w1);
+  const auto m2 = write_at(a, 0, d, &w2);
+  const auto p2 = make_pending(b, 0, 0, w2, d, m2);
+  EXPECT_DEATH(b.apply(*p2), "activation predicate");
+}
+
+}  // namespace
+}  // namespace causim::causal

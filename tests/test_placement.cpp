@@ -1,0 +1,147 @@
+// Unit tests for replica placement and fetch-site selection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "dsm/placement.hpp"
+
+namespace causim::dsm {
+namespace {
+
+TEST(Placement, EveryVariableGetsExactlyPReplicas) {
+  const Placement p(10, 50, 3, /*seed=*/7);
+  for (VarId v = 0; v < 50; ++v) {
+    EXPECT_EQ(p.replicas(v).count(), 3) << "var " << v;
+  }
+  EXPECT_EQ(p.replication_factor(), 3);
+  EXPECT_FALSE(p.fully_replicated());
+}
+
+TEST(Placement, FullReplication) {
+  const Placement p = Placement::full(6, 20);
+  EXPECT_TRUE(p.fully_replicated());
+  for (VarId v = 0; v < 20; ++v) {
+    EXPECT_EQ(p.replicas(v), DestSet::all(6));
+  }
+  EXPECT_EQ(p.vars_at(3), 20u);
+}
+
+TEST(Placement, DeterministicFromSeed) {
+  const Placement a(10, 50, 3, 7);
+  const Placement b(10, 50, 3, 7);
+  const Placement c(10, 50, 3, 8);
+  int diff = 0;
+  for (VarId v = 0; v < 50; ++v) {
+    EXPECT_EQ(a.replicas(v), b.replicas(v));
+    if (!(a.replicas(v) == c.replicas(v))) ++diff;
+  }
+  EXPECT_GT(diff, 10);  // different seeds give a different layout
+}
+
+TEST(Placement, RandomLoadIsRoughlyEven) {
+  const SiteId n = 10;
+  const VarId q = 1000;
+  const SiteId p = 3;
+  const Placement placement(n, q, p, 123);
+  const double expected = static_cast<double>(q) * p / n;  // 300
+  for (SiteId s = 0; s < n; ++s) {
+    EXPECT_NEAR(placement.vars_at(s), expected, expected * 0.25) << "site " << s;
+  }
+}
+
+TEST(Placement, StridedLoadIsExactlyEven) {
+  const Placement placement(10, 100, 3, 0, PlacementStrategy::kStrided);
+  for (SiteId s = 0; s < 10; ++s) EXPECT_EQ(placement.vars_at(s), 30u);
+}
+
+TEST(Placement, FetchSiteIsAReplicaAndDeterministic) {
+  const Placement p(10, 50, 3, 7);
+  for (VarId v = 0; v < 50; ++v) {
+    for (SiteId reader = 0; reader < 10; ++reader) {
+      if (p.replicated_at(v, reader)) continue;
+      const SiteId target = p.fetch_site(v, reader);
+      EXPECT_TRUE(p.replicated_at(v, target));
+      EXPECT_NE(target, reader);
+      EXPECT_EQ(target, p.fetch_site(v, reader));  // stable
+    }
+  }
+}
+
+TEST(Placement, HashedFetchSpreadsLoadAcrossReplicas) {
+  const Placement p(20, 200, 5, 99, PlacementStrategy::kRandom, FetchPolicy::kHashed);
+  // Count how many distinct replicas ever serve fetches for some variable.
+  int multi_target_vars = 0;
+  for (VarId v = 0; v < 200; ++v) {
+    DestSet targets(20);
+    for (SiteId reader = 0; reader < 20; ++reader) {
+      if (!p.replicated_at(v, reader)) targets.insert(p.fetch_site(v, reader));
+    }
+    if (targets.count() > 1) ++multi_target_vars;
+  }
+  EXPECT_GT(multi_target_vars, 100);
+}
+
+TEST(Placement, FirstReplicaPolicyAlwaysPicksTheSameSite) {
+  const Placement p(10, 50, 3, 7, PlacementStrategy::kRandom, FetchPolicy::kFirstReplica);
+  for (VarId v = 0; v < 50; ++v) {
+    const SiteId expected = p.replicas(v).to_vector().front();
+    for (SiteId reader = 0; reader < 10; ++reader) {
+      if (!p.replicated_at(v, reader)) {
+        EXPECT_EQ(p.fetch_site(v, reader), expected);
+      }
+    }
+  }
+}
+
+TEST(Placement, NearestPolicyPicksClosestReplica) {
+  Placement p(6, 40, 2, 5, PlacementStrategy::kRandom, FetchPolicy::kNearest);
+  // Distance = ring distance on 6 sites.
+  std::vector<std::vector<SimTime>> d(6, std::vector<SimTime>(6, 0));
+  for (SiteId a = 0; a < 6; ++a) {
+    for (SiteId b = 0; b < 6; ++b) {
+      const int hop = std::abs(static_cast<int>(a) - static_cast<int>(b));
+      d[a][b] = std::min(hop, 6 - hop);
+    }
+  }
+  p.set_distances(d);
+  for (VarId v = 0; v < 40; ++v) {
+    for (SiteId reader = 0; reader < 6; ++reader) {
+      if (p.replicated_at(v, reader)) continue;
+      const SiteId chosen = p.fetch_site(v, reader);
+      EXPECT_TRUE(p.replicated_at(v, chosen));
+      for (const SiteId other : p.replicas(v).to_vector()) {
+        EXPECT_LE(d[reader][chosen], d[reader][other])
+            << "reader " << reader << " var " << v;
+      }
+    }
+  }
+}
+
+TEST(PlacementDeathTest, NearestWithoutDistancesPanics) {
+  Placement p(4, 10, 2, 1, PlacementStrategy::kRandom, FetchPolicy::kNearest);
+  VarId var = 0;
+  SiteId reader = 0;
+  for (VarId v = 0; v < 10; ++v) {
+    for (SiteId s = 0; s < 4; ++s) {
+      if (!p.replicated_at(v, s)) {
+        var = v;
+        reader = s;
+      }
+    }
+  }
+  EXPECT_DEATH(p.fetch_site(var, reader), "set_distances");
+}
+
+TEST(PlacementDeathTest, FetchSiteForLocalVariablePanics) {
+  const Placement p(4, 10, 4, 1);  // p = n: everything local
+  EXPECT_DEATH(p.fetch_site(0, 0), "locally replicated");
+}
+
+TEST(PlacementDeathTest, BadReplicationFactorPanics) {
+  EXPECT_DEATH(Placement(4, 10, 5, 1), "replication factor");
+  EXPECT_DEATH(Placement(4, 10, 0, 1), "replication factor");
+}
+
+}  // namespace
+}  // namespace causim::dsm

@@ -1,0 +1,104 @@
+// Unit tests for the seeded PRNG and distribution samplers.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "sim/rng.hpp"
+
+namespace causim::sim {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Pcg32 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u32() == b.next_u32() ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Pcg32 rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Pcg32 rng(3);
+  std::array<int, 5> counts{};
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(10, 14);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 14);
+    ++counts[v - 10];
+  }
+  for (const int c : counts) EXPECT_GT(c, 800);  // ~1000 each
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Pcg32 rng(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+  Pcg32 r2(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r2.bernoulli(0.0));
+    EXPECT_TRUE(r2.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanRoughlyRight) {
+  Pcg32 rng(13);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / 20000, 5.0, 0.3);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Pcg32 root(5);
+  Pcg32 a = root.split();
+  Pcg32 b = root.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u32() == b.next_u32() ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  const ZipfSampler zipf(10, 0.0);
+  Pcg32 rng(17);
+  std::array<int, 10> counts{};
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(Zipf, SkewFavorsLowRanks) {
+  const ZipfSampler zipf(100, 1.0);
+  Pcg32 rng(19);
+  std::array<int, 100> counts{};
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[9] * 4);  // 1/1 vs 1/10 weights
+  EXPECT_GT(counts[0], counts[50]);
+}
+
+TEST(Zipf, SamplesStayInDomain) {
+  const ZipfSampler zipf(7, 2.0);
+  Pcg32 rng(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(rng), 7u);
+}
+
+}  // namespace
+}  // namespace causim::sim

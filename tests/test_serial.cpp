@@ -1,0 +1,142 @@
+// Unit tests for the wire format (ByteWriter / ByteReader).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+
+namespace causim::serial {
+namespace {
+
+TEST(Serial, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.put_u8(0xAB);
+  w.put_u16(0xBEEF);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFULL);
+  EXPECT_EQ(w.size(), 1u + 2 + 4 + 8);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_EQ(r.get_u16(), 0xBEEF);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serial, LittleEndianLayout) {
+  ByteWriter w;
+  w.put_u32(0x01020304);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+class VarintTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintTest, RoundTrip) {
+  ByteWriter w;
+  w.put_varint(GetParam());
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_varint(), GetParam());
+  EXPECT_TRUE(r.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, VarintTest,
+                         ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 16383ULL,
+                                           16384ULL, 0xFFFFFFFFULL,
+                                           std::numeric_limits<std::uint64_t>::max()));
+
+TEST(Serial, VarintSizes) {
+  const auto size_of = [](std::uint64_t v) {
+    ByteWriter w;
+    w.put_varint(v);
+    return w.size();
+  };
+  EXPECT_EQ(size_of(0), 1u);
+  EXPECT_EQ(size_of(127), 1u);
+  EXPECT_EQ(size_of(128), 2u);
+  EXPECT_EQ(size_of(std::numeric_limits<std::uint64_t>::max()), 10u);
+}
+
+TEST(Serial, ClockWidthControlsClockEncoding) {
+  ByteWriter narrow(ClockWidth::k4Bytes);
+  narrow.put_clock(7);
+  EXPECT_EQ(narrow.size(), 4u);
+
+  ByteWriter wide(ClockWidth::k8Bytes);
+  wide.put_clock(7);
+  EXPECT_EQ(wide.size(), 8u);
+
+  ByteReader r(wide.bytes(), ClockWidth::k8Bytes);
+  EXPECT_EQ(r.get_clock(), 7u);
+}
+
+TEST(Serial, WriteIdRoundTripBothWidths) {
+  for (const ClockWidth cw : {ClockWidth::k4Bytes, ClockWidth::k8Bytes}) {
+    ByteWriter w(cw);
+    const WriteId id{12, 99999};
+    w.put_write_id(id);
+    ByteReader r(w.bytes(), cw);
+    EXPECT_EQ(r.get_write_id(), id);
+  }
+}
+
+TEST(Serial, DestSetRoundTrip) {
+  const DestSet d(70, {0, 13, 64, 69});
+  ByteWriter w;
+  w.put_dest_set(d);
+  EXPECT_EQ(w.size(), d.wire_bytes());
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_dest_set(), d);
+}
+
+TEST(Serial, EmptyDestSetRoundTrip) {
+  ByteWriter w;
+  w.put_dest_set(DestSet(16));
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_dest_set(), DestSet(16));
+}
+
+TEST(Serial, StringRoundTrip) {
+  ByteWriter w;
+  w.put_string("hello");
+  w.put_string("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_string(), "");
+}
+
+TEST(Serial, OpaqueAppendsZeros) {
+  ByteWriter w;
+  w.put_opaque(5);
+  EXPECT_EQ(w.size(), 5u);
+  for (const auto b : w.bytes()) EXPECT_EQ(b, 0);
+}
+
+TEST(Serial, SkipAndRemaining) {
+  ByteWriter w;
+  w.put_u32(1);
+  w.put_u32(2);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.skip(4);
+  EXPECT_EQ(r.get_u32(), 2u);
+}
+
+TEST(SerialDeathTest, ReadPastEndPanics) {
+  ByteWriter w;
+  w.put_u16(1);
+  ByteReader r(w.bytes());
+  r.get_u16();
+  EXPECT_DEATH(r.get_u8(), "read past end");
+}
+
+TEST(SerialDeathTest, TruncatedVarintPanics) {
+  Bytes bytes{0x80};  // continuation bit set, no next byte
+  ByteReader r(bytes);
+  EXPECT_DEATH(r.get_varint(), "read past end");
+}
+
+}  // namespace
+}  // namespace causim::serial

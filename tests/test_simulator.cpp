@@ -1,0 +1,93 @@
+// Unit tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace causim::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator s;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) s.schedule_after(10, chain);
+  };
+  s.schedule_at(0, chain);
+  s.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(s.now(), 40);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator s;
+  SimTime seen = -1;
+  s.schedule_at(100, [&] { s.schedule_after(5, [&] { seen = s.now(); }); });
+  s.run();
+  EXPECT_EQ(seen, 105);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(10, [&] { ++fired; });
+  s.schedule_at(20, [&] { ++fired; });
+  s.schedule_at(30, [&] { ++fired; });
+  EXPECT_EQ(s.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 20);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator s;
+  s.run_until(500);
+  EXPECT_EQ(s.now(), 500);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1, [&] { ++fired; });
+  s.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(s.executed(), 2u);
+}
+
+TEST(SimulatorDeathTest, SchedulingIntoThePastPanics) {
+  Simulator s;
+  s.schedule_at(10, [] {});
+  s.run();
+  EXPECT_DEATH(s.schedule_at(5, [] {}), "scheduling into the past");
+}
+
+}  // namespace
+}  // namespace causim::sim

@@ -1,0 +1,35 @@
+// End-to-end smoke test: a small run of every protocol completes, drains,
+// and passes the causal checker.
+#include <gtest/gtest.h>
+
+#include "bench_support/experiment.hpp"
+
+namespace causim {
+namespace {
+
+TEST(Smoke, AllProtocolsSmallRun) {
+  using causal::ProtocolKind;
+  for (const ProtocolKind kind :
+       {ProtocolKind::kFullTrack, ProtocolKind::kOptTrack, ProtocolKind::kOptTrackCrp,
+        ProtocolKind::kOptP}) {
+    bench_support::ExperimentParams params;
+    params.protocol = kind;
+    params.sites = 5;
+    params.write_rate = 0.5;
+    params.replication = causal::requires_full_replication(kind)
+                             ? 0
+                             : bench_support::partial_replication_factor(5);
+    params.variables = 20;
+    params.ops_per_site = 60;
+    params.seeds = {7};
+    params.check = true;
+    const auto result = bench_support::run_experiment(params);
+    EXPECT_TRUE(result.check_ok) << to_string(kind) << ": "
+                                 << (result.violations.empty() ? ""
+                                                               : result.violations.front());
+    EXPECT_GT(result.stats.total().count, 0u) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace causim

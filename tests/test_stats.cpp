@@ -1,0 +1,126 @@
+// Unit tests for the statistics pipeline: message accounting, summaries,
+// histograms and table rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/histogram.hpp"
+#include "stats/message_stats.hpp"
+#include "stats/table.hpp"
+
+namespace causim::stats {
+namespace {
+
+TEST(MessageStats, RecordsPerKind) {
+  MessageStats s;
+  s.record(MessageKind::kSM, 10, 100, 1000);
+  s.record(MessageKind::kSM, 10, 200, 0);
+  s.record(MessageKind::kFM, 8, 0, 0);
+  s.record(MessageKind::kRM, 12, 50, 500);
+
+  EXPECT_EQ(s.of(MessageKind::kSM).count, 2u);
+  EXPECT_EQ(s.of(MessageKind::kSM).meta_bytes, 300u);
+  EXPECT_EQ(s.of(MessageKind::kSM).overhead_bytes(), 320u);
+  EXPECT_DOUBLE_EQ(s.of(MessageKind::kSM).avg_overhead(), 160.0);
+  EXPECT_EQ(s.of(MessageKind::kFM).overhead_bytes(), 8u);
+  EXPECT_EQ(s.total().count, 4u);
+  EXPECT_EQ(s.total().payload_bytes, 1500u);
+  EXPECT_EQ(s.total_overhead_bytes(), 320u + 8u + 62u);
+}
+
+TEST(MessageStats, MergeAndReset) {
+  MessageStats a, b;
+  a.record(MessageKind::kSM, 1, 2, 3);
+  b.record(MessageKind::kSM, 10, 20, 30);
+  b.record(MessageKind::kRM, 5, 5, 5);
+  a += b;
+  EXPECT_EQ(a.of(MessageKind::kSM).count, 2u);
+  EXPECT_EQ(a.total().count, 3u);
+  a.reset();
+  EXPECT_EQ(a.total().count, 0u);
+}
+
+TEST(MessageStats, EmptyAverageIsZero) {
+  const MessageStats s;
+  EXPECT_DOUBLE_EQ(s.of(MessageKind::kSM).avg_overhead(), 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.record(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-9);
+}
+
+TEST(Summary, MergeMatchesCombinedStream) {
+  Summary a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    a.record(i);
+    all.record(i);
+  }
+  for (int i = 10; i < 30; ++i) {
+    b.record(i);
+    all.record(i);
+  }
+  a += b;
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, EmptyIsZero) {
+  const Summary s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Histogram, QuantilesWithinResolution) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.record(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50, 2);
+  EXPECT_NEAR(h.quantile(0.9), 90, 2);
+  EXPECT_NEAR(h.quantile(0.0), 1, 1);
+}
+
+TEST(Histogram, OverflowGoesToMax) {
+  Histogram h(0, 10, 10);
+  h.record(5);
+  h.record(500);
+  EXPECT_DOUBLE_EQ(h.max(), 500);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 500);
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  Table t("Title");
+  t.set_columns({"a", "long-header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"10", "20", "30"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("| 10"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "a,long-header,c\n1,2,3\n10,20,30\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::integer(1234567), "1,234,567");
+  EXPECT_EQ(Table::integer(42), "42");
+  EXPECT_EQ(Table::integer(0), "0");
+}
+
+TEST(TableDeathTest, RowWidthMismatchPanics) {
+  Table t;
+  t.set_columns({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "cells");
+}
+
+}  // namespace
+}  // namespace causim::stats

@@ -1,0 +1,31 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include "causim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace causim {
+namespace {
+
+TEST(Umbrella, EndToEndThroughTheSingleHeader) {
+  dsm::ClusterConfig config;
+  config.sites = 4;
+  config.variables = 8;
+  config.replication = 2;
+  config.protocol = causal::ProtocolKind::kOptTrack;
+  config.seed = 1;
+
+  dsm::Cluster cluster(config);
+  cluster.site(0).write(0, 32);
+  cluster.settle();
+  bool read_done = false;
+  cluster.site(1).read(0, [&](Value v, WriteId) {
+    read_done = true;
+    EXPECT_EQ(v.payload_bytes, 32u);
+  });
+  cluster.settle();
+  EXPECT_TRUE(read_done);
+  EXPECT_TRUE(cluster.check().ok());
+}
+
+}  // namespace
+}  // namespace causim

@@ -1,0 +1,144 @@
+// Unit tests for the schedule generator (§IV-C methodology).
+#include <gtest/gtest.h>
+
+#include "workload/schedule.hpp"
+
+namespace causim::workload {
+namespace {
+
+TEST(Workload, ShapeMatchesParams) {
+  WorkloadParams params;
+  params.ops_per_site = 600;
+  params.seed = 5;
+  const Schedule s = generate_schedule(8, params);
+  EXPECT_EQ(s.sites(), 8);
+  EXPECT_EQ(s.total_ops(), 8u * 600u);
+  for (const auto& ops : s.per_site) EXPECT_EQ(ops.size(), 600u);
+}
+
+TEST(Workload, WarmupFractionMarksPrefix) {
+  WorkloadParams params;
+  params.ops_per_site = 100;
+  params.warmup_fraction = 0.15;
+  const Schedule s = generate_schedule(3, params);
+  for (const auto& ops : s.per_site) {
+    for (std::size_t k = 0; k < ops.size(); ++k) {
+      EXPECT_EQ(ops[k].record, k >= 15) << "op " << k;
+    }
+  }
+}
+
+TEST(Workload, GapsWithinConfiguredRange) {
+  WorkloadParams params;
+  params.ops_per_site = 200;
+  params.gap_lo = 5 * kMillisecond;
+  params.gap_hi = 2005 * kMillisecond;
+  const Schedule s = generate_schedule(2, params);
+  for (const auto& ops : s.per_site) {
+    SimTime prev = 0;
+    for (const Op& op : ops) {
+      const SimTime gap = op.at - prev;
+      EXPECT_GE(gap, params.gap_lo);
+      EXPECT_LE(gap, params.gap_hi);
+      prev = op.at;
+    }
+  }
+}
+
+TEST(Workload, WriteRateIsRespected) {
+  for (const double rate : {0.2, 0.5, 0.8}) {
+    WorkloadParams params;
+    params.ops_per_site = 2000;
+    params.write_rate = rate;
+    params.seed = 11;
+    const Schedule s = generate_schedule(5, params);
+    const double measured =
+        static_cast<double>(s.total_writes()) / static_cast<double>(s.total_ops());
+    EXPECT_NEAR(measured, rate, 0.03) << "rate " << rate;
+  }
+}
+
+TEST(Workload, ExtremRatesDegenerate) {
+  WorkloadParams params;
+  params.ops_per_site = 100;
+  params.write_rate = 0.0;
+  EXPECT_EQ(generate_schedule(2, params).total_writes(), 0u);
+  params.write_rate = 1.0;
+  EXPECT_EQ(generate_schedule(2, params).total_writes(), 200u);
+}
+
+TEST(Workload, VariablesWithinRange) {
+  WorkloadParams params;
+  params.variables = 17;
+  params.ops_per_site = 500;
+  const Schedule s = generate_schedule(3, params);
+  for (const auto& ops : s.per_site) {
+    for (const Op& op : ops) EXPECT_LT(op.var, 17u);
+  }
+}
+
+TEST(Workload, ZipfSkewsVariableChoice) {
+  WorkloadParams uniform, zipf;
+  uniform.ops_per_site = 5000;
+  zipf.ops_per_site = 5000;
+  zipf.zipf_s = 1.2;
+  const Schedule su = generate_schedule(2, uniform);
+  const Schedule sz = generate_schedule(2, zipf);
+  const auto count_var0 = [](const Schedule& s) {
+    std::size_t c = 0;
+    for (const auto& ops : s.per_site) {
+      for (const Op& op : ops) c += op.var == 0 ? 1 : 0;
+    }
+    return c;
+  };
+  EXPECT_GT(count_var0(sz), 4 * count_var0(su));
+}
+
+TEST(Workload, PayloadRangeOnlyOnWrites) {
+  WorkloadParams params;
+  params.ops_per_site = 300;
+  params.write_rate = 0.5;
+  params.payload_lo = 100;
+  params.payload_hi = 200;
+  const Schedule s = generate_schedule(2, params);
+  for (const auto& ops : s.per_site) {
+    for (const Op& op : ops) {
+      if (op.kind == Op::Kind::kWrite) {
+        EXPECT_GE(op.payload_bytes, 100u);
+        EXPECT_LE(op.payload_bytes, 200u);
+      } else {
+        EXPECT_EQ(op.payload_bytes, 0u);
+      }
+    }
+  }
+}
+
+TEST(Workload, DeterministicPerSeedDistinctAcrossSeeds) {
+  WorkloadParams params;
+  params.ops_per_site = 50;
+  params.seed = 3;
+  const Schedule a = generate_schedule(2, params);
+  const Schedule b = generate_schedule(2, params);
+  params.seed = 4;
+  const Schedule c = generate_schedule(2, params);
+  ASSERT_EQ(a.per_site[0].size(), b.per_site[0].size());
+  bool same = true, differs = false;
+  for (std::size_t k = 0; k < 50; ++k) {
+    same &= a.per_site[0][k].var == b.per_site[0][k].var &&
+            a.per_site[0][k].at == b.per_site[0][k].at;
+    differs |= a.per_site[0][k].var != c.per_site[0][k].var ||
+               a.per_site[0][k].at != c.per_site[0][k].at;
+  }
+  EXPECT_TRUE(same);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Workload, RecordedCountsConsistent) {
+  WorkloadParams params;
+  params.ops_per_site = 100;
+  const Schedule s = generate_schedule(4, params);
+  EXPECT_EQ(s.recorded_writes() + s.recorded_reads(), 4u * 85u);
+}
+
+}  // namespace
+}  // namespace causim::workload

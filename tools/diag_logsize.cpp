@@ -1,0 +1,59 @@
+// Diagnostic: Opt-Track log composition under different write rates.
+#include <cstdio>
+#include <map>
+
+#include "bench_support/experiment.hpp"
+#include "causal/opt_track.hpp"
+#include "dsm/cluster.hpp"
+#include "workload/schedule.hpp"
+
+using namespace causim;
+
+int main() {
+  for (const double wrate : {0.2, 0.5, 0.8}) {
+    dsm::ClusterConfig config;
+    config.sites = 40;
+    config.variables = 100;
+    config.replication = bench_support::partial_replication_factor(40);
+    config.protocol = causal::ProtocolKind::kOptTrack;
+    config.seed = 1;
+    config.record_history = false;
+
+    workload::WorkloadParams wl;
+    wl.variables = 100;
+    wl.write_rate = wrate;
+    wl.ops_per_site = 300;
+    wl.seed = 1;
+
+    dsm::Cluster cluster(config);
+    cluster.execute(workload::generate_schedule(40, wl));
+
+    const auto entries = cluster.aggregate_log_entries();
+    const auto bytes = cluster.aggregate_log_bytes();
+    const auto stats = cluster.aggregate_message_stats();
+    std::printf("wrate %.1f: log entries mean %.1f max %.0f | meta bytes mean %.0f | "
+                "avg SM %.0f avg RM %.0f\n",
+                wrate, entries.mean(), entries.max(), bytes.mean(),
+                stats.of(MessageKind::kSM).avg_overhead(),
+                stats.of(MessageKind::kRM).avg_overhead());
+
+    // Composition of site 0's final log: entries per writer, dest sizes,
+    // age relative to the writer's latest entry.
+    const auto& proto = static_cast<const causal::OptTrack&>(cluster.site(0).protocol());
+    std::map<SiteId, int> per_writer;
+    int empty = 0, total = 0, dest_sum = 0;
+    proto.log().for_each([&](const WriteId& id, const DestSet& d) {
+      ++per_writer[id.writer];
+      ++total;
+      dest_sum += d.count();
+      if (d.empty()) ++empty;
+    });
+    int max_per_writer = 0;
+    for (auto& [w, c] : per_writer) max_per_writer = std::max(max_per_writer, c);
+    std::printf("  site0 log: %d entries (%d empty), avg dests %.1f, writers %zu, "
+                "max/writer %d\n",
+                total, empty, total ? double(dest_sum) / total : 0.0, per_writer.size(),
+                max_per_writer);
+  }
+  return 0;
+}
