@@ -13,11 +13,13 @@
 #include <vector>
 
 #include "bench_support/experiment.hpp"
+#include "bench_support/observability.hpp"
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace causim;
   const auto options = bench_support::parse_bench_args(argc, argv);
+  bench_support::Observability observability(options);
   const SiteId ns[] = {5, 10, 20, 30, 40};
   const double write_rates[] = {0.2, 0.5, 0.8};
   const char* fig_name[] = {"Fig. 2 (w_rate = 0.2)", "Fig. 3 (w_rate = 0.5)",
@@ -47,6 +49,8 @@ int main(int argc, char** argv) {
         params.write_rate = write_rates[wi];
         params.replication = bench_support::partial_replication_factor(n);
         bench_support::apply_quick(params, options);
+        params.trace_sink = observability.claim_trace_sink();  // first cell only
+        params.metrics = observability.metrics();
         const auto r = bench_support::run_experiment(params);
         row.push_back(stats::Table::num(r.avg_overhead(MessageKind::kSM), 1));
         row.push_back(stats::Table::num(r.avg_overhead(MessageKind::kRM), 1));
@@ -82,5 +86,5 @@ int main(int argc, char** argv) {
   }
   std::cout << t2;
   if (options.csv) std::cout << "\nCSV:\n" << t2.to_csv();
-  return 0;
+  return observability.finish() ? 0 : 1;
 }

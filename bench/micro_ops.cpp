@@ -6,9 +6,12 @@
 
 #include "causal/clocks.hpp"
 #include "causal/ks_log.hpp"
+#include "dsm/cluster.hpp"
 #include "dsm/envelope.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "workload/schedule.hpp"
 
 namespace {
 
@@ -119,6 +122,34 @@ void BM_EnvelopeRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EnvelopeRoundTrip)->Arg(64)->Arg(6400);
+
+// Whole-cluster DES run, tracing off (0) vs on (1). With no sink every
+// instrumentation point is a null-pointer test, so the two must land
+// within noise of each other — this is the guard behind "tracing is free
+// when disabled" (docs/OBSERVABILITY.md).
+void BM_ClusterExecute(benchmark::State& state) {
+  dsm::ClusterConfig config;
+  config.sites = 5;
+  config.variables = 40;
+  config.replication = 2;
+  config.record_history = false;
+  workload::WorkloadParams wl;
+  wl.variables = config.variables;
+  wl.ops_per_site = 100;
+  const workload::Schedule schedule = workload::generate_schedule(config.sites, wl);
+  obs::RingBufferSink sink;
+  std::size_t ops = 0;
+  for (auto _ : state) {
+    sink.clear();
+    config.trace_sink = state.range(0) == 0 ? nullptr : &sink;
+    dsm::Cluster cluster(config);
+    cluster.execute(schedule);
+    ops += schedule.total_ops();
+    benchmark::DoNotOptimize(cluster.aggregate_message_stats());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_ClusterExecute)->Arg(0)->Arg(1);
 
 void BM_SimulatorThroughput(benchmark::State& state) {
   for (auto _ : state) {

@@ -11,11 +11,13 @@
 #include <vector>
 
 #include "bench_support/experiment.hpp"
+#include "bench_support/observability.hpp"
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace causim;
   const auto options = bench_support::parse_bench_args(argc, argv);
+  bench_support::Observability observability(options);
   const SiteId ns[] = {5, 10, 20, 30, 40};
   const double write_rates[] = {0.2, 0.5, 0.8};
 
@@ -40,6 +42,8 @@ int main(int argc, char** argv) {
           params.replication = bench_support::partial_replication_factor(n);
         }
         bench_support::apply_quick(params, options);
+        params.trace_sink = observability.claim_trace_sink();  // first cell only
+        params.metrics = observability.metrics();
         const auto r = bench_support::run_experiment(params);
         row.push_back(stats::Table::integer(
             static_cast<std::uint64_t>(r.mean_message_count() + 0.5)));
@@ -72,5 +76,5 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n" << closed;
   if (options.csv) std::cout << "\nCSV:\n" << table.to_csv();
-  return 0;
+  return observability.finish() ? 0 : 1;
 }

@@ -46,6 +46,7 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
     config.seed = seed;
     config.record_history = params.check;
     config.causal_fetch = params.causal_fetch;
+    config.trace_sink = params.trace_sink;
 
     workload::WorkloadParams wl;
     wl.variables = params.variables;
@@ -66,6 +67,7 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
     result.recorded_writes += schedule.recorded_writes();
     result.recorded_reads += schedule.recorded_reads();
     ++result.runs;
+    if (params.metrics != nullptr) cluster.export_metrics(*params.metrics);
 
     if (params.check) {
       const checker::CheckResult check = cluster.check();
@@ -79,11 +81,29 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
   return result;
 }
 
+namespace {
+/// Matches `--name=value` or `--name value`; advances `i` past a detached
+/// value. Returns nullptr when `arg` is not this flag.
+const char* flag_value(const char* arg, const char* name, int argc, char** argv,
+                       int& i) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return nullptr;
+  if (arg[len] == '=') return arg + len + 1;
+  if (arg[len] == '\0' && i + 1 < argc) return argv[++i];
+  return nullptr;
+}
+}  // namespace
+
 BenchOptions parse_bench_args(int argc, char** argv) {
   BenchOptions options;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) options.quick = true;
     if (std::strcmp(argv[i], "--csv") == 0) options.csv = true;
+    if (const char* v = flag_value(argv[i], "--trace-out", argc, argv, i)) {
+      options.trace_out = v;
+    } else if (const char* m = flag_value(argv[i], "--metrics-out", argc, argv, i)) {
+      options.metrics_out = m;
+    }
   }
   return options;
 }

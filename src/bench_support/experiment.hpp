@@ -44,6 +44,11 @@ struct ExperimentParams {
   bool check = false;
   /// Causally fresh RemoteFetch (the extension; see dsm::ClusterConfig).
   bool causal_fetch = false;
+  /// Observability (src/obs, both owned by the caller): a non-null sink
+  /// receives every trace event of every seed's run; a non-null registry
+  /// accumulates per-site metrics across seeds after each run quiesces.
+  obs::TraceSink* trace_sink = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The paper's partial-replication factor: p = 0.3·n, at least 1.
@@ -70,10 +75,14 @@ struct ExperimentResult {
 ExperimentResult run_experiment(const ExperimentParams& params);
 
 /// Common CLI handling for bench binaries: `--quick` shrinks seeds/ops for
-/// smoke runs, `--csv` prints tables as CSV as well.
+/// smoke runs, `--csv` prints tables as CSV as well, `--trace-out FILE`
+/// and `--metrics-out FILE` enable the observability exports (see
+/// bench_support/observability.hpp; both accept `--flag=value` too).
 struct BenchOptions {
   bool quick = false;
   bool csv = false;
+  std::string trace_out;    // Chrome/Perfetto trace-event JSON
+  std::string metrics_out;  // metrics JSON, or CSV when the name ends in .csv
 };
 BenchOptions parse_bench_args(int argc, char** argv);
 

@@ -1,0 +1,60 @@
+#include "bench_support/observability.hpp"
+
+#include <fstream>
+#include <iostream>
+
+#include "obs/perfetto_export.hpp"
+
+namespace causim::bench_support {
+
+Observability::Observability(const BenchOptions& options)
+    : trace_out_(options.trace_out), metrics_out_(options.metrics_out) {
+  if (!trace_out_.empty()) sink_ = std::make_unique<obs::RingBufferSink>();
+}
+
+obs::MetricsRegistry* Observability::metrics() {
+  return metrics_out_.empty() ? nullptr : &registry_;
+}
+
+obs::TraceSink* Observability::claim_trace_sink() {
+  if (sink_ == nullptr || claimed_) return nullptr;
+  claimed_ = true;
+  return sink_.get();
+}
+
+bool Observability::finish() {
+  bool ok = true;
+  if (sink_ != nullptr) {
+    std::ofstream out(trace_out_);
+    if (!out) {
+      std::cerr << "error: cannot write trace to " << trace_out_ << "\n";
+      ok = false;
+    } else {
+      obs::write_chrome_trace(out, sink_->events());
+      if (sink_->dropped() > 0) {
+        std::cerr << "warning: trace ring buffer full, dropped " << sink_->dropped()
+                  << " events (kept the first " << sink_->capacity() << ")\n";
+      }
+      std::cerr << "trace: " << sink_->size() << " events -> " << trace_out_ << "\n";
+    }
+  }
+  if (!metrics_out_.empty()) {
+    std::ofstream out(metrics_out_);
+    if (!out) {
+      std::cerr << "error: cannot write metrics to " << metrics_out_ << "\n";
+      ok = false;
+    } else {
+      const bool csv = metrics_out_.size() >= 4 &&
+                       metrics_out_.compare(metrics_out_.size() - 4, 4, ".csv") == 0;
+      if (csv) {
+        registry_.write_csv(out);
+      } else {
+        registry_.write_json(out);
+      }
+      std::cerr << "metrics -> " << metrics_out_ << "\n";
+    }
+  }
+  return ok;
+}
+
+}  // namespace causim::bench_support

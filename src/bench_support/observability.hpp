@@ -1,0 +1,46 @@
+// Observability — the bench-side owner of `--trace-out` / `--metrics-out`.
+//
+// Benches construct one of these from their parsed BenchOptions, hand its
+// sink/registry pointers to ExperimentParams, and call finish() after the
+// last cell to write the files: a Chrome/Perfetto trace-event JSON for the
+// traced run and a metrics JSON (or CSV, chosen by file extension) for the
+// whole grid. Both stay null/empty when the flags are absent, so an
+// uninstrumented invocation costs nothing.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bench_support/experiment.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace causim::bench_support {
+
+class Observability {
+ public:
+  explicit Observability(const BenchOptions& options);
+
+  /// The grid-wide metrics registry, or nullptr when --metrics-out is
+  /// absent. Pass straight to ExperimentParams::metrics.
+  obs::MetricsRegistry* metrics();
+
+  /// Returns the trace sink on the first call and nullptr afterwards:
+  /// benches trace one representative cell, not the whole grid (a 30-cell
+  /// sweep would overflow any reasonably sized ring buffer, and the first
+  /// cell is as diffable as any).
+  obs::TraceSink* claim_trace_sink();
+
+  /// Writes the requested files; returns false (after printing the reason
+  /// to stderr) when one of them could not be written.
+  bool finish();
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+  std::unique_ptr<obs::RingBufferSink> sink_;
+  bool claimed_ = false;
+  obs::MetricsRegistry registry_;
+};
+
+}  // namespace causim::bench_support

@@ -31,7 +31,10 @@ void FullTrack::local_read(VarId var) {
   // merged into ours (merge-at-receipt would track →, not →co, and inflate
   // false causality).
   const auto it = last_write_on_.find(var);
-  if (it != last_write_on_.end()) write_.merge(it->second);
+  if (it != last_write_on_.end()) {
+    write_.merge(it->second);
+    notify_merge(log_entry_count(), log_entry_count(), log_entry_count());
+  }
 }
 
 std::unique_ptr<PendingUpdate> FullTrack::decode_sm(SmEnvelope env, DestSet dests,
@@ -101,6 +104,7 @@ void FullTrack::absorb_remote_return(VarId var, const PendingReturn& r) {
   (void)var;
   CAUSIM_CHECK(return_ready(r), "absorb called before the remote return was ready");
   write_.merge(static_cast<const FullTrackReturn&>(r).matrix);
+  notify_merge(log_entry_count(), log_entry_count(), log_entry_count());
 }
 
 namespace {

@@ -29,6 +29,7 @@ class FullTrackHb final : public FullTrack {
     FullTrack::apply(u);
     // The → edge: receipt alone creates the dependency.
     write_.merge(static_cast<const Pending&>(u).matrix);
+    notify_merge(log_entry_count(), log_entry_count(), log_entry_count());
   }
 };
 

@@ -1,0 +1,36 @@
+// ProtocolObserver — optional hook into protocol meta-data maintenance.
+//
+// The paper's end-of-run aggregates (message counts, meta bytes) cannot
+// explain *why* Opt-Track's logs stay small: that story is told by the
+// merge and prune/purge events on the causal log. Every protocol reports
+// those moments through this interface so the observability layer
+// (src/obs) can turn them into trace events and counters without the
+// protocols depending on it. The hook is opt-in: protocols are built with
+// no observer and the notify helpers are a null-pointer test when unset.
+//
+// Callbacks fire synchronously inside protocol entry points, which the DSM
+// runtime always invokes under the site mutex — implementations need no
+// locking of their own but must not call back into the protocol.
+#pragma once
+
+#include <cstddef>
+
+namespace causim::causal {
+
+class ProtocolObserver {
+ public:
+  virtual ~ProtocolObserver() = default;
+
+  /// Remote meta-data was merged into the local structures (a →co edge:
+  /// local read, remote-return absorption, or HB-variant apply).
+  /// `before`/`after` are local log entry counts around the merge,
+  /// `incoming` the merged-in entry count.
+  virtual void on_log_merge(std::size_t before, std::size_t incoming,
+                            std::size_t after) = 0;
+
+  /// Log entries or destination info were discarded (implicit-condition
+  /// pruning, PURGE, or the CRP write-time log reset).
+  virtual void on_log_prune(std::size_t before, std::size_t after) = 0;
+};
+
+}  // namespace causim::causal

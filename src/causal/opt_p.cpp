@@ -24,7 +24,10 @@ WriteId OptP::local_write(VarId var, const Value& v, const DestSet& dests,
 
 void OptP::local_read(VarId var) {
   const auto it = last_write_on_.find(var);
-  if (it != last_write_on_.end()) write_.merge(it->second);
+  if (it != last_write_on_.end()) {
+    write_.merge(it->second);
+    notify_merge(n_, n_, n_);
+  }
 }
 
 std::unique_ptr<PendingUpdate> OptP::decode_sm(SmEnvelope env, DestSet dests,

@@ -20,6 +20,7 @@ WriteId OptTrack::local_write(VarId var, const Value& v, const DestSet& dests,
   log_.serialize(meta_out);
   // Implicit condition (2): a message to every d in dests now exists in the
   // causal future of every logged write, so their dest lists shed dests.
+  const std::size_t pre_prune = log_.size();
   if (options_.prune_on_send) log_.prune_dests(dests);
   // The new write enters the log; we are not a "remaining destination" of
   // our own write (condition (1): it is applied here immediately, below).
@@ -27,6 +28,7 @@ WriteId OptTrack::local_write(VarId var, const Value& v, const DestSet& dests,
   remaining.erase(self_);
   log_.add(w, remaining);
   if (options_.purge_markers) log_.purge();
+  if (log_.size() < pre_prune + 1) notify_prune(pre_prune, log_.size() - 1);
   if (dests.contains(self_)) {
     apply_[self_] = clock_;
     // The dependency log of this write's value is the post-prune log plus
@@ -39,7 +41,9 @@ WriteId OptTrack::local_write(VarId var, const Value& v, const DestSet& dests,
 void OptTrack::local_read(VarId var) {
   const auto it = last_write_on_.find(var);
   if (it == last_write_on_.end()) return;  // variable still ⊥
+  const std::size_t before = log_.size();
   log_.merge(it->second);
+  notify_merge(before, it->second.size(), log_.size());
   post_merge_cleanup();
 }
 
@@ -123,16 +127,21 @@ bool OptTrack::return_ready(const PendingReturn& r) const {
 void OptTrack::absorb_remote_return(VarId var, const PendingReturn& r) {
   (void)var;
   CAUSIM_CHECK(return_ready(r), "absorb called before the remote return was ready");
-  log_.merge(static_cast<const OptTrackReturn&>(r).log);
+  const auto& incoming = static_cast<const OptTrackReturn&>(r).log;
+  const std::size_t before = log_.size();
+  log_.merge(incoming);
+  notify_merge(before, incoming.size(), log_.size());
   post_merge_cleanup();
 }
 
 void OptTrack::post_merge_cleanup() {
+  const std::size_t before = log_.size();
   // Condition (1) against local knowledge: writes we have already applied
   // need no "this site is a destination" records in our own log.
   log_.prune_applied(self_, apply_);
   if (options_.prune_program_order) log_.prune_by_program_order();
   if (options_.purge_markers) log_.purge();
+  if (log_.size() < before) notify_prune(before, log_.size());
 }
 
 namespace {

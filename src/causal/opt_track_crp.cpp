@@ -41,8 +41,10 @@ WriteId OptTrackCrp::local_write(VarId var, const Value& v, const DestSet& dests
   // in full replication condition (2) empties every dest list, and this
   // write becomes the single entry representing the whole causal past.
   serialize_log(log_, meta_out);
+  const std::size_t before = log_.size();
   log_.clear();
   log_[self_] = clock_;
+  if (before > 1) notify_prune(before, log_.size());
   apply_[self_] = clock_;
   last_write_on_[var] = w;
   return w;
@@ -53,8 +55,10 @@ void OptTrackCrp::local_read(VarId var) {
   if (it == last_write_on_.end()) return;  // variable still ⊥
   // One entry per writer: a newer read of the same writer's value
   // supersedes the older entry (§III-C).
+  const std::size_t before = log_.size();
   WriteClock& slot = log_[it->second.writer];
   slot = std::max(slot, it->second.clock);
+  notify_merge(before, 1, log_.size());
 }
 
 std::unique_ptr<PendingUpdate> OptTrackCrp::decode_sm(SmEnvelope env, DestSet dests,

@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 
+#include "causal/observer.hpp"
 #include "common/dest_set.hpp"
 #include "common/ids.hpp"
 #include "common/value.hpp"
@@ -204,6 +205,22 @@ class Protocol {
   /// Exact wire size the local causal log would serialize to right now —
   /// the per-site meta-data storage the paper discusses in §III.
   virtual std::size_t local_meta_bytes() const = 0;
+
+  /// Registers an observer for log merge/prune events (nullptr detaches).
+  /// The observer must outlive the protocol or be detached first.
+  void set_observer(ProtocolObserver* observer) { observer_ = observer; }
+
+ protected:
+  void notify_merge(std::size_t before, std::size_t incoming, std::size_t after) {
+    if (observer_ != nullptr) observer_->on_log_merge(before, incoming, after);
+  }
+  void notify_prune(std::size_t before, std::size_t after) {
+    if (observer_ != nullptr) observer_->on_log_prune(before, after);
+  }
+  bool observed() const { return observer_ != nullptr; }
+
+ private:
+  ProtocolObserver* observer_ = nullptr;
 };
 
 }  // namespace causim::causal

@@ -17,6 +17,7 @@
 //   dsm/       the shared-memory runtime: sites, clusters, placement
 //   workload/  randomized operation schedules
 //   stats/     metrics and table rendering
+//   obs/       structured tracing + metrics registry, Perfetto export
 //   checker/   execution recording + causal-consistency verification
 //   bench_support/ experiment grids and CLI flag parsing
 #pragma once
@@ -28,6 +29,7 @@
 #include "causal/full_track.hpp"
 #include "causal/full_track_hb.hpp"
 #include "causal/ks_log.hpp"
+#include "causal/observer.hpp"
 #include "causal/opt_p.hpp"
 #include "causal/opt_track.hpp"
 #include "causal/opt_track_crp.hpp"
@@ -49,6 +51,10 @@
 #include "net/sim_transport.hpp"
 #include "net/thread_transport.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/perfetto_export.hpp"
+#include "obs/trace_event.hpp"
+#include "obs/trace_sink.hpp"
 #include "serial/reader.hpp"
 #include "serial/writer.hpp"
 #include "sim/latency.hpp"

@@ -20,6 +20,7 @@ Cluster::Cluster(const ClusterConfig& config)
                             : static_cast<const sim::LatencyModel&>(latency_);
   transport_ =
       std::make_unique<net::SimTransport>(simulator_, model, config.sites, config.seed);
+  transport_->set_trace_sink(config.trace_sink);
   runtimes_.reserve(config.sites);
   for (SiteId i = 0; i < config.sites; ++i) {
     auto protocol = causal::make_protocol(config.protocol, i, config.sites,
@@ -29,6 +30,7 @@ Cluster::Cluster(const ClusterConfig& config)
         config.record_history ? &history_ : nullptr,
         config.protocol_options.clock_width, [this] { return simulator_.now(); },
         config.causal_fetch));
+    runtimes_.back()->set_trace_sink(config.trace_sink);
     transport_->attach(i, runtimes_.back().get());
   }
 }
@@ -120,6 +122,10 @@ std::uint64_t Cluster::total_applies() const {
   std::uint64_t total = 0;
   for (const auto& r : runtimes_) total += r->total_applies();
   return total;
+}
+
+void Cluster::export_metrics(obs::MetricsRegistry& registry) const {
+  for (const auto& r : runtimes_) r->export_metrics(registry);
 }
 
 checker::CheckResult Cluster::check(checker::CheckOptions options) const {

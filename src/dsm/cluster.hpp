@@ -52,6 +52,9 @@ struct ClusterConfig {
   /// the reader's causal past destined to them. Off by default — the
   /// paper's FM carries no meta-data (Table I) and replies immediately.
   bool causal_fetch = false;
+  /// Optional structured-trace sink (src/obs), attached to the transport
+  /// and every site. Must outlive the cluster. Null disables tracing.
+  obs::TraceSink* trace_sink = nullptr;
 
   SiteId effective_replication() const {
     return replication == 0 ? sites : replication;
@@ -87,6 +90,10 @@ class Cluster {
   stats::Summary aggregate_fetch_latency() const;
   stats::Summary aggregate_apply_delay() const;
   std::uint64_t total_applies() const;
+
+  /// Folds every site's observability instruments into `registry`
+  /// (see SiteRuntime::export_metrics for the metric catalogue).
+  void export_metrics(obs::MetricsRegistry& registry) const;
 
   /// Runs the causal checker over the recorded history.
   checker::CheckResult check(checker::CheckOptions options = {}) const;

@@ -1,6 +1,11 @@
 #include "dsm/site_runtime.hpp"
 
+#include <algorithm>
+#include <string>
+
 #include "common/panic.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace causim::dsm {
 
@@ -18,12 +23,53 @@ SiteRuntime::SiteRuntime(SiteId self, const Placement& placement, net::Transport
       causal_fetch_(causal_fetch) {
   CAUSIM_CHECK(protocol_ != nullptr, "runtime needs a protocol");
   CAUSIM_CHECK(protocol_->self() == self_, "protocol bound to a different site");
+  protocol_->set_observer(this);
+}
+
+void SiteRuntime::set_trace_sink(obs::TraceSink* sink) {
+  std::lock_guard lock(mutex_);
+  trace_ = sink;
+}
+
+void SiteRuntime::trace_locked(obs::TraceEvent e) {
+  if (trace_ == nullptr) return;
+  e.site = self_;
+  if (e.ts == 0) e.ts = now_locked();
+  trace_->emit(e);
+}
+
+void SiteRuntime::on_log_merge(std::size_t before, std::size_t incoming,
+                               std::size_t after) {
+  (void)incoming;
+  ++log_merges_;
+  obs::TraceEvent e;
+  e.type = obs::TraceEventType::kLogMerge;
+  e.a = before;
+  e.b = after;
+  trace_locked(e);
+}
+
+void SiteRuntime::on_log_prune(std::size_t before, std::size_t after) {
+  ++log_prunes_;
+  obs::TraceEvent e;
+  e.type = obs::TraceEventType::kLogPrune;
+  e.a = before;
+  e.b = after;
+  trace_locked(e);
 }
 
 WriteId SiteRuntime::write(VarId var, std::uint32_t payload_bytes, bool record) {
   std::unique_lock lock(mutex_);
   CAUSIM_CHECK(!fetch_.has_value(), "write issued while a remote fetch is outstanding");
   const DestSet& dests = placement_.replicas(var);
+  {
+    obs::TraceEvent e;
+    e.type = obs::TraceEventType::kOpIssue;
+    e.a = var;
+    e.b = 1;
+    trace_locked(e);
+  }
+  if (record) dest_set_size_.record(static_cast<double>(dests.count()));
 
   Value value;
   value.id = (static_cast<std::uint64_t>(self_) + 1) << 32 | ++next_value_seq_;
@@ -50,12 +96,25 @@ WriteId SiteRuntime::write(VarId var, std::uint32_t payload_bytes, bool record) 
   });
 
   if (record) sample_meta_locked();
+  {
+    obs::TraceEvent e;
+    e.type = obs::TraceEventType::kOpComplete;
+    e.a = var;
+    e.b = 1;
+    trace_locked(e);
+  }
   return w;
 }
 
 bool SiteRuntime::read(VarId var, ReadCallback done, bool record) {
   std::unique_lock lock(mutex_);
   CAUSIM_CHECK(!fetch_.has_value(), "read issued while a remote fetch is outstanding");
+  {
+    obs::TraceEvent e;
+    e.type = obs::TraceEventType::kOpIssue;
+    e.a = var;
+    trace_locked(e);
+  }
 
   if (placement_.replicated_at(var, self_)) {
     protocol_->local_read(var);
@@ -64,6 +123,12 @@ bool SiteRuntime::read(VarId var, ReadCallback done, bool record) {
         it == store_.end() ? std::pair<Value, WriteId>{} : it->second;
     if (recorder_ != nullptr) recorder_->record_read(self_, var, w, false, self_);
     if (record) sample_meta_locked();
+    {
+      obs::TraceEvent e;
+      e.type = obs::TraceEventType::kOpComplete;
+      e.a = var;
+      trace_locked(e);
+    }
     lock.unlock();
     if (done) done(value, w);
     return true;
@@ -140,9 +205,19 @@ void SiteRuntime::handle_sm(Envelope env) {
                  "SM for var " << env.var << " reached non-replica site " << self_);
     serial::ByteReader meta(env.meta, clock_width_);
     causal::SmEnvelope sm{env.sender, env.var, env.value, env.write};
-    pending_.push_back(QueuedUpdate{
-        protocol_->decode_sm(sm, placement_.replicas(env.var), meta),
-        now_fn_ ? now_fn_() : 0});
+    auto update = protocol_->decode_sm(sm, placement_.replicas(env.var), meta);
+    const bool buffered = !protocol_->ready(*update);
+    pending_.push_back(QueuedUpdate{std::move(update), now_locked(), buffered});
+    pending_hwm_ = std::max(pending_hwm_, pending_.size());
+    if (buffered) {
+      ++buffered_updates_;
+      obs::TraceEvent e;
+      e.type = obs::TraceEventType::kBuffered;
+      e.peer = env.sender;
+      e.a = env.var;
+      e.b = pending_.size();
+      trace_locked(e);
+    }
     drain_pending_locked();
     completion = try_complete_fetch_locked();
   }
@@ -158,6 +233,12 @@ void SiteRuntime::handle_fm(const Envelope& env, SiteId from) {
     auto guard = protocol_->decode_fetch_guard(guard_meta);
     if (guard != nullptr && !protocol_->fetch_ready(*guard)) {
       held_fetches_.push_back(HeldFetch{env, from, std::move(guard)});
+      held_fetch_hwm_ = std::max(held_fetch_hwm_, held_fetches_.size());
+      obs::TraceEvent e;
+      e.type = obs::TraceEventType::kFetchHeld;
+      e.peer = from;
+      e.a = env.var;
+      trace_locked(e);
       return;
     }
   }
@@ -209,10 +290,21 @@ std::function<void()> SiteRuntime::try_complete_fetch_locked() {
   if (recorder_ != nullptr) {
     recorder_->record_read(self_, env.var, env.write, /*remote=*/true, env.sender);
   }
+  const SimTime latency = now_fn_ ? now_fn_() - fetch_->started : 0;
   if (now_fn_ && fetch_->record) {
-    fetch_latency_.record(static_cast<double>(now_fn_() - fetch_->started));
+    fetch_latency_.record(static_cast<double>(latency));
+    fetch_latency_hist_.record(static_cast<double>(latency));
   }
   if (fetch_->record) sample_meta_locked();
+  {
+    obs::TraceEvent e;
+    e.type = obs::TraceEventType::kOpComplete;
+    e.peer = env.sender;
+    e.ts = fetch_->started;  // span covers the whole fetch round-trip
+    e.dur = latency;
+    e.a = env.var;
+    trace_locked(e);
+  }
   ReadCallback done = std::move(fetch_->done);
   fetch_.reset();
   if (!done) return [] {};
@@ -229,13 +321,21 @@ void SiteRuntime::drain_pending_locked() {
       pending_.erase(it);
       protocol_->apply(*queued.update);
       ++total_applies_;
-      if (now_fn_) {
-        const SimTime waited = now_fn_() - queued.received;
-        if (waited > 0) apply_delay_.record(static_cast<double>(waited));
-      }
+      const SimTime waited = now_fn_ ? now_fn_() - queued.received : 0;
+      if (waited > 0) apply_delay_.record(static_cast<double>(waited));
       const auto& env = queued.update->env();
       store_[env.var] = {env.value, env.write};
       if (recorder_ != nullptr) recorder_->record_apply(self_, env.var, env.write);
+      {
+        obs::TraceEvent e;
+        e.type = obs::TraceEventType::kActivated;
+        e.peer = env.sender;
+        e.ts = queued.received;  // span covers the time spent buffered
+        e.dur = waited;
+        e.a = env.var;
+        e.b = queued.was_buffered ? 1 : 0;
+        trace_locked(e);
+      }
       progress = true;
       break;  // iterator invalidated; rescan from the front
     }
@@ -248,6 +348,11 @@ void SiteRuntime::drain_held_fetches_locked() {
     if (protocol_->fetch_ready(*it->guard)) {
       const HeldFetch held = std::move(*it);
       it = held_fetches_.erase(it);
+      obs::TraceEvent e;
+      e.type = obs::TraceEventType::kFetchServed;
+      e.peer = held.from;
+      e.a = held.request.var;
+      trace_locked(e);
       serve_fm_locked(held.request, held.from);
     } else {
       ++it;
@@ -261,8 +366,17 @@ void SiteRuntime::send_envelope(const Envelope& env, SiteId to, bool record) {
   if (record) {
     stats_.record(env.kind, sizes.header, sizes.meta, sizes.payload);
     if (message_probe_) {
-      message_probe_(env.kind, sizes.header + sizes.meta, now_fn_ ? now_fn_() : 0);
+      message_probe_(env.kind, sizes.header + sizes.meta, now_locked());
     }
+  }
+  {
+    obs::TraceEvent e;
+    e.type = obs::TraceEventType::kSend;
+    e.kind = env.kind;
+    e.peer = to;
+    e.a = env.var;
+    e.b = sizes.header + sizes.meta;
+    trace_locked(e);
   }
   transport_.send(self_, to, std::move(bytes));
 }
@@ -321,6 +435,30 @@ stats::Summary SiteRuntime::apply_delay() const {
 std::uint64_t SiteRuntime::total_applies() const {
   std::lock_guard lock(mutex_);
   return total_applies_;
+}
+
+void SiteRuntime::export_metrics(obs::MetricsRegistry& registry) const {
+  std::lock_guard lock(mutex_);
+  for (const MessageKind kind : kAllMessageKinds) {
+    const stats::SizeBreakdown& b = stats_.of(kind);
+    const std::string prefix = std::string("msg.") + causim::to_string(kind);
+    registry.counter(prefix + ".count").add(b.count);
+    registry.counter(prefix + ".overhead_bytes").add(b.overhead_bytes());
+    registry.counter(prefix + ".meta_bytes").add(b.meta_bytes);
+  }
+  registry.counter("apply.total").add(total_applies_);
+  registry.counter("apply.buffered").add(buffered_updates_);
+  registry.counter("log.merge.count").add(log_merges_);
+  registry.counter("log.prune.count").add(log_prunes_);
+  registry.gauge("site.activation_queue.high_water")
+      .set(static_cast<double>(pending_hwm_));
+  registry.gauge("site.held_fetch.high_water")
+      .set(static_cast<double>(held_fetch_hwm_));
+  registry.summary("log.entries") += log_entries_;
+  registry.summary("log.bytes") += log_bytes_;
+  registry.summary("dest_set.size") += dest_set_size_;
+  registry.summary("apply.delay_us") += apply_delay_;
+  registry.histogram("fetch.latency_us", 0.0, 1e6, 200) += fetch_latency_hist_;
 }
 
 }  // namespace causim::dsm

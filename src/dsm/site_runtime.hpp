@@ -28,12 +28,18 @@
 #include "dsm/envelope.hpp"
 #include "dsm/placement.hpp"
 #include "net/transport.hpp"
+#include "obs/trace_event.hpp"
 #include "stats/histogram.hpp"
 #include "stats/message_stats.hpp"
 
+namespace causim::obs {
+class MetricsRegistry;
+class TraceSink;
+}  // namespace causim::obs
+
 namespace causim::dsm {
 
-class SiteRuntime final : public net::PacketHandler {
+class SiteRuntime final : public net::PacketHandler, private causal::ProtocolObserver {
  public:
   /// Called when a read completes with the value and the id of the write
   /// that produced it (null id for ⊥).
@@ -107,6 +113,17 @@ class SiteRuntime final : public net::PacketHandler {
   stats::Summary apply_delay() const;
   std::uint64_t total_applies() const;
 
+  /// Attaches a trace sink receiving this site's lifecycle events — op
+  /// issue/complete, sends, buffering, activation, fetch holds, log
+  /// merge/prune (nullptr detaches). Attach before driving traffic; the
+  /// sink must be thread-safe under ThreadTransport (RingBufferSink is).
+  void set_trace_sink(obs::TraceSink* sink);
+
+  /// Folds this site's counters and distributions into `registry` (metric
+  /// names are catalogued in docs/OBSERVABILITY.md). Call after quiescence;
+  /// per-site registries merge with MetricsRegistry::merge.
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
  private:
   struct PendingFetch {
     VarId var = kInvalidVar;
@@ -133,6 +150,17 @@ class SiteRuntime final : public net::PacketHandler {
   void send_envelope(const Envelope& env, SiteId to, bool record);
   void sample_meta_locked();
 
+  // causal::ProtocolObserver — the protocol only runs inside entry points
+  // that already hold the site mutex, so these fire with mutex_ held.
+  void on_log_merge(std::size_t before, std::size_t incoming,
+                    std::size_t after) override;
+  void on_log_prune(std::size_t before, std::size_t after) override;
+
+  /// Stamps site and emits if a sink is attached (type/peer/args and, for
+  /// spans, dur are the caller's job; ts defaults to now).
+  void trace_locked(obs::TraceEvent e);
+  SimTime now_locked() const { return now_fn_ ? now_fn_() : 0; }
+
   const SiteId self_;
   const Placement& placement_;
   net::Transport& transport_;
@@ -148,6 +176,7 @@ class SiteRuntime final : public net::PacketHandler {
   struct QueuedUpdate {
     std::unique_ptr<causal::PendingUpdate> update;
     SimTime received = 0;
+    bool was_buffered = false;  // activation predicate was false on arrival
   };
 
   struct HeldFetch {
@@ -181,6 +210,16 @@ class SiteRuntime final : public net::PacketHandler {
   stats::Summary fetch_latency_;
   stats::Summary apply_delay_;
   std::uint64_t total_applies_ = 0;
+
+  // Observability (guarded by mutex_ like the rest of the instruments).
+  obs::TraceSink* trace_ = nullptr;
+  stats::Histogram fetch_latency_hist_{0.0, 1e6, 200};  // µs, 5 ms buckets
+  stats::Summary dest_set_size_;
+  std::uint64_t buffered_updates_ = 0;
+  std::uint64_t log_merges_ = 0;
+  std::uint64_t log_prunes_ = 0;
+  std::size_t pending_hwm_ = 0;
+  std::size_t held_fetch_hwm_ = 0;
 };
 
 }  // namespace causim::dsm

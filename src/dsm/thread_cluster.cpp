@@ -22,6 +22,7 @@ ThreadCluster::ThreadCluster(const ClusterConfig& config, Options options)
   topt.max_delay_us = options.max_wire_delay_us;
   topt.seed = config.seed;
   transport_ = std::make_unique<net::ThreadTransport>(config.sites, topt);
+  transport_->set_trace_sink(config.trace_sink);
   runtimes_.reserve(config.sites);
   for (SiteId i = 0; i < config.sites; ++i) {
     auto protocol = causal::make_protocol(config.protocol, i, config.sites,
@@ -31,6 +32,7 @@ ThreadCluster::ThreadCluster(const ClusterConfig& config, Options options)
         config.record_history ? &history_ : nullptr,
         config.protocol_options.clock_width, std::function<SimTime()>{},
         config.causal_fetch));
+    runtimes_.back()->set_trace_sink(config.trace_sink);
     transport_->attach(i, runtimes_.back().get());
   }
 }
@@ -97,6 +99,10 @@ stats::Summary ThreadCluster::aggregate_log_bytes() const {
   stats::Summary total;
   for (const auto& r : runtimes_) total += r->log_bytes();
   return total;
+}
+
+void ThreadCluster::export_metrics(obs::MetricsRegistry& registry) const {
+  for (const auto& r : runtimes_) r->export_metrics(registry);
 }
 
 checker::CheckResult ThreadCluster::check(checker::CheckOptions options) const {

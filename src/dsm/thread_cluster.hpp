@@ -50,6 +50,10 @@ class ThreadCluster {
   stats::Summary aggregate_log_bytes() const;
   checker::CheckResult check(checker::CheckOptions options = {}) const;
 
+  /// Folds every site's observability instruments into `registry`. Call
+  /// after execute() returns (the network is quiescent by then).
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
  private:
   ClusterConfig config_;
   Options options_;

@@ -26,6 +26,7 @@ class SimTransport final : public Transport {
   SiteId size() const override { return static_cast<SiteId>(handlers_.size()); }
   std::uint64_t packets_sent() const override { return sent_; }
   std::uint64_t packets_delivered() const override { return delivered_; }
+  void set_trace_sink(obs::TraceSink* sink) override { trace_ = sink; }
 
  private:
   sim::Simulator& simulator_;
@@ -34,8 +35,11 @@ class SimTransport final : public Transport {
   std::vector<PacketHandler*> handlers_;
   // last_delivery_[from * n + to]: latest delivery time scheduled on the channel.
   std::vector<SimTime> last_delivery_;
+  // channel_seq_[from * n + to]: next FIFO sequence number on the channel.
+  std::vector<std::uint64_t> channel_seq_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace causim::net

@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "common/panic.hpp"
+#include "obs/trace_event.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace causim::net {
 
@@ -22,9 +24,22 @@ ThreadTransport::ThreadTransport(SiteId n) : ThreadTransport(n, Options()) {}
 
 ThreadTransport::ThreadTransport(SiteId n, Options options)
     : max_delay_us_(options.max_delay_us),
-      rng_state_(options.seed == 0 ? 0x9e3779b97f4a7c15ULL : options.seed) {
+      rng_state_(options.seed == 0 ? 0x9e3779b97f4a7c15ULL : options.seed),
+      channel_seq_(static_cast<std::size_t>(n) * n, 0),
+      epoch_(std::chrono::steady_clock::now()) {
   inboxes_.reserve(n);
   for (SiteId i = 0; i < n; ++i) inboxes_.push_back(std::make_unique<Inbox>());
+}
+
+void ThreadTransport::set_trace_sink(obs::TraceSink* sink) {
+  CAUSIM_CHECK(!running_, "set_trace_sink after start()");
+  trace_ = sink;
+}
+
+SimTime ThreadTransport::trace_now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
 }
 
 ThreadTransport::~ThreadTransport() { stop(); }
@@ -61,34 +76,64 @@ void ThreadTransport::send(SiteId from, SiteId to, serial::Bytes bytes) {
     std::lock_guard lock(stats_mutex_);
     ++sent_;
   }
-  Packet p{from, to, std::move(bytes)};
+  const std::size_t channel = static_cast<std::size_t>(from) * inboxes_.size() + to;
+  Packet p{from, to, 0, std::move(bytes)};
+  const std::uint64_t packet_bytes = p.bytes.size();
   if (max_delay_us_ > 0) {
-    // Due times are assigned under the wire mutex so per-channel FIFO can
-    // be enforced by clamping to the previous due time on the same channel.
-    std::lock_guard lock(wire_mutex_);
-    const auto now = std::chrono::steady_clock::now();
-    const std::int64_t jitter =
-        static_cast<std::int64_t>(next_rand(rng_state_) % static_cast<std::uint64_t>(max_delay_us_ + 1));
-    auto due = now + std::chrono::microseconds(jitter);
-    // Enforce FIFO per channel: never due earlier than an earlier packet on
-    // the same (from, to) channel still in the wire queue.
-    for (auto it = wire_queue_.rbegin(); it != wire_queue_.rend(); ++it) {
-      if (it->packet.from == p.from && it->packet.to == p.to) {
-        due = std::max(due, it->due + std::chrono::microseconds(1));
-        break;
+    {
+      // Due times are assigned under the wire mutex so per-channel FIFO can
+      // be enforced by clamping to the previous due time on the same channel.
+      std::lock_guard lock(wire_mutex_);
+      p.seq = channel_seq_[channel]++;
+      const auto now = std::chrono::steady_clock::now();
+      const std::int64_t jitter =
+          static_cast<std::int64_t>(next_rand(rng_state_) % static_cast<std::uint64_t>(max_delay_us_ + 1));
+      auto due = now + std::chrono::microseconds(jitter);
+      // Enforce FIFO per channel: never due earlier than an earlier packet on
+      // the same (from, to) channel still in the wire queue.
+      for (auto it = wire_queue_.rbegin(); it != wire_queue_.rend(); ++it) {
+        if (it->packet.from == p.from && it->packet.to == p.to) {
+          due = std::max(due, it->due + std::chrono::microseconds(1));
+          break;
+        }
+      }
+      const SimTime held_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(due - now).count();
+      const std::uint64_t seq = p.seq;
+      TimedPacket tp{due, std::move(p)};
+      const auto pos = std::upper_bound(
+          wire_queue_.begin(), wire_queue_.end(), tp,
+          [](const TimedPacket& a, const TimedPacket& b) { return a.due < b.due; });
+      wire_queue_.insert(pos, std::move(tp));
+      if (trace_ != nullptr) {
+        obs::TraceEvent e;
+        e.type = obs::TraceEventType::kWireDelay;
+        e.site = from;
+        e.peer = to;
+        e.ts = trace_now();
+        e.dur = held_us;
+        e.a = seq;
+        e.b = packet_bytes;
+        trace_->emit(e);
       }
     }
-    TimedPacket tp{due, std::move(p)};
-    const auto pos = std::upper_bound(
-        wire_queue_.begin(), wire_queue_.end(), tp,
-        [](const TimedPacket& a, const TimedPacket& b) { return a.due < b.due; });
-    wire_queue_.insert(pos, std::move(tp));
     wire_cv_.notify_one();
     return;
   }
   Inbox& inbox = *inboxes_[p.to];
   {
     std::lock_guard lock(inbox.mutex);
+    p.seq = channel_seq_[channel]++;
+    if (trace_ != nullptr) {
+      obs::TraceEvent e;
+      e.type = obs::TraceEventType::kWireDelay;
+      e.site = from;
+      e.peer = to;
+      e.ts = trace_now();
+      e.a = p.seq;
+      e.b = packet_bytes;
+      trace_->emit(e);
+    }
     inbox.queue.push_back(std::move(p));
   }
   inbox.cv.notify_one();
@@ -141,6 +186,16 @@ void ThreadTransport::receipt_loop(SiteId site) {
       p = std::move(inbox.queue.front());
       inbox.queue.pop_front();
       inbox.handling = true;
+    }
+    if (trace_ != nullptr) {
+      obs::TraceEvent e;
+      e.type = obs::TraceEventType::kDeliver;
+      e.site = p.to;
+      e.peer = p.from;
+      e.ts = trace_now();
+      e.a = p.seq;
+      e.b = p.bytes.size();
+      trace_->emit(e);
     }
     inbox.handler->on_packet(std::move(p));
     {

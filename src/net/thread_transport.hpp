@@ -58,6 +58,10 @@ class ThreadTransport final : public Transport {
   std::uint64_t packets_sent() const override;
   std::uint64_t packets_delivered() const override;
 
+  /// Must be called before start(); timestamps are real microseconds since
+  /// transport construction (thread runs are wall-clock, not simulated).
+  void set_trace_sink(obs::TraceSink* sink) override;
+
  private:
   struct Inbox {
     std::mutex mutex;
@@ -89,6 +93,16 @@ class ThreadTransport final : public Transport {
   mutable std::mutex stats_mutex_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
+  // channel_seq_[from * n + to]: next FIFO sequence number on the channel.
+  // Assigned inside the critical section that orders the enqueue (the wire
+  // mutex with a delay stage, the target inbox mutex without), so sequence
+  // numbers always match actual per-channel delivery order.
+  std::vector<std::uint64_t> channel_seq_;
+
+  // Tracing (sink set before start(); RingBufferSink::emit is thread-safe).
+  obs::TraceSink* trace_ = nullptr;
+  std::chrono::steady_clock::time_point epoch_;
+  SimTime trace_now() const;
 
   std::mutex state_mutex_;
   std::condition_variable quiesce_cv_;

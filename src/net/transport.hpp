@@ -14,12 +14,20 @@
 #include "common/ids.hpp"
 #include "serial/writer.hpp"
 
+namespace causim::obs {
+class TraceSink;
+}  // namespace causim::obs
+
 namespace causim::net {
 
 /// A fully serialized message in flight.
 struct Packet {
   SiteId from = kInvalidSite;
   SiteId to = kInvalidSite;
+  /// Position on the (from, to) FIFO channel, assigned by the transport at
+  /// send time (0, 1, 2, …). Lets trace consumers pair each kWireDelay with
+  /// its kDeliver and assert per-channel ordering.
+  std::uint64_t seq = 0;
   serial::Bytes bytes;
 };
 
@@ -51,6 +59,11 @@ class Transport {
   virtual std::uint64_t packets_sent() const = 0;
   /// Total packets delivered to handlers so far.
   virtual std::uint64_t packets_delivered() const = 0;
+
+  /// Attaches a trace sink receiving kWireDelay/kDeliver events (nullptr
+  /// detaches; the default transport ignores the call). The sink must
+  /// outlive the transport or be detached before destruction.
+  virtual void set_trace_sink(obs::TraceSink* sink) { (void)sink; }
 };
 
 }  // namespace causim::net

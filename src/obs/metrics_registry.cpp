@@ -1,0 +1,133 @@
+#include "obs/metrics_registry.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace causim::obs {
+
+namespace {
+
+/// JSON-safe number rendering: integral values print without a fraction,
+/// everything else with enough digits to round-trip a double.
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void write_summary_fields(std::ostream& out, const stats::Summary& s) {
+  out << "\"count\": " << s.count() << ", \"mean\": " << num(s.mean())
+      << ", \"min\": " << num(s.min()) << ", \"max\": " << num(s.max())
+      << ", \"stddev\": " << num(s.stddev());
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) { return counters_[name]; }
+
+Gauge& MetricsRegistry::gauge(const std::string& name) { return gauges_[name]; }
+
+stats::Summary& MetricsRegistry::summary(const std::string& name) {
+  return summaries_[name];
+}
+
+stats::Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                             double hi, std::size_t buckets) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, stats::Histogram(lo, hi, buckets)).first->second;
+}
+
+bool MetricsRegistry::empty() const {
+  return counters_.empty() && gauges_.empty() && summaries_.empty() &&
+         histograms_.empty();
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].add(c.value());
+  for (const auto& [name, g] : other.gauges_) {
+    Gauge& mine = gauges_[name];
+    mine.set(std::max(mine.value(), g.value()));
+    mine.set(std::max(mine.high_water(), g.high_water()));
+  }
+  for (const auto& [name, s] : other.summaries_) summaries_[name] += s;
+  for (const auto& [name, h] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second += h;  // panics on mismatched (lo, hi, buckets)
+    }
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << c.value();
+    first = false;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"value\": "
+        << num(g.value()) << ", \"high_water\": " << num(g.high_water()) << "}";
+    first = false;
+  }
+  out << "\n  },\n  \"summaries\": {";
+  first = true;
+  for (const auto& [name, s] : summaries_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {";
+    write_summary_fields(out, s);
+    out << "}";
+    first = false;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {";
+    write_summary_fields(out, h.summary());
+    out << ", \"lo\": " << num(h.lo()) << ", \"hi\": " << num(h.hi())
+        << ", \"buckets\": " << h.bucket_count() << ", \"overflow\": " << h.overflow()
+        << ", \"quantiles\": {\"p50\": " << num(h.quantile(0.50))
+        << ", \"p90\": " << num(h.quantile(0.90))
+        << ", \"p99\": " << num(h.quantile(0.99)) << "}";
+    out << "}";
+    first = false;
+  }
+  out << "\n  }\n}\n";
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  out << "metric,type,field,value\n";
+  for (const auto& [name, c] : counters_) {
+    out << name << ",counter,value," << c.value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << name << ",gauge,value," << num(g.value()) << "\n";
+    out << name << ",gauge,high_water," << num(g.high_water()) << "\n";
+  }
+  const auto summary_rows = [&](const std::string& name, const char* type,
+                                const stats::Summary& s) {
+    out << name << "," << type << ",count," << s.count() << "\n";
+    out << name << "," << type << ",mean," << num(s.mean()) << "\n";
+    out << name << "," << type << ",min," << num(s.min()) << "\n";
+    out << name << "," << type << ",max," << num(s.max()) << "\n";
+  };
+  for (const auto& [name, s] : summaries_) summary_rows(name, "summary", s);
+  for (const auto& [name, h] : histograms_) {
+    summary_rows(name, "histogram", h.summary());
+    out << name << ",histogram,p50," << num(h.quantile(0.50)) << "\n";
+    out << name << ",histogram,p90," << num(h.quantile(0.90)) << "\n";
+    out << name << ",histogram,p99," << num(h.quantile(0.99)) << "\n";
+    out << name << ",histogram,overflow," << h.overflow() << "\n";
+  }
+}
+
+}  // namespace causim::obs

@@ -1,0 +1,77 @@
+// MetricsRegistry — named counters, gauges, summaries and histograms.
+//
+// The registry is the run-level metrics surface: benches and tools ask it
+// for a metric by name and export the whole thing as JSON or CSV at the
+// end (`--metrics-out`). Scalar distribution types are reused from
+// causim::stats (Summary, Histogram), so per-site instruments recorded
+// under each site's own lock can be folded into one registry after
+// quiescence with merge() — Histogram::operator+= panics on mismatched
+// bucket configurations rather than silently misbinning.
+//
+// The registry itself is not thread-safe: populate it from one thread, or
+// keep one registry per site and merge.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "stats/histogram.hpp"
+
+namespace causim::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A sampled level that also remembers its high-water mark.
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    high_water_ = std::max(high_water_, v);
+  }
+  double value() const { return value_; }
+  double high_water() const { return high_water_; }
+
+ private:
+  double value_ = 0.0;
+  double high_water_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates; creation order does not matter (exports sort by name).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  stats::Summary& summary(const std::string& name);
+  /// The (lo, hi, buckets) configuration applies on first creation; later
+  /// lookups of the same name ignore it (merge() still panics if two
+  /// registries disagree).
+  stats::Histogram& histogram(const std::string& name, double lo, double hi,
+                              std::size_t buckets);
+
+  bool empty() const;
+
+  /// Folds `other` in: counters sum, gauges take the max of value and
+  /// high-water, summaries and histograms accumulate.
+  void merge(const MetricsRegistry& other);
+
+  void write_json(std::ostream& out) const;
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, stats::Summary> summaries_;
+  std::map<std::string, stats::Histogram> histograms_;
+};
+
+}  // namespace causim::obs

@@ -1,0 +1,58 @@
+#include "obs/perfetto_export.hpp"
+
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace causim::obs {
+
+namespace {
+
+bool is_span(const TraceEvent& e) { return e.dur > 0; }
+
+/// Chrome groups tracks by (pid, tid); one pid per site keeps each site's
+/// lifecycle on its own track. Events at an unknown site (none today) fall
+/// back to pid 0.
+std::uint32_t pid_of(const TraceEvent& e) {
+  return e.site == kInvalidSite ? 0u : static_cast<std::uint32_t>(e.site);
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events) {
+  std::set<std::uint32_t> pids;
+  for (const TraceEvent& e : events) pids.insert(pid_of(e));
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const std::uint32_t pid : pids) {
+    out << (first ? "" : ",")
+        << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":0,\"args\":{\"name\":\"site " << pid << "\"}}";
+    first = false;
+  }
+  for (const TraceEvent& e : events) {
+    out << (first ? "" : ",") << "{\"name\":\"" << to_string(e.type)
+        << "\",\"cat\":\"causim\",\"ph\":\"" << (is_span(e) ? "X" : "i")
+        << "\",\"ts\":" << e.ts;
+    if (is_span(e)) {
+      out << ",\"dur\":" << e.dur;
+    } else {
+      out << ",\"s\":\"t\"";
+    }
+    out << ",\"pid\":" << pid_of(e) << ",\"tid\":0,\"args\":{";
+    out << "\"kind\":\"" << causim::to_string(e.kind) << "\"";
+    if (e.peer != kInvalidSite) out << ",\"peer\":" << e.peer;
+    out << ",\"a\":" << e.a << ",\"b\":" << e.b << "}}";
+    first = false;
+  }
+  out << "]}\n";
+}
+
+std::string chrome_trace_string(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  write_chrome_trace(out, events);
+  return out.str();
+}
+
+}  // namespace causim::obs

@@ -1,0 +1,23 @@
+// Chrome trace-event JSON export (loads in Perfetto and chrome://tracing).
+//
+// Events with a duration become complete ("X") spans, instants become "i"
+// events; each site maps to one pid so Perfetto renders one track per
+// site, with process_name metadata. All numeric fields are integers
+// (microseconds), so serialization is deterministic: two DES runs with the
+// same (schedule, seed) produce byte-identical files.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/trace_event.hpp"
+
+namespace causim::obs {
+
+/// Writes `events` (in order) as a Chrome trace-event JSON object.
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events);
+
+/// write_chrome_trace to a string (tests, determinism checks).
+std::string chrome_trace_string(const std::vector<TraceEvent>& events);
+
+}  // namespace causim::obs

@@ -1,0 +1,93 @@
+// TraceEvent — one typed record of the structured trace (causim::obs).
+//
+// Events cover the full message lifecycle the paper's aggregates hide:
+// an operation is issued, an SM/FM/RM is sent, the transport holds it on
+// the wire, delivers it, the receiver buffers it while the activation
+// predicate is false, activates (applies) it, and the protocol merges or
+// prunes its causal log along the way. Under the discrete-event simulator
+// every timestamp comes from Simulator::now(), so a trace is a pure
+// function of (schedule, seed) and two identical runs serialize to
+// byte-identical files (asserted by tests/test_obs.cpp).
+//
+// The struct is a fixed-size POD so the recording sink can be a
+// preallocated ring buffer with no per-event allocation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "common/message_kind.hpp"
+
+namespace causim::obs {
+
+enum class TraceEventType : std::uint8_t {
+  /// Application subsystem issued an operation (a = var, b = 1 for a
+  /// write, 0 for a read).
+  kOpIssue = 0,
+  /// Operation completed (writes complete inline; for remote reads
+  /// dur = fetch round-trip).
+  kOpComplete,
+  /// A message left the site (kind = SM/FM/RM, peer = destination,
+  /// a = var, b = header+meta bytes).
+  kSend,
+  /// Transport accepted a packet onto the wire (peer = destination,
+  /// dur = one-way delay incl. FIFO clamping, a = channel seq, b = bytes).
+  kWireDelay,
+  /// Transport handed a packet to the receiver (peer = sender,
+  /// a = channel seq, b = bytes).
+  kDeliver,
+  /// An SM arrived but the activation predicate was false; it entered the
+  /// pending queue (peer = sender, a = var, b = queue depth after).
+  kBuffered,
+  /// A pending SM was applied (peer = sender, a = var, dur = time spent
+  /// buffered, b = 1 if it had been buffered, 0 if applied on arrival).
+  kActivated,
+  /// Causal-fetch extension: an FM was held back by its guard (peer =
+  /// reader, a = var).
+  kFetchHeld,
+  /// A previously held FM was served (peer = reader, a = var).
+  kFetchServed,
+  /// Protocol merged piggybacked/stored meta-data into its local log
+  /// (a = entries before, b = entries after).
+  kLogMerge,
+  /// Protocol pruned/purged its log (a = entries before, b = entries after).
+  kLogPrune,
+};
+
+inline const char* to_string(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kOpIssue: return "op_issue";
+    case TraceEventType::kOpComplete: return "op_complete";
+    case TraceEventType::kSend: return "send";
+    case TraceEventType::kWireDelay: return "wire_delay";
+    case TraceEventType::kDeliver: return "deliver";
+    case TraceEventType::kBuffered: return "buffered";
+    case TraceEventType::kActivated: return "activated";
+    case TraceEventType::kFetchHeld: return "fetch_held";
+    case TraceEventType::kFetchServed: return "fetch_served";
+    case TraceEventType::kLogMerge: return "log_merge";
+    case TraceEventType::kLogPrune: return "log_prune";
+  }
+  return "??";
+}
+
+struct TraceEvent {
+  TraceEventType type = TraceEventType::kOpIssue;
+  /// Message kind for kSend; transport events are kind-agnostic (the wire
+  /// carries opaque bytes) and leave the default.
+  MessageKind kind = MessageKind::kSM;
+  /// Site where the event happened.
+  SiteId site = kInvalidSite;
+  /// Other endpoint for message events; kInvalidSite otherwise.
+  SiteId peer = kInvalidSite;
+  /// Timestamp: Simulator::now() microseconds under the DES; microseconds
+  /// since transport start under ThreadTransport.
+  SimTime ts = 0;
+  /// Span length in the same unit (0 for instants).
+  SimTime dur = 0;
+  /// Type-specific arguments (see the enum's comments).
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+}  // namespace causim::obs

@@ -1,0 +1,36 @@
+#include "obs/trace_sink.hpp"
+
+#include <algorithm>
+
+#include "common/panic.hpp"
+
+namespace causim::obs {
+
+RingBufferSink::RingBufferSink(std::size_t capacity) : slots_(capacity) {
+  CAUSIM_CHECK(capacity > 0, "trace ring buffer needs a non-zero capacity");
+}
+
+void RingBufferSink::emit(const TraceEvent& event) {
+  const std::uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+  if (i >= slots_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slots_[i] = event;
+}
+
+std::size_t RingBufferSink::size() const {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(next_.load(std::memory_order_relaxed), slots_.size()));
+}
+
+std::vector<TraceEvent> RingBufferSink::events() const {
+  return {slots_.begin(), slots_.begin() + static_cast<std::ptrdiff_t>(size())};
+}
+
+void RingBufferSink::clear() {
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace causim::obs

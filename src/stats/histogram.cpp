@@ -59,9 +59,27 @@ double Histogram::quantile(double q) const {
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
-    if (seen > target) return lo_ + width_ * static_cast<double>(i + 1);
+    // Clamp the bucket's upper edge to the observed max: a lone sample in a
+    // wide bucket should not report a quantile beyond anything recorded.
+    if (seen > target) {
+      return std::min(lo_ + width_ * static_cast<double>(i + 1), summary_.max());
+    }
   }
+  // The quantile lands in the overflow bucket (x >= hi); the observed max
+  // is the tightest bound the histogram still knows.
   return summary_.max();
+}
+
+Histogram& Histogram::operator+=(const Histogram& other) {
+  CAUSIM_CHECK(lo_ == other.lo_ && hi_ == other.hi_ &&
+                   buckets_.size() == other.buckets_.size(),
+               "histogram merge with mismatched configuration: [" << lo_ << ", " << hi_
+                   << ")/" << buckets_.size() << " += [" << other.lo_ << ", "
+                   << other.hi_ << ")/" << other.buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  overflow_ += other.overflow_;
+  summary_ += other.summary_;
+  return *this;
 }
 
 }  // namespace causim::stats

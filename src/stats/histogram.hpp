@@ -42,8 +42,20 @@ class Histogram {
   double min() const { return summary_.min(); }
   double max() const { return summary_.max(); }
 
-  /// q in [0,1]; returns the upper edge of the bucket holding the q-quantile.
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+
+  /// q in [0,1]; returns the upper edge of the bucket holding the
+  /// q-quantile, clamped to the observed max when the quantile lands in
+  /// the overflow bucket. 0 when empty.
   double quantile(double q) const;
+
+  /// Merge (e.g. per-site histograms into one); panics when the (lo, hi,
+  /// buckets) configurations differ — misbinning would be silent otherwise.
+  Histogram& operator+=(const Histogram& other);
 
   const Summary& summary() const { return summary_; }
 

@@ -12,7 +12,9 @@ SizeBreakdown& SizeBreakdown::operator+=(const SizeBreakdown& other) {
 
 void MessageStats::record(MessageKind kind, std::uint64_t header_bytes,
                           std::uint64_t meta_bytes, std::uint64_t payload_bytes) {
-  SizeBreakdown& b = kinds_[static_cast<std::size_t>(kind)];
+  const auto i = static_cast<std::size_t>(kind);
+  CAUSIM_CHECK(i < kinds_.size(), "MessageKind " << i << " out of range");
+  SizeBreakdown& b = kinds_[i];
   ++b.count;
   b.header_bytes += header_bytes;
   b.meta_bytes += meta_bytes;
@@ -26,7 +28,7 @@ SizeBreakdown MessageStats::total() const {
 }
 
 MessageStats& MessageStats::operator+=(const MessageStats& other) {
-  for (std::size_t i = 0; i < 3; ++i) kinds_[i] += other.kinds_[i];
+  for (std::size_t i = 0; i < kinds_.size(); ++i) kinds_[i] += other.kinds_[i];
   return *this;
 }
 

@@ -11,9 +11,11 @@
 // separately so either definition can be reported.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "common/message_kind.hpp"
+#include "common/panic.hpp"
 
 namespace causim::stats {
 
@@ -41,7 +43,9 @@ class MessageStats {
               std::uint64_t payload_bytes);
 
   const SizeBreakdown& of(MessageKind kind) const {
-    return kinds_[static_cast<std::size_t>(kind)];
+    const auto i = static_cast<std::size_t>(kind);
+    CAUSIM_CHECK(i < kinds_.size(), "MessageKind " << i << " out of range");
+    return kinds_[i];
   }
 
   SizeBreakdown total() const;
@@ -55,7 +59,9 @@ class MessageStats {
   void reset();
 
  private:
-  SizeBreakdown kinds_[3];
+  // Sized from the kind list so adding a MessageKind grows the backing
+  // array instead of silently indexing past it.
+  std::array<SizeBreakdown, kAllMessageKinds.size()> kinds_{};
 };
 
 }  // namespace causim::stats

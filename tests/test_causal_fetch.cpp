@@ -28,7 +28,7 @@ class ManualTransport final : public net::Transport {
   }
   void send(SiteId from, SiteId to, serial::Bytes bytes) override {
     ++sent_;
-    outbox_.push_back(net::Packet{from, to, std::move(bytes)});
+    outbox_.push_back(net::Packet{from, to, 0, std::move(bytes)});
   }
   SiteId size() const override { return static_cast<SiteId>(handlers_.size()); }
   std::uint64_t packets_sent() const override { return sent_; }

@@ -2,6 +2,7 @@
 // histograms and table rendering.
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <sstream>
 
 #include "stats/histogram.hpp"
@@ -92,6 +93,51 @@ TEST(Histogram, OverflowGoesToMax) {
   h.record(500);
   EXPECT_DOUBLE_EQ(h.max(), 500);
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 500);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  const Histogram h(0, 10, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, MergeMatchesCombinedStream) {
+  Histogram a(0, 100, 100), b(0, 100, 100), all(0, 100, 100);
+  for (int i = 0; i < 50; ++i) {
+    a.record(i);
+    all.record(i);
+  }
+  for (int i = 50; i < 100; ++i) {
+    b.record(i + 200);  // lands in overflow
+    all.record(i + 200);
+  }
+  a += b;
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.overflow(), all.overflow());
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), all.quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(HistogramDeathTest, MergeWithMismatchedConfigPanics) {
+  Histogram a(0, 10, 10);
+  Histogram b(0, 20, 10);
+  EXPECT_DEATH(a += b, "mismatched configuration");
+}
+
+TEST(HistogramDeathTest, QuantileOutOfRangePanics) {
+  const Histogram h(0, 10, 10);
+  EXPECT_DEATH(h.quantile(1.5), "quantile out of range");
+}
+
+TEST(MessageStats, CoversEveryMessageKind) {
+  // Regression for the hard-coded 3-kind array: `of` and `total` must
+  // account for every enumerator in kAllMessageKinds.
+  MessageStats s;
+  for (const MessageKind kind : kAllMessageKinds) s.record(kind, 1, 2, 3);
+  for (const MessageKind kind : kAllMessageKinds) {
+    EXPECT_EQ(s.of(kind).count, 1u) << to_string(kind);
+  }
+  EXPECT_EQ(s.total().count, std::size(kAllMessageKinds));
 }
 
 TEST(Table, RendersAlignedAndCsv) {

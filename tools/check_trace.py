@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate --trace-out / --metrics-out artifacts (CI quick-bench gate).
+
+Usage: check_trace.py [--trace FILE] [--metrics FILE]
+
+Fails (exit 1) when a given file is missing, empty, unparseable, or
+structurally wrong:
+  trace   — Chrome trace-event JSON: non-empty `traceEvents`, every event
+            carries name/ph/ts/pid, spans ("X") carry a non-negative dur,
+            and per-(pid,peer) channel sequence numbers in wire_delay /
+            deliver events are strictly increasing (FIFO order survived
+            serialization).
+  metrics — registry JSON: the four sections exist, per-kind message
+            counters are present and positive, and every histogram's
+            quantiles are ordered (p50 <= p90 <= p99).
+A metrics file ending in .csv is checked as long-form CSV instead.
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path: str):
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        fail(f"{path}: {e}")
+    if not text.strip():
+        fail(f"{path}: empty file")
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as e:
+        fail(f"{path}: unparseable JSON: {e}")
+
+
+def check_trace(path: str) -> None:
+    doc = load_json(path)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+    real = [e for e in events if e.get("ph") != "M"]
+    if not real:
+        fail(f"{path}: only metadata events")
+    seqs = {}  # (pid, peer, name) -> last seq
+    for e in real:
+        for field in ("name", "ph", "ts", "pid"):
+            if field not in e:
+                fail(f"{path}: event missing '{field}': {e}")
+        if e["ph"] == "X" and e.get("dur", -1) < 0:
+            fail(f"{path}: span without non-negative dur: {e}")
+        if e["name"] in ("wire_delay", "deliver"):
+            args = e.get("args", {})
+            key = (e["pid"], args.get("peer"), e["name"])
+            seq = args.get("a")
+            if key in seqs and seq <= seqs[key]:
+                fail(f"{path}: channel seq went backwards: {e}")
+            seqs[key] = seq
+    names = {e["name"] for e in real}
+    for required in ("op_issue", "op_complete", "send"):
+        if required not in names:
+            fail(f"{path}: no '{required}' events")
+    print(f"check_trace: {path}: OK ({len(real)} events, "
+          f"{len(names)} event types)")
+
+
+def check_metrics_json(path: str) -> None:
+    doc = load_json(path)
+    for section in ("counters", "gauges", "summaries", "histograms"):
+        if section not in doc:
+            fail(f"{path}: missing section '{section}'")
+    counters = doc["counters"]
+    for kind in ("SM", "FM", "RM"):
+        name = f"msg.{kind}.count"
+        if counters.get(name, 0) <= 0:
+            fail(f"{path}: counter '{name}' missing or zero")
+    for name, h in doc["histograms"].items():
+        q = h.get("quantiles", {})
+        if not q.get("p50", 0) <= q.get("p90", 0) <= q.get("p99", 0):
+            fail(f"{path}: histogram '{name}' quantiles out of order: {q}")
+    print(f"check_trace: {path}: OK ({len(counters)} counters, "
+          f"{len(doc['histograms'])} histograms)")
+
+
+def check_metrics_csv(path: str) -> None:
+    try:
+        with open(path, newline="", encoding="utf-8") as f:
+            rows = list(csv.DictReader(f))
+    except OSError as e:
+        fail(f"{path}: {e}")
+    if not rows:
+        fail(f"{path}: no data rows")
+    if set(rows[0].keys()) != {"metric", "type", "field", "value"}:
+        fail(f"{path}: unexpected header: {list(rows[0].keys())}")
+    counts = {r["metric"]: float(r["value"]) for r in rows
+              if r["type"] == "counter"}
+    for kind in ("SM", "FM", "RM"):
+        if counts.get(f"msg.{kind}.count", 0) <= 0:
+            fail(f"{path}: counter 'msg.{kind}.count' missing or zero")
+    print(f"check_trace: {path}: OK ({len(rows)} rows)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace")
+    parser.add_argument("--metrics")
+    args = parser.parse_args()
+    if not args.trace and not args.metrics:
+        fail("nothing to check (pass --trace and/or --metrics)")
+    if args.trace:
+        check_trace(args.trace)
+    if args.metrics:
+        if args.metrics.endswith(".csv"):
+            check_metrics_csv(args.metrics)
+        else:
+            check_metrics_json(args.metrics)
+
+
+if __name__ == "__main__":
+    main()
