@@ -1,0 +1,176 @@
+// causim-trace — offline analysis CLI over recorded Chrome/Perfetto traces
+// and analysis reports (see src/obs/analysis and docs/OBSERVABILITY.md).
+//
+//   causim-trace analyze trace.json [--out report.json] [--label NAME]
+//                                   [--max-points N]
+//   causim-trace diff a.json b.json [--out diff.json]
+//
+// `analyze` re-reads a `--trace-out` file and emits the same
+// causim.analysis.v1 report that `--report-out` produces in-process (with
+// the default label the two are byte-identical). `diff` takes two report
+// files and emits a structural A/B comparison (causim.analysis.diff.v1).
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/analysis/analysis.hpp"
+#include "obs/analysis/trace_reader.hpp"
+
+namespace {
+
+using namespace causim;
+
+int usage(std::ostream& out, int code) {
+  out << "usage:\n"
+         "  causim-trace analyze <trace.json> [--out FILE] [--label NAME]"
+         " [--max-points N]\n"
+         "  causim-trace diff <a.json> <b.json> [--out FILE]\n";
+  return code;
+}
+
+bool read_file(const std::string& path, std::string* text) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "error: cannot read " << path << "\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *text = buffer.str();
+  return true;
+}
+
+bool parse_json_file(const std::string& path, obs::analysis::Json* doc) {
+  std::string text;
+  if (!read_file(path, &text)) return false;
+  std::string error;
+  *doc = obs::analysis::Json::parse(text, &error);
+  if (!error.empty()) {
+    std::cerr << "error: " << path << ": " << error << "\n";
+    return false;
+  }
+  return true;
+}
+
+/// Writes to `path`, or stdout when empty. Returns false on I/O failure.
+bool with_output(const std::string& path,
+                 const std::function<void(std::ostream&)>& write) {
+  if (path.empty()) {
+    write(std::cout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return false;
+  }
+  write(out);
+  return static_cast<bool>(out);
+}
+
+/// `--name=value` or `--name value`; advances `i` past a detached value.
+const char* flag_value(char** argv, int argc, int& i, const char* name) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(argv[i], name, len) != 0) return nullptr;
+  if (argv[i][len] == '=') return argv[i] + len + 1;
+  if (argv[i][len] == '\0' && i + 1 < argc) return argv[++i];
+  return nullptr;
+}
+
+int run_analyze(int argc, char** argv) {
+  std::string trace_path;
+  std::string out_path;
+  obs::analysis::AnalysisOptions options;
+  for (int i = 2; i < argc; ++i) {
+    if (const char* out = flag_value(argv, argc, i, "--out")) {
+      out_path = out;
+    } else if (const char* label = flag_value(argv, argc, i, "--label")) {
+      options.label = label;
+    } else if (const char* points = flag_value(argv, argc, i, "--max-points")) {
+      options.max_series_points =
+          static_cast<std::size_t>(std::strtoull(points, nullptr, 10));
+    } else if (argv[i][0] == '-') {
+      std::cerr << "error: unknown flag " << argv[i] << "\n";
+      return usage(std::cerr, 2);
+    } else if (trace_path.empty()) {
+      trace_path = argv[i];
+    } else {
+      return usage(std::cerr, 2);
+    }
+  }
+  if (trace_path.empty()) return usage(std::cerr, 2);
+
+  obs::analysis::Json doc;
+  if (!parse_json_file(trace_path, &doc)) return 1;
+  std::string error;
+  const auto trace = obs::analysis::read_chrome_trace(doc, &error);
+  if (!trace) {
+    std::cerr << "error: " << trace_path << ": " << error << "\n";
+    return 1;
+  }
+  options.dropped = trace->dropped;
+  const obs::analysis::AnalysisReport report =
+      obs::analysis::analyze(trace->events, options);
+  if (!with_output(out_path, [&](std::ostream& out) { report.write_json(out); })) {
+    return 1;
+  }
+  if (!out_path.empty()) {
+    std::cerr << "report: " << report.events << " events -> " << out_path << "\n";
+  }
+  return 0;
+}
+
+/// A report's display name in the diff header: its embedded label when
+/// non-empty, else the file path.
+std::string report_name(const obs::analysis::Json& doc, const std::string& path) {
+  const std::string label = doc.at("label").str();
+  return label.empty() ? path : label;
+}
+
+int run_diff(int argc, char** argv) {
+  std::string paths[2];
+  std::size_t n_paths = 0;
+  std::string out_path;
+  for (int i = 2; i < argc; ++i) {
+    if (const char* v = flag_value(argv, argc, i, "--out")) {
+      out_path = v;
+    } else if (argv[i][0] == '-') {
+      std::cerr << "error: unknown flag " << argv[i] << "\n";
+      return usage(std::cerr, 2);
+    } else if (n_paths < 2) {
+      paths[n_paths++] = argv[i];
+    } else {
+      return usage(std::cerr, 2);
+    }
+  }
+  if (n_paths != 2) return usage(std::cerr, 2);
+
+  obs::analysis::Json a;
+  obs::analysis::Json b;
+  if (!parse_json_file(paths[0], &a) || !parse_json_file(paths[1], &b)) return 1;
+  const bool ok = with_output(out_path, [&](std::ostream& out) {
+    out << "{\"a\":\"" << obs::analysis::json_escape(report_name(a, paths[0]))
+        << "\",\"b\":\"" << obs::analysis::json_escape(report_name(b, paths[1]))
+        << "\",\"diff\":";
+    obs::analysis::write_json_diff(out, a, b);
+    out << ",\"schema\":\"causim.analysis.diff.v1\"}\n";
+  });
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  if (std::strcmp(argv[1], "analyze") == 0) return run_analyze(argc, argv);
+  if (std::strcmp(argv[1], "diff") == 0) return run_diff(argc, argv);
+  if (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
+    return usage(std::cout, 0);
+  }
+  std::cerr << "error: unknown command " << argv[1] << "\n";
+  return usage(std::cerr, 2);
+}

@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
         params.replication = bench_support::partial_replication_factor(n);
         bench_support::apply_quick(params, options);
         params.trace_sink = observability.claim_trace_sink();  // first cell only
+        params.log_sample_interval = observability.log_sample_interval();
         params.metrics = observability.metrics();
         const auto r = bench_support::run_experiment(params);
         row.push_back(stats::Table::num(r.avg_overhead(MessageKind::kSM), 1));

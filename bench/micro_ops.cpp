@@ -123,10 +123,12 @@ void BM_EnvelopeRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_EnvelopeRoundTrip)->Arg(64)->Arg(6400);
 
-// Whole-cluster DES run, tracing off (0) vs on (1). With no sink every
-// instrumentation point is a null-pointer test, so the two must land
-// within noise of each other — this is the guard behind "tracing is free
-// when disabled" (docs/OBSERVABILITY.md).
+// Whole-cluster DES run: 0 = tracing off, 1 = trace sink attached,
+// 2 = trace sink + LogSampler (100 ms period). With no sink every
+// instrumentation point is a null-pointer test and no sampler events are
+// scheduled, so Arg(0) must land within noise of the pre-observability
+// baseline — this is the guard behind "tracing is free when disabled"
+// (docs/OBSERVABILITY.md).
 void BM_ClusterExecute(benchmark::State& state) {
   dsm::ClusterConfig config;
   config.sites = 5;
@@ -142,6 +144,7 @@ void BM_ClusterExecute(benchmark::State& state) {
   for (auto _ : state) {
     sink.clear();
     config.trace_sink = state.range(0) == 0 ? nullptr : &sink;
+    config.log_sample_interval = state.range(0) == 2 ? 100 * kMillisecond : 0;
     dsm::Cluster cluster(config);
     cluster.execute(schedule);
     ops += schedule.total_ops();
@@ -149,7 +152,7 @@ void BM_ClusterExecute(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(ops));
 }
-BENCHMARK(BM_ClusterExecute)->Arg(0)->Arg(1);
+BENCHMARK(BM_ClusterExecute)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_SimulatorThroughput(benchmark::State& state) {
   for (auto _ : state) {

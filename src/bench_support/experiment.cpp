@@ -47,6 +47,7 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
     config.record_history = params.check;
     config.causal_fetch = params.causal_fetch;
     config.trace_sink = params.trace_sink;
+    config.log_sample_interval = params.log_sample_interval;
 
     workload::WorkloadParams wl;
     wl.variables = params.variables;
@@ -103,6 +104,8 @@ BenchOptions parse_bench_args(int argc, char** argv) {
       options.trace_out = v;
     } else if (const char* m = flag_value(argv[i], "--metrics-out", argc, argv, i)) {
       options.metrics_out = m;
+    } else if (const char* r = flag_value(argv[i], "--report-out", argc, argv, i)) {
+      options.report_out = r;
     }
   }
   return options;

@@ -49,6 +49,10 @@ struct ExperimentParams {
   /// accumulates per-site metrics across seeds after each run quiesces.
   obs::TraceSink* trace_sink = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// LogSampler period (see ClusterConfig::log_sample_interval); only
+  /// effective when trace_sink is set. Observability::log_sample_interval
+  /// supplies the conventional value.
+  SimTime log_sample_interval = 0;
 };
 
 /// The paper's partial-replication factor: p = 0.3·n, at least 1.
@@ -75,14 +79,16 @@ struct ExperimentResult {
 ExperimentResult run_experiment(const ExperimentParams& params);
 
 /// Common CLI handling for bench binaries: `--quick` shrinks seeds/ops for
-/// smoke runs, `--csv` prints tables as CSV as well, `--trace-out FILE`
-/// and `--metrics-out FILE` enable the observability exports (see
-/// bench_support/observability.hpp; both accept `--flag=value` too).
+/// smoke runs, `--csv` prints tables as CSV as well, `--trace-out FILE`,
+/// `--metrics-out FILE` and `--report-out FILE` enable the observability
+/// exports (see bench_support/observability.hpp; all accept
+/// `--flag=value` too).
 struct BenchOptions {
   bool quick = false;
   bool csv = false;
   std::string trace_out;    // Chrome/Perfetto trace-event JSON
   std::string metrics_out;  // metrics JSON, or CSV when the name ends in .csv
+  std::string report_out;   // analysis report JSON (causim.analysis.v1)
 };
 BenchOptions parse_bench_args(int argc, char** argv);
 

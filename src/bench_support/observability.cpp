@@ -3,13 +3,18 @@
 #include <fstream>
 #include <iostream>
 
+#include "obs/analysis/analysis.hpp"
 #include "obs/perfetto_export.hpp"
 
 namespace causim::bench_support {
 
 Observability::Observability(const BenchOptions& options)
-    : trace_out_(options.trace_out), metrics_out_(options.metrics_out) {
-  if (!trace_out_.empty()) sink_ = std::make_unique<obs::RingBufferSink>();
+    : trace_out_(options.trace_out),
+      metrics_out_(options.metrics_out),
+      report_out_(options.report_out) {
+  if (!trace_out_.empty() || !report_out_.empty()) {
+    sink_ = std::make_unique<obs::RingBufferSink>();
+  }
 }
 
 obs::MetricsRegistry* Observability::metrics() {
@@ -22,20 +27,45 @@ obs::TraceSink* Observability::claim_trace_sink() {
   return sink_.get();
 }
 
+SimTime Observability::log_sample_interval() const {
+  return sink_ == nullptr ? 0 : 100 * kMillisecond;
+}
+
 bool Observability::finish() {
   bool ok = true;
-  if (sink_ != nullptr) {
+  if (sink_ != nullptr && metrics() != nullptr) {
+    // Surface trace health next to the run's metrics so a truncated trace
+    // is visible without opening the trace file itself.
+    registry_.counter("trace.recorded_events").add(sink_->size());
+    registry_.counter("trace.dropped_events").add(sink_->dropped());
+  }
+  if (sink_ != nullptr && !trace_out_.empty()) {
     std::ofstream out(trace_out_);
     if (!out) {
       std::cerr << "error: cannot write trace to " << trace_out_ << "\n";
       ok = false;
     } else {
-      obs::write_chrome_trace(out, sink_->events());
+      obs::write_chrome_trace(out, sink_->events(), sink_->dropped());
       if (sink_->dropped() > 0) {
         std::cerr << "warning: trace ring buffer full, dropped " << sink_->dropped()
                   << " events (kept the first " << sink_->capacity() << ")\n";
       }
       std::cerr << "trace: " << sink_->size() << " events -> " << trace_out_ << "\n";
+    }
+  }
+  if (sink_ != nullptr && !report_out_.empty()) {
+    std::ofstream out(report_out_);
+    if (!out) {
+      std::cerr << "error: cannot write report to " << report_out_ << "\n";
+      ok = false;
+    } else {
+      obs::analysis::AnalysisOptions opts;
+      opts.dropped = sink_->dropped();
+      const obs::analysis::AnalysisReport report =
+          obs::analysis::analyze(sink_->events(), opts);
+      report.write_json(out);
+      std::cerr << "report: " << report.events << " events -> " << report_out_
+                << "\n";
     }
   }
   if (!metrics_out_.empty()) {

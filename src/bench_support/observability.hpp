@@ -1,11 +1,14 @@
-// Observability — the bench-side owner of `--trace-out` / `--metrics-out`.
+// Observability — the bench-side owner of `--trace-out` / `--metrics-out`
+// / `--report-out`.
 //
 // Benches construct one of these from their parsed BenchOptions, hand its
 // sink/registry pointers to ExperimentParams, and call finish() after the
 // last cell to write the files: a Chrome/Perfetto trace-event JSON for the
-// traced run and a metrics JSON (or CSV, chosen by file extension) for the
-// whole grid. Both stay null/empty when the flags are absent, so an
-// uninstrumented invocation costs nothing.
+// traced run, a metrics JSON (or CSV, chosen by file extension) for the
+// whole grid, and an analysis report (obs::analysis, schema
+// causim.analysis.v1) derived from the traced cell's events. Everything
+// stays null/empty when the flags are absent, so an uninstrumented
+// invocation costs nothing.
 #pragma once
 
 #include <memory>
@@ -28,8 +31,15 @@ class Observability {
   /// Returns the trace sink on the first call and nullptr afterwards:
   /// benches trace one representative cell, not the whole grid (a 30-cell
   /// sweep would overflow any reasonably sized ring buffer, and the first
-  /// cell is as diffable as any).
+  /// cell is as diffable as any). A sink exists when either --trace-out or
+  /// --report-out was given — a report needs the events even if the raw
+  /// trace is not kept.
   obs::TraceSink* claim_trace_sink();
+
+  /// LogSampler period for the traced cell: the conventional 100 ms when a
+  /// sink exists (so reports carry a log-occupancy series), 0 otherwise.
+  /// Pass straight to ExperimentParams::log_sample_interval.
+  SimTime log_sample_interval() const;
 
   /// Writes the requested files; returns false (after printing the reason
   /// to stderr) when one of them could not be written.
@@ -38,6 +48,7 @@ class Observability {
  private:
   std::string trace_out_;
   std::string metrics_out_;
+  std::string report_out_;
   std::unique_ptr<obs::RingBufferSink> sink_;
   bool claimed_ = false;
   obs::MetricsRegistry registry_;

@@ -42,6 +42,9 @@ void Cluster::execute(const workload::Schedule& schedule) {
   schedule_ = &schedule;
   cursor_.assign(config_.sites, 0);
   for (SiteId s = 0; s < config_.sites; ++s) issue_next(s);
+  if (config_.log_sample_interval > 0 && config_.trace_sink != nullptr) {
+    simulator_.schedule_at(simulator_.now(), [this] { sample_logs(); });
+  }
   simulator_.run();
   schedule_ = nullptr;
 
@@ -82,6 +85,16 @@ void Cluster::run_op(SiteId s) {
     ++cursor_[s];
     issue_next(s);
   }, op.record);
+}
+
+void Cluster::sample_logs() {
+  for (auto& r : runtimes_) r->trace_log_occupancy();
+  // execute() runs the simulator to an empty queue, so the sampler must
+  // stop once it is the only remaining work — reschedule only while the
+  // schedule or the network still has events in flight.
+  if (!simulator_.idle()) {
+    simulator_.schedule_after(config_.log_sample_interval, [this] { sample_logs(); });
+  }
 }
 
 void Cluster::set_message_probe(SiteRuntime::MessageProbe probe) {

@@ -55,6 +55,13 @@ struct ClusterConfig {
   /// Optional structured-trace sink (src/obs), attached to the transport
   /// and every site. Must outlive the cluster. Null disables tracing.
   obs::TraceSink* trace_sink = nullptr;
+  /// LogSampler period (simulated µs): every interval, each site emits a
+  /// kLogSample trace event with its causal-log entry count and meta-data
+  /// bytes, giving the analysis engine a log-occupancy time series. 0 (the
+  /// default) disables the sampler entirely — no simulator events are
+  /// scheduled, preserving the null-sink overhead bound. Requires a
+  /// trace_sink; only execute() drives it (not hand-driven settle() runs).
+  SimTime log_sample_interval = 0;
 
   SiteId effective_replication() const {
     return replication == 0 ? sites : replication;
@@ -102,6 +109,7 @@ class Cluster {
  private:
   void issue_next(SiteId s);
   void run_op(SiteId s);
+  void sample_logs();
 
   ClusterConfig config_;
   Placement placement_;

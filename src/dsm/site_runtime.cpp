@@ -31,6 +31,16 @@ void SiteRuntime::set_trace_sink(obs::TraceSink* sink) {
   trace_ = sink;
 }
 
+void SiteRuntime::trace_log_occupancy() {
+  std::lock_guard lock(mutex_);
+  if (trace_ == nullptr) return;
+  obs::TraceEvent e;
+  e.type = obs::TraceEventType::kLogSample;
+  e.a = protocol_->log_entry_count();
+  e.b = protocol_->local_meta_bytes();
+  trace_locked(e);
+}
+
 void SiteRuntime::trace_locked(obs::TraceEvent e) {
   if (trace_ == nullptr) return;
   e.site = self_;

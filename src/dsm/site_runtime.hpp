@@ -113,6 +113,14 @@ class SiteRuntime final : public net::PacketHandler, private causal::ProtocolObs
   stats::Summary apply_delay() const;
   std::uint64_t total_applies() const;
 
+  /// The LogSampler hook: emits one kLogSample trace event carrying the
+  /// protocol's current log entry count (a) and serialized local meta-data
+  /// bytes (b). No-op without an attached sink, so a disabled sampler
+  /// costs nothing. Cluster drives this on a DES-time period
+  /// (ClusterConfig::log_sample_interval); thread-transport drivers may
+  /// call it from their own timer.
+  void trace_log_occupancy();
+
   /// Attaches a trace sink receiving this site's lifecycle events — op
   /// issue/complete, sends, buffering, activation, fetch holds, log
   /// merge/prune (nullptr detaches). Attach before driving traffic; the

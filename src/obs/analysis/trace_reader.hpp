@@ -1,0 +1,39 @@
+// Reads a Chrome trace-event JSON (the output of write_chrome_trace /
+// `--trace-out`) back into TraceEvents, so the analysis engine works the
+// same on a recorded file and on an in-memory RingBufferSink — the two
+// paths produce byte-identical reports (tests/test_obs_analysis.cpp).
+//
+// Unknown event names are skipped (a newer trace still loads in an older
+// tool); structurally broken documents are an error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/json.hpp"
+#include "obs/trace_event.hpp"
+
+namespace causim::obs::analysis {
+
+struct TraceDocument {
+  /// Events in recorded (emit) order.
+  std::vector<TraceEvent> events;
+  /// Ring-buffer drops recorded in the trace's `causim` metadata object
+  /// (0 for traces written before the metadata existed).
+  std::uint64_t dropped = 0;
+};
+
+/// Parses the name written by to_string(TraceEventType) back to the enum.
+bool parse_trace_event_type(const std::string& name, TraceEventType* out);
+
+/// Parses the name written by to_string(MessageKind) back to the enum.
+bool parse_message_kind(const std::string& name, MessageKind* out);
+
+/// Decodes a parsed Chrome trace object. Returns std::nullopt and sets
+/// `error` (when non-null) if `doc` has no traceEvents array or an event
+/// is structurally malformed.
+std::optional<TraceDocument> read_chrome_trace(const Json& doc, std::string* error);
+
+}  // namespace causim::obs::analysis

@@ -4,9 +4,27 @@
 #include <cstdio>
 #include <ostream>
 
+#include "obs/analysis/json.hpp"
+
 namespace causim::obs {
 
 namespace {
+
+using analysis::json_escape;
+
+/// RFC 4180 field quoting: names containing a comma, quote or newline are
+/// wrapped in quotes with inner quotes doubled, so a hostile metric name
+/// cannot add columns to the long-form CSV.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
 
 /// JSON-safe number rendering: integral values print without a fraction,
 /// everything else with enough digits to round-trip a double.
@@ -70,20 +88,20 @@ void MetricsRegistry::write_json(std::ostream& out) const {
   out << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
-    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << c.value();
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": " << c.value();
     first = false;
   }
   out << "\n  },\n  \"gauges\": {";
   first = true;
   for (const auto& [name, g] : gauges_) {
-    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"value\": "
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": {\"value\": "
         << num(g.value()) << ", \"high_water\": " << num(g.high_water()) << "}";
     first = false;
   }
   out << "\n  },\n  \"summaries\": {";
   first = true;
   for (const auto& [name, s] : summaries_) {
-    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {";
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": {";
     write_summary_fields(out, s);
     out << "}";
     first = false;
@@ -91,7 +109,7 @@ void MetricsRegistry::write_json(std::ostream& out) const {
   out << "\n  },\n  \"histograms\": {";
   first = true;
   for (const auto& [name, h] : histograms_) {
-    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {";
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": {";
     write_summary_fields(out, h.summary());
     out << ", \"lo\": " << num(h.lo()) << ", \"hi\": " << num(h.hi())
         << ", \"buckets\": " << h.bucket_count() << ", \"overflow\": " << h.overflow()
@@ -107,26 +125,26 @@ void MetricsRegistry::write_json(std::ostream& out) const {
 void MetricsRegistry::write_csv(std::ostream& out) const {
   out << "metric,type,field,value\n";
   for (const auto& [name, c] : counters_) {
-    out << name << ",counter,value," << c.value() << "\n";
+    out << csv_field(name) << ",counter,value," << c.value() << "\n";
   }
   for (const auto& [name, g] : gauges_) {
-    out << name << ",gauge,value," << num(g.value()) << "\n";
-    out << name << ",gauge,high_water," << num(g.high_water()) << "\n";
+    out << csv_field(name) << ",gauge,value," << num(g.value()) << "\n";
+    out << csv_field(name) << ",gauge,high_water," << num(g.high_water()) << "\n";
   }
   const auto summary_rows = [&](const std::string& name, const char* type,
                                 const stats::Summary& s) {
-    out << name << "," << type << ",count," << s.count() << "\n";
-    out << name << "," << type << ",mean," << num(s.mean()) << "\n";
-    out << name << "," << type << ",min," << num(s.min()) << "\n";
-    out << name << "," << type << ",max," << num(s.max()) << "\n";
+    out << csv_field(name) << "," << type << ",count," << s.count() << "\n";
+    out << csv_field(name) << "," << type << ",mean," << num(s.mean()) << "\n";
+    out << csv_field(name) << "," << type << ",min," << num(s.min()) << "\n";
+    out << csv_field(name) << "," << type << ",max," << num(s.max()) << "\n";
   };
   for (const auto& [name, s] : summaries_) summary_rows(name, "summary", s);
   for (const auto& [name, h] : histograms_) {
     summary_rows(name, "histogram", h.summary());
-    out << name << ",histogram,p50," << num(h.quantile(0.50)) << "\n";
-    out << name << ",histogram,p90," << num(h.quantile(0.90)) << "\n";
-    out << name << ",histogram,p99," << num(h.quantile(0.99)) << "\n";
-    out << name << ",histogram,overflow," << h.overflow() << "\n";
+    out << csv_field(name) << ",histogram,p50," << num(h.quantile(0.50)) << "\n";
+    out << csv_field(name) << ",histogram,p90," << num(h.quantile(0.90)) << "\n";
+    out << csv_field(name) << ",histogram,p99," << num(h.quantile(0.99)) << "\n";
+    out << csv_field(name) << ",histogram,overflow," << h.overflow() << "\n";
   }
 }
 

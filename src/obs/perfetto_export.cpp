@@ -19,11 +19,13 @@ std::uint32_t pid_of(const TraceEvent& e) {
 
 }  // namespace
 
-void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events) {
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events,
+                        std::uint64_t dropped) {
   std::set<std::uint32_t> pids;
   for (const TraceEvent& e : events) pids.insert(pid_of(e));
 
-  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out << "{\"displayTimeUnit\":\"ms\",\"causim\":{\"events\":" << events.size()
+      << ",\"dropped\":" << dropped << "},\"traceEvents\":[";
   bool first = true;
   for (const std::uint32_t pid : pids) {
     out << (first ? "" : ",")
@@ -49,9 +51,10 @@ void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events
   out << "]}\n";
 }
 
-std::string chrome_trace_string(const std::vector<TraceEvent>& events) {
+std::string chrome_trace_string(const std::vector<TraceEvent>& events,
+                                std::uint64_t dropped) {
   std::ostringstream out;
-  write_chrome_trace(out, events);
+  write_chrome_trace(out, events, dropped);
   return out.str();
 }
 

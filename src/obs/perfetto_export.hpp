@@ -5,8 +5,14 @@
 // site, with process_name metadata. All numeric fields are integers
 // (microseconds), so serialization is deterministic: two DES runs with the
 // same (schedule, seed) produce byte-identical files.
+//
+// The top-level `causim` object records recording provenance — today the
+// ring-buffer drop count — so downstream consumers (tools/check_trace.py,
+// causim-trace) can tell a complete trace from a truncated one. Perfetto
+// ignores unknown top-level keys.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <vector>
 
@@ -14,10 +20,14 @@
 
 namespace causim::obs {
 
-/// Writes `events` (in order) as a Chrome trace-event JSON object.
-void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events);
+/// Writes `events` (in order) as a Chrome trace-event JSON object;
+/// `dropped` is the recording sink's drop count (RingBufferSink::dropped),
+/// embedded as metadata.
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events,
+                        std::uint64_t dropped = 0);
 
 /// write_chrome_trace to a string (tests, determinism checks).
-std::string chrome_trace_string(const std::vector<TraceEvent>& events);
+std::string chrome_trace_string(const std::vector<TraceEvent>& events,
+                                std::uint64_t dropped = 0);
 
 }  // namespace causim::obs

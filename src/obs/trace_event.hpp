@@ -52,6 +52,10 @@ enum class TraceEventType : std::uint8_t {
   kLogMerge,
   /// Protocol pruned/purged its log (a = entries before, b = entries after).
   kLogPrune,
+  /// Periodic causal-log occupancy sample (the LogSampler hook, see
+  /// ClusterConfig::log_sample_interval): a = log entry count, b =
+  /// serialized local meta-data bytes at the sample instant.
+  kLogSample,
 };
 
 inline const char* to_string(TraceEventType t) {
@@ -67,6 +71,7 @@ inline const char* to_string(TraceEventType t) {
     case TraceEventType::kFetchServed: return "fetch_served";
     case TraceEventType::kLogMerge: return "log_merge";
     case TraceEventType::kLogPrune: return "log_prune";
+    case TraceEventType::kLogSample: return "log_sample";
   }
   return "??";
 }

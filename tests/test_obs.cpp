@@ -11,6 +11,7 @@
 
 #include "dsm/cluster.hpp"
 #include "dsm/thread_cluster.hpp"
+#include "obs/analysis/json.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/perfetto_export.hpp"
 #include "obs/trace_sink.hpp"
@@ -131,6 +132,29 @@ TEST(MetricsRegistry, JsonAndCsvExportsCoverEveryMetric) {
   EXPECT_NE(c.find("metric,type,field,value"), std::string::npos);
   EXPECT_NE(c.find("msg.SM.count,counter,value,4"), std::string::npos);
   EXPECT_NE(c.find("lat,histogram"), std::string::npos);
+}
+
+TEST(MetricsRegistry, HostileMetricNamesSurviveBothExports) {
+  // Quotes, a backslash, a comma, and a newline — everything that could
+  // corrupt a JSON or CSV export if names were pasted in unescaped.
+  const std::string evil = "evil\"name\\with,comma\nand newline";
+  MetricsRegistry r;
+  r.counter(evil).add(42);
+
+  std::ostringstream json;
+  r.write_json(json);
+  std::string error;
+  const auto doc = analysis::Json::parse(json.str(), &error);
+  ASSERT_TRUE(error.empty()) << error << "\n" << json.str();
+  EXPECT_DOUBLE_EQ(doc.at("counters").at(evil).number(), 42.0);
+
+  std::ostringstream csv;
+  r.write_csv(csv);
+  // RFC 4180: the whole field quoted, inner quotes doubled, the newline
+  // kept inside the quoted field.
+  EXPECT_NE(csv.str().find("\"evil\"\"name\\with,comma\nand newline\",counter,value,42"),
+            std::string::npos)
+      << csv.str();
 }
 
 TEST(ChromeTrace, SpansInstantsAndProcessMetadata) {

@@ -1,18 +1,25 @@
 #!/usr/bin/env python3
-"""Validate --trace-out / --metrics-out artifacts (CI quick-bench gate).
+"""Validate observability artifacts (CI quick-bench gate).
 
-Usage: check_trace.py [--trace FILE] [--metrics FILE]
+Usage: check_trace.py [--trace FILE] [--metrics FILE] [--report FILE]
+                      [--diff FILE]
 
 Fails (exit 1) when a given file is missing, empty, unparseable, or
 structurally wrong:
   trace   — Chrome trace-event JSON: non-empty `traceEvents`, every event
             carries name/ph/ts/pid, spans ("X") carry a non-negative dur,
-            and per-(pid,peer) channel sequence numbers in wire_delay /
+            per-(pid,peer) channel sequence numbers in wire_delay /
             deliver events are strictly increasing (FIFO order survived
-            serialization).
+            serialization), and the `causim` metadata reports zero
+            ring-buffer drops (a truncated trace fails the gate).
   metrics — registry JSON: the four sections exist, per-kind message
             counters are present and positive, and every histogram's
             quantiles are ordered (p50 <= p90 <= p99).
+  report  — analysis report JSON (schema causim.analysis.v1): the three
+            derived sections exist, events > 0, buffered <= applies,
+            activation quantiles are ordered, SM sends were attributed.
+  diff    — A/B comparison JSON (schema causim.analysis.diff.v1) with a
+            structural `diff` object.
 A metrics file ending in .csv is checked as long-form CSV instead.
 """
 
@@ -67,6 +74,9 @@ def check_trace(path: str) -> None:
     for required in ("op_issue", "op_complete", "send"):
         if required not in names:
             fail(f"{path}: no '{required}' events")
+    dropped = doc.get("causim", {}).get("dropped", 0)
+    if dropped > 0:
+        fail(f"{path}: trace truncated: ring buffer dropped {dropped} events")
     print(f"check_trace: {path}: OK ({len(real)} events, "
           f"{len(names)} event types)")
 
@@ -107,13 +117,54 @@ def check_metrics_csv(path: str) -> None:
     print(f"check_trace: {path}: OK ({len(rows)} rows)")
 
 
+def check_report(path: str) -> None:
+    doc = load_json(path)
+    if doc.get("schema") != "causim.analysis.v1":
+        fail(f"{path}: not an analysis report: schema={doc.get('schema')!r}")
+    for section in ("activation", "metadata_attribution", "log_occupancy"):
+        if section not in doc:
+            fail(f"{path}: missing section '{section}'")
+    if doc.get("events", 0) <= 0:
+        fail(f"{path}: no events analyzed")
+    total = doc["activation"]["total"]
+    if total.get("buffered", 0) > total.get("applies", 0):
+        fail(f"{path}: buffered > applies: {total}")
+    lat = total.get("latency_us", {})
+    if not lat.get("p50", 0) <= lat.get("p90", 0) <= lat.get("p99", 0):
+        fail(f"{path}: activation quantiles out of order: {lat}")
+    sm = doc["metadata_attribution"]["per_kind"].get("SM", {})
+    if sm.get("count", 0) <= 0:
+        fail(f"{path}: no SM sends attributed")
+    sites = doc["log_occupancy"]["per_site"]
+    for site, occ in sites.items():
+        if occ.get("samples", 0) != occ.get("entries", {}).get("count", -1):
+            fail(f"{path}: site {site} sample/summary count mismatch: {occ}")
+    print(f"check_trace: {path}: OK ({doc['events']} events, "
+          f"{doc['sites']} sites, {len(sites)} occupancy series)")
+
+
+def check_diff(path: str) -> None:
+    doc = load_json(path)
+    if doc.get("schema") != "causim.analysis.diff.v1":
+        fail(f"{path}: not an analysis diff: schema={doc.get('schema')!r}")
+    if not isinstance(doc.get("diff"), dict) or not doc["diff"]:
+        fail(f"{path}: missing or empty 'diff' object")
+    for side in ("a", "b"):
+        if not doc.get(side):
+            fail(f"{path}: missing '{side}' name")
+    print(f"check_trace: {path}: OK (diff of {doc['a']!r} vs {doc['b']!r}, "
+          f"{len(doc['diff'])} top-level keys)")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace")
     parser.add_argument("--metrics")
+    parser.add_argument("--report")
+    parser.add_argument("--diff")
     args = parser.parse_args()
-    if not args.trace and not args.metrics:
-        fail("nothing to check (pass --trace and/or --metrics)")
+    if not (args.trace or args.metrics or args.report or args.diff):
+        fail("nothing to check (pass --trace, --metrics, --report or --diff)")
     if args.trace:
         check_trace(args.trace)
     if args.metrics:
@@ -121,6 +172,10 @@ def main() -> None:
             check_metrics_csv(args.metrics)
         else:
             check_metrics_json(args.metrics)
+    if args.report:
+        check_report(args.report)
+    if args.diff:
+        check_diff(args.diff)
 
 
 if __name__ == "__main__":

@@ -1,16 +1,21 @@
-// Diagnostic: Opt-Track log composition under different write rates.
+// Diagnostic: Opt-Track log behaviour under different write rates, derived
+// from the structured trace through the LogSampler + analysis engine (the
+// same path as `--report-out` / causim-trace) instead of poking at the
+// protocol's log directly.
 #include <cstdio>
-#include <map>
 
 #include "bench_support/experiment.hpp"
-#include "causal/opt_track.hpp"
 #include "dsm/cluster.hpp"
+#include "obs/analysis/analysis.hpp"
+#include "obs/trace_sink.hpp"
 #include "workload/schedule.hpp"
 
 using namespace causim;
 
 int main() {
   for (const double wrate : {0.2, 0.5, 0.8}) {
+    obs::RingBufferSink sink(1 << 20);
+
     dsm::ClusterConfig config;
     config.sites = 40;
     config.variables = 100;
@@ -18,6 +23,8 @@ int main() {
     config.protocol = causal::ProtocolKind::kOptTrack;
     config.seed = 1;
     config.record_history = false;
+    config.trace_sink = &sink;
+    config.log_sample_interval = 500 * kMillisecond;
 
     workload::WorkloadParams wl;
     wl.variables = 100;
@@ -28,32 +35,34 @@ int main() {
     dsm::Cluster cluster(config);
     cluster.execute(workload::generate_schedule(40, wl));
 
-    const auto entries = cluster.aggregate_log_entries();
-    const auto bytes = cluster.aggregate_log_bytes();
-    const auto stats = cluster.aggregate_message_stats();
+    obs::analysis::AnalysisOptions opts;
+    opts.dropped = sink.dropped();
+    const obs::analysis::AnalysisReport report =
+        obs::analysis::analyze(sink.events(), opts);
+
+    // Log occupancy folded over all sites' sample series.
+    stats::Summary entries, bytes;
+    for (const auto& [site, occ] : report.occupancy) {
+      entries += occ.entries;
+      bytes += occ.bytes;
+    }
+    const auto& sm = report.send_kind[static_cast<std::size_t>(MessageKind::kSM)];
+    const auto& rm = report.send_kind[static_cast<std::size_t>(MessageKind::kRM)];
     std::printf("wrate %.1f: log entries mean %.1f max %.0f | meta bytes mean %.0f | "
                 "avg SM %.0f avg RM %.0f\n",
-                wrate, entries.mean(), entries.max(), bytes.mean(),
-                stats.of(MessageKind::kSM).avg_overhead(),
-                stats.of(MessageKind::kRM).avg_overhead());
-
-    // Composition of site 0's final log: entries per writer, dest sizes,
-    // age relative to the writer's latest entry.
-    const auto& proto = static_cast<const causal::OptTrack&>(cluster.site(0).protocol());
-    std::map<SiteId, int> per_writer;
-    int empty = 0, total = 0, dest_sum = 0;
-    proto.log().for_each([&](const WriteId& id, const DestSet& d) {
-      ++per_writer[id.writer];
-      ++total;
-      dest_sum += d.count();
-      if (d.empty()) ++empty;
-    });
-    int max_per_writer = 0;
-    for (auto& [w, c] : per_writer) max_per_writer = std::max(max_per_writer, c);
-    std::printf("  site0 log: %d entries (%d empty), avg dests %.1f, writers %zu, "
-                "max/writer %d\n",
-                total, empty, total ? double(dest_sum) / total : 0.0, per_writer.size(),
-                max_per_writer);
+                wrate, entries.mean(), entries.max(), bytes.mean(), sm.avg(), rm.avg());
+    std::printf("  churn: %llu merges (+%llu entries), %llu prunes (-%llu entries) | "
+                "activation: %llu applies, %llu buffered, mean wait %.0f us | "
+                "%llu samples, dropped %llu\n",
+                static_cast<unsigned long long>(report.log_total.merges),
+                static_cast<unsigned long long>(report.log_total.merged_entries),
+                static_cast<unsigned long long>(report.log_total.prunes),
+                static_cast<unsigned long long>(report.log_total.pruned_entries),
+                static_cast<unsigned long long>(report.activation_total.applies),
+                static_cast<unsigned long long>(report.activation_total.buffered),
+                report.activation_total.latency_us.mean(),
+                static_cast<unsigned long long>(entries.count()),
+                static_cast<unsigned long long>(report.dropped));
   }
   return 0;
 }
