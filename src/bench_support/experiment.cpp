@@ -48,6 +48,9 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
     config.causal_fetch = params.causal_fetch;
     config.trace_sink = params.trace_sink;
     config.log_sample_interval = params.log_sample_interval;
+    config.fault_plan = params.fault_plan;
+    config.reliable_channel = params.reliable_channel;
+    config.reliable_config = params.reliable_config;
 
     workload::WorkloadParams wl;
     wl.variables = params.variables;
@@ -65,6 +68,15 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
     result.stats += cluster.aggregate_message_stats();
     result.log_entries += cluster.aggregate_log_entries();
     result.log_bytes += cluster.aggregate_log_bytes();
+    result.fetch_latency_us += cluster.aggregate_fetch_latency();
+    result.apply_delay_us += cluster.aggregate_apply_delay();
+    if (cluster.injector() != nullptr) result.drops += cluster.injector()->drops();
+    if (cluster.reliable() != nullptr) {
+      result.retransmits += cluster.reliable()->retransmits();
+      result.dup_suppressed += cluster.reliable()->dup_suppressed();
+      result.reliable_frames += cluster.reliable()->frames_sent();
+      result.reliable_packets += cluster.reliable()->packets_sent();
+    }
     result.recorded_writes += schedule.recorded_writes();
     result.recorded_reads += schedule.recorded_reads();
     ++result.runs;

@@ -53,6 +53,12 @@ struct ExperimentParams {
   /// effective when trace_sink is set. Observability::log_sample_interval
   /// supplies the conventional value.
   SimTime log_sample_interval = 0;
+  /// Channel faults + reliability sublayer (see dsm::ClusterConfig). The
+  /// default empty plan builds no fault stack, keeping every paper-facing
+  /// bench byte-identical to the pre-faults harness.
+  faults::FaultPlan fault_plan;
+  bool reliable_channel = false;
+  net::ReliableConfig reliable_config;
 };
 
 /// The paper's partial-replication factor: p = 0.3·n, at least 1.
@@ -66,8 +72,17 @@ struct ExperimentResult {
   std::size_t recorded_reads = 0;
   stats::Summary log_entries;  // per-op samples of protocol log size
   stats::Summary log_bytes;
+  stats::Summary fetch_latency_us;  // remote-read round trips, all seeds
+  stats::Summary apply_delay_us;    // SM buffering delay, all seeds
   bool check_ok = true;
   std::vector<std::string> violations;
+
+  // -- fault-stack activity (all zero without a fault plan) --
+  std::uint64_t drops = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dup_suppressed = 0;
+  std::uint64_t reliable_frames = 0;  // wire frames incl. acks/retransmits
+  std::uint64_t reliable_packets = 0;  // app-level packets through the layer
 
   // -- derived, per-run means --
   double mean_total_overhead_bytes() const;  // header+meta per run

@@ -20,18 +20,35 @@ Cluster::Cluster(const ClusterConfig& config)
                             : static_cast<const sim::LatencyModel&>(latency_);
   transport_ =
       std::make_unique<net::SimTransport>(simulator_, model, config.sites, config.seed);
-  transport_->set_trace_sink(config.trace_sink);
+  // Fault stack, bottom-up: wire -> injector -> reliability layer. Any
+  // active fault implies the reliability layer (the protocols assume the
+  // reliable FIFO channels of §II-B); with neither configured the sites
+  // talk to the wire directly and nothing below observes a difference.
+  edge_ = transport_.get();
+  const bool faulty = config_.fault_plan.any();
+  if (faulty || config_.reliable_channel) {
+    timer_ = std::make_unique<net::SimTimerDriver>(simulator_);
+    if (faulty) {
+      injector_ = std::make_unique<faults::FaultInjector>(
+          *edge_, *timer_, config_.fault_plan, config_.seed);
+      edge_ = injector_.get();
+    }
+    reliable_ = std::make_unique<net::ReliableTransport>(*edge_, *timer_,
+                                                         config_.reliable_config);
+    edge_ = reliable_.get();
+  }
+  edge_->set_trace_sink(config.trace_sink);
   runtimes_.reserve(config.sites);
   for (SiteId i = 0; i < config.sites; ++i) {
     auto protocol = causal::make_protocol(config.protocol, i, config.sites,
                                           config.protocol_options);
     runtimes_.push_back(std::make_unique<SiteRuntime>(
-        i, placement_, *transport_, std::move(protocol),
+        i, placement_, *edge_, std::move(protocol),
         config.record_history ? &history_ : nullptr,
         config.protocol_options.clock_width, [this] { return simulator_.now(); },
         config.causal_fetch));
     runtimes_.back()->set_trace_sink(config.trace_sink);
-    transport_->attach(i, runtimes_.back().get());
+    edge_->attach(i, runtimes_.back().get());
   }
 }
 
@@ -53,6 +70,14 @@ void Cluster::execute(const workload::Schedule& schedule) {
   // predicate can never fire — a protocol bug).
   CAUSIM_CHECK(transport_->packets_sent() == transport_->packets_delivered(),
                "network did not drain");
+  if (reliable_ != nullptr) {
+    // The app-level view must also balance: every packet a site sent was
+    // handed to its peer exactly once despite drops/dups below.
+    CAUSIM_CHECK(reliable_->quiescent(),
+                 "reliability layer did not drain: "
+                     << reliable_->packets_sent() << " sent, "
+                     << reliable_->packets_delivered() << " delivered");
+  }
   for (SiteId s = 0; s < config_.sites; ++s) {
     CAUSIM_CHECK(runtimes_[s]->pending_updates() == 0,
                  "site " << s << " finished with unapplied updates");
@@ -139,6 +164,8 @@ std::uint64_t Cluster::total_applies() const {
 
 void Cluster::export_metrics(obs::MetricsRegistry& registry) const {
   for (const auto& r : runtimes_) r->export_metrics(registry);
+  if (reliable_ != nullptr) reliable_->export_metrics(registry);
+  if (injector_ != nullptr) injector_->export_metrics(registry);
 }
 
 checker::CheckResult Cluster::check(checker::CheckOptions options) const {

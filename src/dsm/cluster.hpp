@@ -17,7 +17,10 @@
 #include "checker/history.hpp"
 #include "dsm/placement.hpp"
 #include "dsm/site_runtime.hpp"
+#include "faults/fault_injector.hpp"
+#include "net/reliable_channel.hpp"
 #include "net/sim_transport.hpp"
+#include "net/timer.hpp"
 #include "sim/latency.hpp"
 #include "sim/simulator.hpp"
 #include "stats/message_stats.hpp"
@@ -62,6 +65,20 @@ struct ClusterConfig {
   /// scheduled, preserving the null-sink overhead bound. Requires a
   /// trace_sink; only execute() drives it (not hand-driven settle() runs).
   SimTime log_sample_interval = 0;
+  /// Channel faults to inject between the sites and the wire
+  /// (causim::faults). Any active fault automatically enables the
+  /// reliability sublayer below — the protocols are written against the
+  /// reliable FIFO channels of §II-B and would wedge on a lossy wire. The
+  /// default (empty) plan builds no fault stack at all, so a run is
+  /// byte-identical to one before the layer existed.
+  faults::FaultPlan fault_plan;
+  /// Forces the reliability sublayer on even with an empty fault plan (the
+  /// equivalence tests use this to measure the layer's own overhead). Its
+  /// ACK traffic shares the transport RNG, so enabling it perturbs packet
+  /// timing — protocol-level message counts and sizes stay the same, wire
+  /// timing does not.
+  bool reliable_channel = false;
+  net::ReliableConfig reliable_config;
 
   SiteId effective_replication() const {
     return replication == 0 ? sites : replication;
@@ -78,7 +95,14 @@ class Cluster {
   SiteRuntime& site(SiteId i) { return *runtimes_[i]; }
   const SiteRuntime& site(SiteId i) const { return *runtimes_[i]; }
   sim::Simulator& simulator() { return simulator_; }
+  /// The wire-level transport (frame counts under the fault stack).
   net::Transport& transport() { return *transport_; }
+  /// The transport the sites actually talk to: the reliability layer when
+  /// the fault stack is up, otherwise the wire itself.
+  net::Transport& edge() { return *edge_; }
+  /// Non-null while the fault stack is wired in.
+  const faults::FaultInjector* injector() const { return injector_.get(); }
+  const net::ReliableTransport* reliable() const { return reliable_.get(); }
 
   /// Plays the schedule to completion and verifies the network drained and
   /// every received update was applied.
@@ -116,6 +140,10 @@ class Cluster {
   sim::Simulator simulator_;
   sim::UniformLatency latency_;
   std::unique_ptr<net::SimTransport> transport_;
+  std::unique_ptr<net::SimTimerDriver> timer_;
+  std::unique_ptr<faults::FaultInjector> injector_;
+  std::unique_ptr<net::ReliableTransport> reliable_;
+  net::Transport* edge_ = nullptr;
   checker::HistoryRecorder history_;
   std::vector<std::unique_ptr<SiteRuntime>> runtimes_;
 

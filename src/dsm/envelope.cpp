@@ -39,10 +39,15 @@ serial::Bytes Envelope::encode(serial::ClockWidth cw, Sizes* sizes) const {
   return w.take();
 }
 
-Envelope Envelope::decode(const serial::Bytes& bytes, serial::ClockWidth cw) {
+std::optional<Envelope> Envelope::try_decode(const serial::Bytes& bytes,
+                                             serial::ClockWidth cw) {
   serial::ByteReader r(bytes, cw);
   Envelope e;
-  e.kind = static_cast<MessageKind>(r.get_u8());
+  const std::uint8_t kind_byte = r.get_u8();
+  if (!r.ok() || kind_byte > static_cast<std::uint8_t>(MessageKind::kRM)) {
+    return std::nullopt;
+  }
+  e.kind = static_cast<MessageKind>(kind_byte);
   e.sender = r.get_site();
   e.var = r.get_var();
   switch (e.kind) {
@@ -62,20 +67,24 @@ Envelope Envelope::decode(const serial::Bytes& bytes, serial::ClockWidth cw) {
       e.value.id = r.get_u64();
       e.value.payload_bytes = r.get_u32();
       break;
-    default:
-      CAUSIM_UNREACHABLE("bad message kind on the wire");
   }
   const std::uint32_t meta_len = r.get_u32();
-  CAUSIM_CHECK(r.remaining() >= meta_len, "truncated meta-data");
+  if (!r.ok() || r.remaining() < meta_len) return std::nullopt;
   e.meta.assign(bytes.end() - static_cast<std::ptrdiff_t>(r.remaining()),
                 bytes.end() - static_cast<std::ptrdiff_t>(r.remaining()) + meta_len);
   r.skip(meta_len);
   if (e.kind != MessageKind::kFM) {
-    CAUSIM_CHECK(r.remaining() == e.value.payload_bytes, "payload length mismatch");
+    if (r.remaining() != e.value.payload_bytes) return std::nullopt;
   } else {
-    CAUSIM_CHECK(r.done(), "trailing bytes after FM");
+    if (!r.done()) return std::nullopt;
   }
   return e;
+}
+
+Envelope Envelope::decode(const serial::Bytes& bytes, serial::ClockWidth cw) {
+  std::optional<Envelope> e = try_decode(bytes, cw);
+  CAUSIM_CHECK(e.has_value(), "malformed envelope (" << bytes.size() << " bytes)");
+  return *std::move(e);
 }
 
 }  // namespace causim::dsm

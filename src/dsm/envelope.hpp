@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "common/ids.hpp"
 #include "common/message_kind.hpp"
@@ -48,6 +49,14 @@ struct Envelope {
   /// Serializes; fills `sizes` with the exact byte split.
   serial::Bytes encode(serial::ClockWidth cw, Sizes* sizes = nullptr) const;
 
+  /// Decodes untrusted bytes: any truncation, length mismatch, or unknown
+  /// kind byte yields nullopt instead of a panic (the fuzz round-trip in
+  /// tests/test_envelope.cpp flips and truncates at will).
+  static std::optional<Envelope> try_decode(const serial::Bytes& bytes,
+                                            serial::ClockWidth cw);
+
+  /// Strict variant for bytes the simulation itself produced: panics on
+  /// malformed input.
   static Envelope decode(const serial::Bytes& bytes, serial::ClockWidth cw);
 };
 

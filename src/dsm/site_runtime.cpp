@@ -216,6 +216,9 @@ void SiteRuntime::handle_sm(Envelope env) {
     serial::ByteReader meta(env.meta, clock_width_);
     causal::SmEnvelope sm{env.sender, env.var, env.value, env.write};
     auto update = protocol_->decode_sm(sm, placement_.replicas(env.var), meta);
+    CAUSIM_CHECK(meta.ok(), "corrupt SM meta-data at site " << self_
+                                                            << " (the reliability layer "
+                                                               "must deliver intact bytes)");
     const bool buffered = !protocol_->ready(*update);
     pending_.push_back(QueuedUpdate{std::move(update), now_locked(), buffered});
     pending_hwm_ = std::max(pending_hwm_, pending_.size());
@@ -241,6 +244,7 @@ void SiteRuntime::handle_fm(const Envelope& env, SiteId from) {
   if (causal_fetch_ && !env.meta.empty()) {
     serial::ByteReader guard_meta(env.meta, clock_width_);
     auto guard = protocol_->decode_fetch_guard(guard_meta);
+    CAUSIM_CHECK(guard_meta.ok(), "corrupt FM guard meta-data at site " << self_);
     if (guard != nullptr && !protocol_->fetch_ready(*guard)) {
       held_fetches_.push_back(HeldFetch{env, from, std::move(guard)});
       held_fetch_hwm_ = std::max(held_fetch_hwm_, held_fetches_.size());
@@ -284,6 +288,7 @@ void SiteRuntime::handle_rm(Envelope env) {
     CAUSIM_CHECK(!held_return_.has_value(), "two remote returns outstanding");
     serial::ByteReader meta(env.meta, clock_width_);
     held_return_ = HeldReturn{std::move(env), protocol_->decode_remote_return(meta)};
+    CAUSIM_CHECK(meta.ok(), "corrupt RM meta-data at site " << self_);
     completion = try_complete_fetch_locked();
   }
   if (completion) completion();

@@ -22,23 +22,42 @@ ThreadCluster::ThreadCluster(const ClusterConfig& config, Options options)
   topt.max_delay_us = options.max_wire_delay_us;
   topt.seed = config.seed;
   transport_ = std::make_unique<net::ThreadTransport>(config.sites, topt);
-  transport_->set_trace_sink(config.trace_sink);
+  // Fault stack, bottom-up, mirroring Cluster: wire -> injector ->
+  // reliability layer. The ThreadTimerDriver supplies real-time RTOs and
+  // injected delays.
+  edge_ = transport_.get();
+  const bool faulty = config_.fault_plan.any();
+  if (faulty || config_.reliable_channel) {
+    timer_ = std::make_unique<net::ThreadTimerDriver>();
+    if (faulty) {
+      injector_ = std::make_unique<faults::FaultInjector>(
+          *edge_, *timer_, config_.fault_plan, config_.seed);
+      edge_ = injector_.get();
+    }
+    reliable_ = std::make_unique<net::ReliableTransport>(*edge_, *timer_,
+                                                         config_.reliable_config);
+    edge_ = reliable_.get();
+  }
+  edge_->set_trace_sink(config.trace_sink);
   runtimes_.reserve(config.sites);
   for (SiteId i = 0; i < config.sites; ++i) {
     auto protocol = causal::make_protocol(config.protocol, i, config.sites,
                                           config.protocol_options);
     runtimes_.push_back(std::make_unique<SiteRuntime>(
-        i, placement_, *transport_, std::move(protocol),
+        i, placement_, *edge_, std::move(protocol),
         config.record_history ? &history_ : nullptr,
         config.protocol_options.clock_width, std::function<SimTime()>{},
         config.causal_fetch));
     runtimes_.back()->set_trace_sink(config.trace_sink);
-    transport_->attach(i, runtimes_.back().get());
+    edge_->attach(i, runtimes_.back().get());
   }
 }
 
 ThreadCluster::~ThreadCluster() {
-  if (started_) transport_->stop();
+  if (started_) {
+    if (timer_ != nullptr) timer_->stop();
+    transport_->stop();
+  }
 }
 
 void ThreadCluster::execute(const workload::Schedule& schedule) {
@@ -71,10 +90,24 @@ void ThreadCluster::execute(const workload::Schedule& schedule) {
   for (auto& t : apps) t.join();
 
   // All senders are done; wait for the network to drain, then every
-  // received update must have been applied.
+  // received update must have been applied. Shutdown order with the fault
+  // stack up: (1) the reliability layer reaches app-level quiescence
+  // (every packet delivered exactly once and acked — retransmission timers
+  // still live to get it there), (2) the timer stops, discarding pending
+  // callbacks (all droppable now: stale retransmits, delayed duplicates)
+  // so nothing races the transport teardown, (3) the wire drains, (4) the
+  // transport stops.
+  if (reliable_ != nullptr) reliable_->wait_quiescent();
+  if (timer_ != nullptr) timer_->stop();
   transport_->quiesce();
   CAUSIM_CHECK(transport_->packets_sent() == transport_->packets_delivered(),
                "network did not drain");
+  if (reliable_ != nullptr) {
+    CAUSIM_CHECK(reliable_->quiescent(),
+                 "reliability layer did not drain: "
+                     << reliable_->packets_sent() << " sent, "
+                     << reliable_->packets_delivered() << " delivered");
+  }
   for (SiteId s = 0; s < config_.sites; ++s) {
     CAUSIM_CHECK(runtimes_[s]->pending_updates() == 0,
                  "site " << s << " finished with unapplied updates");
@@ -103,6 +136,8 @@ stats::Summary ThreadCluster::aggregate_log_bytes() const {
 
 void ThreadCluster::export_metrics(obs::MetricsRegistry& registry) const {
   for (const auto& r : runtimes_) r->export_metrics(registry);
+  if (reliable_ != nullptr) reliable_->export_metrics(registry);
+  if (injector_ != nullptr) injector_->export_metrics(registry);
 }
 
 checker::CheckResult ThreadCluster::check(checker::CheckOptions options) const {

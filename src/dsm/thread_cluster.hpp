@@ -40,6 +40,9 @@ class ThreadCluster {
   SiteId sites() const { return config_.sites; }
   const Placement& placement() const { return placement_; }
   SiteRuntime& site(SiteId i) { return *runtimes_[i]; }
+  /// Non-null while the fault stack is wired in (see ClusterConfig).
+  const faults::FaultInjector* injector() const { return injector_.get(); }
+  const net::ReliableTransport* reliable() const { return reliable_.get(); }
 
   /// Plays the schedule with one application thread per site, waits for
   /// network quiescence, and verifies every update was applied.
@@ -59,6 +62,10 @@ class ThreadCluster {
   Options options_;
   Placement placement_;
   std::unique_ptr<net::ThreadTransport> transport_;
+  std::unique_ptr<net::ThreadTimerDriver> timer_;
+  std::unique_ptr<faults::FaultInjector> injector_;
+  std::unique_ptr<net::ReliableTransport> reliable_;
+  net::Transport* edge_ = nullptr;
   checker::HistoryRecorder history_;
   std::vector<std::unique_ptr<SiteRuntime>> runtimes_;
   bool started_ = false;

@@ -1,0 +1,298 @@
+#include "net/reliable_channel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/panic.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace_event.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace causim::net {
+
+namespace {
+
+serial::Bytes make_frame(std::uint8_t tag, std::uint64_t value,
+                         const serial::Bytes* payload) {
+  serial::Bytes out;
+  out.reserve(ReliableChannel::kFrameHeaderBytes + (payload ? payload->size() : 0));
+  out.push_back(tag);
+  for (std::size_t i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+  if (payload != nullptr) out.insert(out.end(), payload->begin(), payload->end());
+  return out;
+}
+
+std::uint64_t frame_value(const serial::Bytes& frame) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(frame[1 + i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+ReliableChannel::ReliableChannel(ReliableConfig config)
+    : config_(config), rto_(config.rto_initial) {
+  CAUSIM_CHECK(config_.rto_initial > 0, "rto_initial must be positive");
+  CAUSIM_CHECK(config_.rto_max >= config_.rto_initial, "rto_max below rto_initial");
+  CAUSIM_CHECK(config_.rto_backoff >= 1.0, "rto_backoff must be >= 1");
+}
+
+serial::Bytes ReliableChannel::send(const serial::Bytes& payload) {
+  const std::uint64_t seq = next_seq_++;
+  serial::Bytes frame = make_frame(kDataFrame, seq, &payload);
+  unacked_.emplace(seq, frame);
+  return frame;
+}
+
+std::vector<ReliableChannel::Frame> ReliableChannel::on_timer() {
+  std::vector<Frame> out;
+  if (unacked_.empty()) return out;
+  out.reserve(unacked_.size());
+  for (const auto& [seq, bytes] : unacked_) {
+    out.push_back(Frame{seq, bytes});
+    ++retransmits_;
+  }
+  const double next = static_cast<double>(rto_) * config_.rto_backoff;
+  rto_ = next >= static_cast<double>(config_.rto_max) ? config_.rto_max
+                                                      : static_cast<SimTime>(next);
+  return out;
+}
+
+serial::Bytes ReliableChannel::make_ack() {
+  ++acks_sent_;
+  return make_frame(kAckFrame, next_expected_, nullptr);
+}
+
+ReliableChannel::Ingest ReliableChannel::on_frame(const serial::Bytes& frame) {
+  CAUSIM_CHECK(frame.size() >= kFrameHeaderBytes,
+               "reliable frame truncated: " << frame.size() << " bytes");
+  Ingest out;
+  const std::uint8_t tag = frame[0];
+  const std::uint64_t value = frame_value(frame);
+  if (tag == kAckFrame) {
+    out.was_ack = true;
+    // Cumulative: `value` is the peer's next_expected, acking all seq < value.
+    while (!unacked_.empty() && unacked_.begin()->first < value) {
+      unacked_.erase(unacked_.begin());
+      out.made_progress = true;
+    }
+    if (out.made_progress) rto_ = config_.rto_initial;
+    return out;
+  }
+  CAUSIM_CHECK(tag == kDataFrame, "unknown reliable frame tag " << int(tag));
+  const std::uint64_t seq = value;
+  if (seq < next_expected_ || reorder_.count(seq) != 0) {
+    out.was_duplicate = true;
+    ++dup_suppressed_;
+  } else {
+    reorder_.emplace(seq,
+                     serial::Bytes(frame.begin() + kFrameHeaderBytes, frame.end()));
+    while (true) {
+      auto it = reorder_.find(next_expected_);
+      if (it == reorder_.end()) break;
+      out.released.push_back(Released{next_expected_, std::move(it->second)});
+      reorder_.erase(it);
+      ++next_expected_;
+    }
+  }
+  // Every DATA frame is acked, duplicates included: the duplicate usually
+  // means our previous ACK was lost.
+  out.ack = make_ack();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+ReliableTransport::ReliableTransport(Transport& inner, TimerDriver& timer,
+                                     ReliableConfig config)
+    : inner_(inner),
+      timer_(timer),
+      config_(config),
+      n_(inner.size()),
+      chans_(static_cast<std::size_t>(n_) * n_, Chan{ReliableChannel(config), false}),
+      handlers_(n_, nullptr) {
+  for (SiteId s = 0; s < n_; ++s) inner_.attach(s, this);
+}
+
+void ReliableTransport::attach(SiteId site, PacketHandler* handler) {
+  CAUSIM_CHECK(site < n_, "attach: site " << site << " out of range");
+  std::lock_guard lock(mutex_);
+  handlers_[site] = handler;
+}
+
+void ReliableTransport::send(SiteId from, SiteId to, serial::Bytes bytes) {
+  serial::Bytes frame;
+  {
+    std::lock_guard lock(mutex_);
+    ++sent_;
+    ++frames_sent_;
+    const std::size_t idx = index(from, to);
+    frame = chans_[idx].channel.send(bytes);
+    arm_locked(idx, from, to);
+  }
+  // Outside the lock: the inner transport never calls back synchronously,
+  // but its own locks should not nest under ours. Two app threads racing
+  // here can hand frames to the wire out of seq order; the receiver's
+  // reorder buffer absorbs that.
+  inner_.send(from, to, std::move(frame));
+}
+
+void ReliableTransport::arm_locked(std::size_t idx, SiteId from, SiteId to) {
+  Chan& chan = chans_[idx];
+  if (chan.timer_armed || !chan.channel.timer_needed()) return;
+  chan.timer_armed = true;
+  timer_.schedule(chan.channel.rto(),
+                  [this, idx, from, to] { on_rto(idx, from, to); });
+}
+
+void ReliableTransport::on_rto(std::size_t idx, SiteId from, SiteId to) {
+  std::vector<ReliableChannel::Frame> frames;
+  {
+    std::lock_guard lock(mutex_);
+    Chan& chan = chans_[idx];
+    chan.timer_armed = false;
+    frames = chan.channel.on_timer();
+    frames_sent_ += frames.size();
+    arm_locked(idx, from, to);
+  }
+  const SimTime now = timer_.now();
+  for (ReliableChannel::Frame& f : frames) {
+    if (trace_ != nullptr) {
+      obs::TraceEvent e;
+      e.type = obs::TraceEventType::kRetransmit;
+      e.site = from;
+      e.peer = to;
+      e.ts = now;
+      e.a = f.seq;
+      e.b = f.bytes.size();
+      trace_->emit(e);
+    }
+    inner_.send(from, to, std::move(f.bytes));
+  }
+}
+
+void ReliableTransport::on_packet(Packet packet) {
+  CAUSIM_CHECK(!packet.bytes.empty(), "empty reliable frame");
+  const bool is_ack = packet.bytes[0] == ReliableChannel::kAckFrame;
+  if (is_ack) {
+    // An ACK from `packet.from` acknowledges the data channel running the
+    // other way: packet.to -> packet.from.
+    const std::size_t idx = index(packet.to, packet.from);
+    std::lock_guard lock(mutex_);
+    chans_[idx].channel.on_frame(packet.bytes);
+    cv_.notify_all();
+    return;
+  }
+  std::vector<ReliableChannel::Released> released;
+  serial::Bytes ack;
+  PacketHandler* handler = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    const std::size_t idx = index(packet.from, packet.to);
+    ReliableChannel::Ingest ingest = chans_[idx].channel.on_frame(packet.bytes);
+    reorder_hwm_ = std::max(reorder_hwm_, chans_[idx].channel.reorder_buffered());
+    released = std::move(ingest.released);
+    ack = std::move(ingest.ack);
+    ++frames_sent_;  // the ACK below
+    handler = handlers_[packet.to];
+  }
+  inner_.send(packet.to, packet.from, std::move(ack));
+  CAUSIM_CHECK(handler != nullptr, "packet for unattached site " << packet.to);
+  // Handlers run outside the lock: they may send (re-entering this layer)
+  // and they take the site's own lock, which must never nest inside ours.
+  for (ReliableChannel::Released& r : released) {
+    handler->on_packet(Packet{packet.from, packet.to, r.seq, std::move(r.payload)});
+    {
+      std::lock_guard lock(mutex_);
+      ++delivered_;
+    }
+    cv_.notify_all();
+  }
+}
+
+bool ReliableTransport::quiescent() const {
+  std::lock_guard lock(mutex_);
+  if (sent_ != delivered_) return false;
+  for (const Chan& chan : chans_) {
+    if (chan.channel.unacked() != 0) return false;
+  }
+  return true;
+}
+
+void ReliableTransport::wait_quiescent() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] {
+    if (sent_ != delivered_) return false;
+    for (const Chan& chan : chans_) {
+      if (chan.channel.unacked() != 0) return false;
+    }
+    return true;
+  });
+}
+
+std::uint64_t ReliableTransport::packets_sent() const {
+  std::lock_guard lock(mutex_);
+  return sent_;
+}
+
+std::uint64_t ReliableTransport::packets_delivered() const {
+  std::lock_guard lock(mutex_);
+  return delivered_;
+}
+
+void ReliableTransport::set_trace_sink(obs::TraceSink* sink) {
+  {
+    std::lock_guard lock(mutex_);
+    trace_ = sink;
+  }
+  inner_.set_trace_sink(sink);
+}
+
+std::uint64_t ReliableTransport::retransmits() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const Chan& chan : chans_) total += chan.channel.retransmit_count();
+  return total;
+}
+
+std::uint64_t ReliableTransport::dup_suppressed() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const Chan& chan : chans_) total += chan.channel.dup_suppressed();
+  return total;
+}
+
+std::uint64_t ReliableTransport::acks_sent() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const Chan& chan : chans_) total += chan.channel.acks_sent();
+  return total;
+}
+
+std::uint64_t ReliableTransport::frames_sent() const {
+  std::lock_guard lock(mutex_);
+  return frames_sent_;
+}
+
+void ReliableTransport::export_metrics(obs::MetricsRegistry& registry) const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t retransmits = 0, dups = 0, acks = 0;
+  for (const Chan& chan : chans_) {
+    retransmits += chan.channel.retransmit_count();
+    dups += chan.channel.dup_suppressed();
+    acks += chan.channel.acks_sent();
+  }
+  registry.counter("net.reliable.data.count").add(sent_);
+  registry.counter("net.reliable.retransmit.count").add(retransmits);
+  registry.counter("net.reliable.dup.count").add(dups);
+  registry.counter("net.reliable.ack.count").add(acks);
+  registry.counter("net.reliable.frames.count").add(frames_sent_);
+  registry.gauge("net.reliable.reorder.high_water")
+      .set(static_cast<double>(reorder_hwm_));
+}
+
+}  // namespace causim::net

@@ -1,0 +1,203 @@
+// ReliableChannel / ReliableTransport — exactly-once FIFO delivery on top
+// of a lossy, duplicating, reordering channel (causim::faults).
+//
+// The paper's system model assumes reliable FIFO channels (TCP, §II-B);
+// the fault-injection layer deliberately breaks that assumption, and this
+// sublayer restores it the way TCP does: every app-level packet on a
+// directed (from, to) channel is wrapped in a DATA frame carrying a
+// per-channel sequence number, the receiver releases frames strictly in
+// sequence (buffering out-of-order arrivals, suppressing duplicates) and
+// answers every DATA frame with a cumulative ACK, and the sender
+// retransmits everything unacked on a timeout that backs off
+// exponentially and resets on forward progress.
+//
+// ReliableChannel is the pure per-channel state machine — no transport,
+// no timers, no locks — so property tests can drive it through adversarial
+// drop/duplication/reordering sequences directly (tests/
+// test_reliable_channel.cpp). ReliableTransport composes n×n channels with
+// an inner (typically fault-injected) Transport and a TimerDriver into a
+// drop-in net::Transport: protocol and runtime code above it still sees
+// the reliable FIFO substrate it was written against.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "net/timer.hpp"
+#include "net/transport.hpp"
+
+namespace causim::obs {
+class MetricsRegistry;
+}  // namespace causim::obs
+
+namespace causim::net {
+
+struct ReliableConfig {
+  /// First retransmission timeout. Should comfortably exceed one round
+  /// trip; spurious retransmits are suppressed as duplicates but waste
+  /// wire bytes.
+  SimTime rto_initial = 400 * kMillisecond;
+  /// Backoff ceiling.
+  SimTime rto_max = 10 * kSecond;
+  /// RTO multiplier applied on every timeout; reset to rto_initial when an
+  /// ACK acknowledges new data.
+  double rto_backoff = 2.0;
+};
+
+class ReliableChannel {
+ public:
+  static constexpr std::uint8_t kDataFrame = 0xD1;
+  static constexpr std::uint8_t kAckFrame = 0xA2;
+  /// u8 frame tag + u64 seq (DATA) or cumulative ack (ACK).
+  static constexpr std::size_t kFrameHeaderBytes = 9;
+
+  explicit ReliableChannel(ReliableConfig config = {});
+
+  // ---- sender half ----
+
+  /// Wraps `payload` into a DATA frame, assigns the next sequence number
+  /// and remembers the frame for retransmission until acked.
+  serial::Bytes send(const serial::Bytes& payload);
+
+  /// True while unacked data exists (a retransmission timer must be armed).
+  bool timer_needed() const { return !unacked_.empty(); }
+
+  /// Current retransmission timeout.
+  SimTime rto() const { return rto_; }
+
+  struct Frame {
+    std::uint64_t seq = 0;
+    serial::Bytes bytes;
+  };
+
+  /// Retransmission timeout fired: returns every unacked frame (go-back-N)
+  /// in sequence order and doubles the RTO up to the ceiling. Empty when
+  /// everything was acked in the meantime.
+  std::vector<Frame> on_timer();
+
+  // ---- ingest (both halves) ----
+
+  struct Released {
+    std::uint64_t seq = 0;
+    serial::Bytes payload;
+  };
+
+  struct Ingest {
+    /// In-order payloads this frame unlocked (DATA only; possibly several
+    /// when it filled a reorder gap, empty for duplicates/out-of-order).
+    std::vector<Released> released;
+    /// Cumulative ACK frame to send back to the peer (every DATA frame,
+    /// including duplicates, is answered — the previous ACK may be lost).
+    serial::Bytes ack;
+    bool was_ack = false;
+    bool was_duplicate = false;
+    /// An ACK acknowledged at least one new frame (resets the backoff).
+    bool made_progress = false;
+  };
+
+  /// Feeds one frame received from the peer (DATA for the incoming
+  /// direction, ACK for the outgoing one).
+  Ingest on_frame(const serial::Bytes& frame);
+
+  // ---- introspection ----
+
+  std::uint64_t next_seq() const { return next_seq_; }
+  std::uint64_t unacked() const { return static_cast<std::uint64_t>(unacked_.size()); }
+  std::uint64_t next_expected() const { return next_expected_; }
+  std::size_t reorder_buffered() const { return reorder_.size(); }
+  std::uint64_t retransmit_count() const { return retransmits_; }
+  std::uint64_t dup_suppressed() const { return dup_suppressed_; }
+  std::uint64_t acks_sent() const { return acks_sent_; }
+
+ private:
+  serial::Bytes make_ack();
+
+  ReliableConfig config_;
+  SimTime rto_;
+
+  // sender half
+  std::uint64_t next_seq_ = 0;
+  std::map<std::uint64_t, serial::Bytes> unacked_;  // seq -> framed bytes
+  std::uint64_t retransmits_ = 0;
+
+  // receiver half
+  std::uint64_t next_expected_ = 0;
+  std::map<std::uint64_t, serial::Bytes> reorder_;  // seq -> payload
+  std::uint64_t dup_suppressed_ = 0;
+  std::uint64_t acks_sent_ = 0;
+};
+
+/// Transport decorator restoring exactly-once FIFO delivery over a lossy
+/// inner transport. packets_sent()/packets_delivered() count app-level
+/// packets (one per outer send / one per handler invocation), so the
+/// cluster quiescence invariant "sent == delivered" keeps holding with
+/// faults between the runtimes and the wire.
+class ReliableTransport final : public Transport, public PacketHandler {
+ public:
+  /// Attaches itself as the inner transport's handler for every site, so
+  /// construct the stack bottom-up and attach the real handlers here.
+  ReliableTransport(Transport& inner, TimerDriver& timer, ReliableConfig config = {});
+
+  void attach(SiteId site, PacketHandler* handler) override;
+  void send(SiteId from, SiteId to, serial::Bytes bytes) override;
+  SiteId size() const override { return inner_.size(); }
+  std::uint64_t packets_sent() const override;
+  std::uint64_t packets_delivered() const override;
+  /// Keeps the sink for kRetransmit events and forwards it down the stack.
+  void set_trace_sink(obs::TraceSink* sink) override;
+
+  void on_packet(Packet packet) override;
+
+  /// Blocks until every app-level packet has been delivered, handled and
+  /// acked (thread runs; under the DES the simulator draining implies it).
+  /// Only meaningful once the application layer has stopped initiating new
+  /// work, exactly like ThreadTransport::quiesce().
+  void wait_quiescent();
+  bool quiescent() const;
+
+  std::uint64_t retransmits() const;
+  std::uint64_t dup_suppressed() const;
+  std::uint64_t acks_sent() const;
+  /// Frames handed to the inner transport (first transmissions +
+  /// retransmissions + ACKs) — the wire amplification factor of the
+  /// reliability layer.
+  std::uint64_t frames_sent() const;
+
+  /// Folds the layer's counters into `registry` under net.reliable.* —
+  /// deliberately disjoint from the protocol's msg.* namespace.
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  struct Chan {
+    ReliableChannel channel;
+    bool timer_armed = false;
+  };
+
+  std::size_t index(SiteId from, SiteId to) const {
+    return static_cast<std::size_t>(from) * n_ + to;
+  }
+  /// Arms the retransmission timer for the channel if needed (lock held).
+  void arm_locked(std::size_t idx, SiteId from, SiteId to);
+  void on_rto(std::size_t idx, SiteId from, SiteId to);
+
+  Transport& inner_;
+  TimerDriver& timer_;
+  const ReliableConfig config_;
+  const SiteId n_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Chan> chans_;
+  std::vector<PacketHandler*> handlers_;
+  std::uint64_t sent_ = 0;       // app-level packets accepted by send()
+  std::uint64_t delivered_ = 0;  // app-level packets fully handled
+  std::uint64_t frames_sent_ = 0;
+  std::size_t reorder_hwm_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+};
+
+}  // namespace causim::net

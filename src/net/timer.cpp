@@ -1,0 +1,75 @@
+#include "net/timer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace causim::net {
+
+SimTime SimTimerDriver::now() const { return simulator_.now(); }
+
+void SimTimerDriver::schedule(SimTime delay_us, std::function<void()> fn) {
+  simulator_.schedule_after(delay_us < 0 ? 0 : delay_us, std::move(fn));
+}
+
+ThreadTimerDriver::ThreadTimerDriver()
+    : epoch_(std::chrono::steady_clock::now()), thread_([this] { loop(); }) {}
+
+ThreadTimerDriver::~ThreadTimerDriver() { stop(); }
+
+SimTime ThreadTimerDriver::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void ThreadTimerDriver::schedule(SimTime delay_us, std::function<void()> fn) {
+  const auto due =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(delay_us < 0 ? 0 : delay_us);
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;  // shutting down: the callback is droppable
+    Entry entry{due, std::move(fn)};
+    const auto pos = std::upper_bound(
+        queue_.begin(), queue_.end(), entry,
+        [](const Entry& a, const Entry& b) { return a.due < b.due; });
+    queue_.insert(pos, std::move(entry));
+  }
+  cv_.notify_one();
+}
+
+void ThreadTimerDriver::loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (stopping_) return;
+    if (queue_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      continue;
+    }
+    const auto due = queue_.front().due;
+    const auto now_tp = std::chrono::steady_clock::now();
+    if (due > now_tp) {
+      cv_.wait_until(lock, due);
+      continue;
+    }
+    std::function<void()> fn = std::move(queue_.front().fn);
+    queue_.pop_front();
+    lock.unlock();
+    fn();
+    lock.lock();
+  }
+}
+
+void ThreadTimerDriver::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    queue_.clear();
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace causim::net

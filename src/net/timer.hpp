@@ -1,0 +1,93 @@
+// TimerDriver — the timeout facility behind the reliability sublayer and
+// the fault injector.
+//
+// Both layers need "call me back in Δt" (retransmission timeouts, injected
+// extra delay) and "what time is it" (pause windows, trace timestamps),
+// but must work identically over the discrete-event simulator and over
+// real threads. SimTimerDriver delegates to sim::Simulator, so timer
+// firings are ordered by the same deterministic (time, seq) queue as every
+// other event; ThreadTimerDriver runs one background thread draining a
+// due-time-ordered queue in real microseconds.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/ids.hpp"
+
+namespace causim::sim {
+class Simulator;
+}  // namespace causim::sim
+
+namespace causim::net {
+
+class TimerDriver {
+ public:
+  virtual ~TimerDriver() = default;
+
+  /// Current time in microseconds (simulated or real, per implementation).
+  virtual SimTime now() const = 0;
+
+  /// Runs `fn` `delay_us` from now. Implementations may run it inline when
+  /// delay_us == 0 is requested under the simulator; callbacks must not
+  /// assume a particular thread.
+  virtual void schedule(SimTime delay_us, std::function<void()> fn) = 0;
+};
+
+/// Deterministic driver: timers are ordinary simulator events.
+class SimTimerDriver final : public TimerDriver {
+ public:
+  explicit SimTimerDriver(sim::Simulator& simulator) : simulator_(simulator) {}
+
+  SimTime now() const override;
+  void schedule(SimTime delay_us, std::function<void()> fn) override;
+
+ private:
+  sim::Simulator& simulator_;
+};
+
+/// Real-time driver: one background thread fires callbacks at their due
+/// steady-clock instants. stop() (and the destructor) discards callbacks
+/// that have not fired — for the layers using this driver that is always
+/// sound, because anything still pending is semantically droppable (a
+/// delayed lossy-channel packet or a retransmission for already-acked
+/// data).
+class ThreadTimerDriver final : public TimerDriver {
+ public:
+  ThreadTimerDriver();
+  ~ThreadTimerDriver() override;
+
+  ThreadTimerDriver(const ThreadTimerDriver&) = delete;
+  ThreadTimerDriver& operator=(const ThreadTimerDriver&) = delete;
+
+  /// Real microseconds since construction.
+  SimTime now() const override;
+  void schedule(SimTime delay_us, std::function<void()> fn) override;
+
+  /// Joins the timer thread; pending callbacks are discarded. Idempotent.
+  void stop();
+
+ private:
+  struct Entry {
+    std::chrono::steady_clock::time_point due;
+    std::function<void()> fn;
+  };
+
+  void loop();
+
+  const std::chrono::steady_clock::time_point epoch_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Entry> queue_;  // kept sorted by due time
+  bool stopping_ = false;
+  // The thread must be the last member: it reads the fields above (under
+  // mutex_) as soon as it starts, so they have to be initialized first.
+  std::thread thread_;
+};
+
+}  // namespace causim::net

@@ -60,6 +60,12 @@ void write_log_activity(std::ostream& out, const LogActivity& l) {
       << ", \"pruned_entries\": " << l.pruned_entries << "}";
 }
 
+void write_fault_activity(std::ostream& out, const FaultActivity& f) {
+  out << "{\"drops\": " << f.drops << ", \"dropped_bytes\": " << f.dropped_bytes
+      << ", \"retransmits\": " << f.retransmits
+      << ", \"retransmitted_bytes\": " << f.retransmitted_bytes << "}";
+}
+
 /// Averages a dense sample stream into at most `max_points` time buckets
 /// over [first.ts, last.ts]; sparse streams pass through untouched.
 std::vector<OccupancyPoint> downsample(const std::vector<OccupancyPoint>& raw,
@@ -155,6 +161,22 @@ AnalysisReport analyze(const std::vector<TraceEvent>& events,
         site.pruned_entries += removed;
         break;
       }
+      case TraceEventType::kDrop: {
+        FaultActivity& site = report.faults_site[e.site];
+        ++report.faults_total.drops;
+        ++site.drops;
+        report.faults_total.dropped_bytes += e.b;
+        site.dropped_bytes += e.b;
+        break;
+      }
+      case TraceEventType::kRetransmit: {
+        FaultActivity& site = report.faults_site[e.site];
+        ++report.faults_total.retransmits;
+        ++site.retransmits;
+        report.faults_total.retransmitted_bytes += e.b;
+        site.retransmitted_bytes += e.b;
+        break;
+      }
       case TraceEventType::kLogSample:
         raw_series[e.site].push_back({e.ts, static_cast<double>(e.a),
                                       static_cast<double>(e.b)});
@@ -216,6 +238,17 @@ void AnalysisReport::write_json(std::ostream& out) const {
     first = false;
   }
   out << "\n      }\n    }\n  },\n";
+
+  out << "  \"faults\": {\n    \"total\": ";
+  write_fault_activity(out, faults_total);
+  out << ",\n    \"per_site\": {";
+  first = true;
+  for (const auto& [site, f] : faults_site) {
+    out << (first ? "\n" : ",\n") << "      \"" << site << "\": ";
+    write_fault_activity(out, f);
+    first = false;
+  }
+  out << "\n    }\n  },\n";
 
   out << "  \"log_occupancy\": {\n    \"per_site\": {";
   first = true;

@@ -80,6 +80,17 @@ struct LogActivity {
   std::uint64_t pruned_entries = 0;  // sum of max(before - after, 0) over prunes
 };
 
+/// What the fault stack did to the wire, folded from kDrop / kRetransmit
+/// events. Zero everywhere on a fault-free run — and kept in its own
+/// section so protocol metrics (activation, metadata_attribution) never
+/// absorb reliability-layer traffic.
+struct FaultActivity {
+  std::uint64_t drops = 0;
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t retransmitted_bytes = 0;
+};
+
 struct OccupancyPoint {
   SimTime ts = 0;      // sample (or bucket-edge) time
   double entries = 0;  // log entry count (bucket mean when downsampled)
@@ -110,6 +121,9 @@ struct AnalysisReport {
 
   LogActivity log_total;
   std::map<SiteId, LogActivity> log_site;
+
+  FaultActivity faults_total;
+  std::map<SiteId, FaultActivity> faults_site;  // keyed by the sending site
 
   std::map<SiteId, SiteOccupancy> occupancy;
 

@@ -11,6 +11,7 @@ constexpr TraceEventType kAllEventTypes[] = {
     TraceEventType::kActivated,  TraceEventType::kFetchHeld,
     TraceEventType::kFetchServed, TraceEventType::kLogMerge,
     TraceEventType::kLogPrune,   TraceEventType::kLogSample,
+    TraceEventType::kDrop,       TraceEventType::kRetransmit,
 };
 
 bool set_error(std::string* error, const std::string& message) {

@@ -56,6 +56,14 @@ enum class TraceEventType : std::uint8_t {
   /// ClusterConfig::log_sample_interval): a = log entry count, b =
   /// serialized local meta-data bytes at the sample instant.
   kLogSample,
+  /// The fault-injection layer discarded a packet (probabilistic loss or a
+  /// scripted pause window; site = sender, peer = destination, b = bytes).
+  /// Strictly a causim::faults event — never emitted by protocol code.
+  kDrop,
+  /// The reliability sublayer re-sent an unacked DATA frame after a
+  /// retransmission timeout (site = sender, peer = destination,
+  /// a = reliable channel seq, b = frame bytes). Also faults-layer-only.
+  kRetransmit,
 };
 
 inline const char* to_string(TraceEventType t) {
@@ -72,6 +80,8 @@ inline const char* to_string(TraceEventType t) {
     case TraceEventType::kLogMerge: return "log_merge";
     case TraceEventType::kLogPrune: return "log_prune";
     case TraceEventType::kLogSample: return "log_sample";
+    case TraceEventType::kDrop: return "drop";
+    case TraceEventType::kRetransmit: return "retransmit";
   }
   return "??";
 }

@@ -1,17 +1,14 @@
 #include "serial/reader.hpp"
 
-#include "common/panic.hpp"
-
 namespace causim::serial {
 
 std::uint8_t ByteReader::get_u8() {
-  CAUSIM_CHECK(pos_ + 1 <= size_, "read past end of buffer (pos " << pos_ << ", size " << size_ << ")");
+  if (!ok_ || pos_ + 1 > size_) return static_cast<std::uint8_t>(fail());
   return buf_[pos_++];
 }
 
 std::uint64_t ByteReader::get_fixed(std::size_t width) {
-  CAUSIM_CHECK(pos_ + width <= size_,
-               "read past end of buffer (pos " << pos_ << " + " << width << " > " << size_ << ")");
+  if (!ok_ || pos_ + width > size_) return fail();
   std::uint64_t v = 0;
   for (std::size_t i = 0; i < width; ++i) {
     v |= static_cast<std::uint64_t>(buf_[pos_ + i]) << (8 * i);
@@ -24,8 +21,9 @@ std::uint64_t ByteReader::get_varint() {
   std::uint64_t v = 0;
   unsigned shift = 0;
   for (;;) {
-    CAUSIM_CHECK(shift < 64, "varint too long");
+    if (shift >= 64) return fail();  // overlong varint
     const std::uint8_t b = get_u8();
+    if (!ok_) return 0;
     v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
     if ((b & 0x80) == 0) break;
     shift += 7;
@@ -44,20 +42,40 @@ DestSet ByteReader::get_dest_set() {
   const SiteId n = get_u16();
   const SiteId count = get_u16();
   DestSet d(n);
-  for (SiteId i = 0; i < count; ++i) d.insert(get_site());
+  if (count > n) {
+    fail();  // more members than the universe holds: corrupt
+    return d;
+  }
+  for (SiteId i = 0; i < count; ++i) {
+    const SiteId s = get_site();
+    if (!ok_) return d;
+    if (s >= n) {
+      fail();  // member outside the universe would panic DestSet::insert
+      return d;
+    }
+    d.insert(s);
+  }
   return d;
 }
 
 std::string ByteReader::get_string() {
+  // `len > size_ - pos_` rather than `pos_ + len > size_`: a hostile
+  // varint can make the addition wrap.
   const std::size_t len = get_varint();
-  CAUSIM_CHECK(pos_ + len <= size_, "string runs past end of buffer");
+  if (!ok_ || len > size_ - pos_) {
+    fail();
+    return std::string();
+  }
   std::string s(reinterpret_cast<const char*>(buf_ + pos_), len);
   pos_ += len;
   return s;
 }
 
 void ByteReader::skip(std::size_t len) {
-  CAUSIM_CHECK(pos_ + len <= size_, "skip past end of buffer");
+  if (!ok_ || len > size_ - pos_) {
+    fail();
+    return;
+  }
   pos_ += len;
 }
 

@@ -1,8 +1,14 @@
 // ByteReader — bounds-checked decoder for the causim wire format.
 //
-// Mirrors ByteWriter exactly; any out-of-bounds read or malformed field is
-// a protocol bug and panics (deterministic simulations make it
-// reproducible).
+// Mirrors ByteWriter exactly. Malformed input (out-of-bounds read,
+// overlong varint, dest-set member outside its universe) is a recoverable
+// decode error, not a panic: the failing read returns a zero value without
+// advancing, the reader latches ok() == false, and every subsequent read
+// also fails. Callers that treat malformed bytes as a protocol bug —
+// everything decoding frames the simulation itself produced — assert
+// ok() after decoding (deterministic simulations make the panic
+// reproducible); callers facing untrusted or fault-corrupted bytes
+// (Envelope::try_decode, the fuzz tests) branch on it instead.
 #pragma once
 
 #include <cstdint>
@@ -35,16 +41,26 @@ class ByteReader {
   std::string get_string();
   void skip(std::size_t len);
 
+  /// False once any read failed; sticky. Check after a sequence of reads —
+  /// intermediate zero returns are indistinguishable from real zeros.
+  bool ok() const { return ok_; }
+
   std::size_t remaining() const { return size_ - pos_; }
   bool done() const { return pos_ == size_; }
 
  private:
   std::uint64_t get_fixed(std::size_t width);
+  /// Latches the error; returns 0 so failing reads can `return fail()`.
+  std::uint64_t fail() {
+    ok_ = false;
+    return 0;
+  }
 
   const std::uint8_t* buf_;
   std::size_t size_;
   std::size_t pos_ = 0;
   ClockWidth clock_width_;
+  bool ok_ = true;
 };
 
 }  // namespace causim::serial

@@ -85,7 +85,7 @@ TEST(EnvelopeDeathTest, BadKindByteOnTheWire) {
   serial::Bytes bytes{0x77};  // not a MessageKind
   bytes.resize(32, 0);
   EXPECT_DEATH(dsm::Envelope::decode(bytes, serial::ClockWidth::k4Bytes),
-               "bad message kind");
+               "malformed envelope");
 }
 
 TEST(EnvelopeDeathTest, TruncatedMetaPanics) {

@@ -124,18 +124,76 @@ TEST(Serial, SkipAndRemaining) {
   EXPECT_EQ(r.get_u32(), 2u);
 }
 
-TEST(SerialDeathTest, ReadPastEndPanics) {
+TEST(Serial, ReadPastEndFailsRecoverably) {
   ByteWriter w;
   w.put_u16(1);
   ByteReader r(w.bytes());
   r.get_u16();
-  EXPECT_DEATH(r.get_u8(), "read past end");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.get_u8(), 0);
+  EXPECT_FALSE(r.ok());
+  // The error is sticky: later reads keep failing instead of resyncing.
+  EXPECT_EQ(r.get_u32(), 0u);
+  EXPECT_FALSE(r.ok());
 }
 
-TEST(SerialDeathTest, TruncatedVarintPanics) {
+TEST(Serial, TruncatedVarintFailsRecoverably) {
   Bytes bytes{0x80};  // continuation bit set, no next byte
   ByteReader r(bytes);
-  EXPECT_DEATH(r.get_varint(), "read past end");
+  EXPECT_EQ(r.get_varint(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serial, OverlongVarintFailsRecoverably) {
+  Bytes bytes(11, 0xFF);  // 11 continuation bytes: more than 64 bits
+  ByteReader r(bytes);
+  r.get_varint();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serial, FailedReadDoesNotAdvance) {
+  ByteWriter w;
+  w.put_u16(0xBEEF);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u64(), 0u);  // 8 bytes wanted, 2 present
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+TEST(Serial, StringLengthPastEndFailsRecoverably) {
+  ByteWriter w;
+  w.put_varint(100);  // claims 100 bytes, provides none
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serial, HugeStringLengthDoesNotOverflow) {
+  ByteWriter w;
+  w.put_varint(std::numeric_limits<std::uint64_t>::max());  // pos + len wraps
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serial, DestSetMemberOutsideUniverseFailsRecoverably) {
+  // Hand-craft a dest set claiming universe 4 with member 9.
+  ByteWriter w;
+  w.put_u16(4);  // n
+  w.put_u16(1);  // count
+  w.put_u16(9);  // member >= n: corrupt
+  ByteReader r(w.bytes());
+  r.get_dest_set();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serial, DestSetCountAboveUniverseFailsRecoverably) {
+  ByteWriter w;
+  w.put_u16(2);  // n
+  w.put_u16(3);  // count > n: corrupt
+  ByteReader r(w.bytes());
+  r.get_dest_set();
+  EXPECT_FALSE(r.ok());
 }
 
 }  // namespace

@@ -10,14 +10,17 @@ structurally wrong:
             carries name/ph/ts/pid, spans ("X") carry a non-negative dur,
             per-(pid,peer) channel sequence numbers in wire_delay /
             deliver events are strictly increasing (FIFO order survived
-            serialization), and the `causim` metadata reports zero
-            ring-buffer drops (a truncated trace fails the gate).
+            serialization), fault-layer events (drop / retransmit) are
+            instants addressed to a peer with a positive byte count, and
+            the `causim` metadata reports zero ring-buffer drops (a
+            truncated trace fails the gate).
   metrics — registry JSON: the four sections exist, per-kind message
             counters are present and positive, and every histogram's
             quantiles are ordered (p50 <= p90 <= p99).
-  report  — analysis report JSON (schema causim.analysis.v1): the three
-            derived sections exist, events > 0, buffered <= applies,
-            activation quantiles are ordered, SM sends were attributed.
+  report  — analysis report JSON (schema causim.analysis.v1): the derived
+            sections (including `faults`) exist, events > 0, buffered <=
+            applies, activation quantiles are ordered, SM sends were
+            attributed, and per-site fault activity sums to the totals.
   diff    — A/B comparison JSON (schema causim.analysis.diff.v1) with a
             structural `diff` object.
 A metrics file ending in .csv is checked as long-form CSV instead.
@@ -70,6 +73,16 @@ def check_trace(path: str) -> None:
             if key in seqs and seq <= seqs[key]:
                 fail(f"{path}: channel seq went backwards: {e}")
             seqs[key] = seq
+        if e["name"] in ("drop", "retransmit"):
+            # Fault-stack events: instants on the sending site's track,
+            # addressed to a peer, carrying the frame size in b.
+            if e["ph"] != "i":
+                fail(f"{path}: {e['name']} must be an instant event: {e}")
+            args = e.get("args", {})
+            if args.get("peer") is None:
+                fail(f"{path}: {e['name']} without a peer: {e}")
+            if args.get("b", 0) <= 0:
+                fail(f"{path}: {e['name']} without a byte count: {e}")
     names = {e["name"] for e in real}
     for required in ("op_issue", "op_complete", "send"):
         if required not in names:
@@ -121,7 +134,8 @@ def check_report(path: str) -> None:
     doc = load_json(path)
     if doc.get("schema") != "causim.analysis.v1":
         fail(f"{path}: not an analysis report: schema={doc.get('schema')!r}")
-    for section in ("activation", "metadata_attribution", "log_occupancy"):
+    for section in ("activation", "metadata_attribution", "faults",
+                    "log_occupancy"):
         if section not in doc:
             fail(f"{path}: missing section '{section}'")
     if doc.get("events", 0) <= 0:
@@ -135,6 +149,16 @@ def check_report(path: str) -> None:
     sm = doc["metadata_attribution"]["per_kind"].get("SM", {})
     if sm.get("count", 0) <= 0:
         fail(f"{path}: no SM sends attributed")
+    faults = doc["faults"]
+    ftotal = faults.get("total", {})
+    for field in ("drops", "dropped_bytes", "retransmits",
+                  "retransmitted_bytes"):
+        if field not in ftotal:
+            fail(f"{path}: faults.total missing '{field}'")
+        site_sum = sum(f.get(field, 0) for f in faults["per_site"].values())
+        if site_sum != ftotal[field]:
+            fail(f"{path}: faults per-site {field} sum {site_sum} != "
+                 f"total {ftotal[field]}")
     sites = doc["log_occupancy"]["per_site"]
     for site, occ in sites.items():
         if occ.get("samples", 0) != occ.get("entries", {}).get("count", -1):
