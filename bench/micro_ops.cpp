@@ -9,6 +9,7 @@
 #include "dsm/cluster.hpp"
 #include "dsm/envelope.hpp"
 #include "obs/trace_sink.hpp"
+#include "serial/buffer_pool.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "workload/schedule.hpp"
@@ -122,6 +123,29 @@ void BM_EnvelopeRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EnvelopeRoundTrip)->Arg(64)->Arg(6400);
+
+// The pooled encode path used by SiteRuntime/ReliableTransport: frames are
+// acquired from a serial::BufferPool and recycled after the send, so the
+// steady state re-encodes into already-sized capacity instead of growing a
+// fresh vector per message (test_buffer_pool pins the zero-allocation bound;
+// this measures the cycle cost).
+void BM_EnvelopePooledEncode(benchmark::State& state) {
+  dsm::Envelope env;
+  env.kind = MessageKind::kSM;
+  env.sender = 3;
+  env.var = 17;
+  env.value = Value{0xabcdef, 128};
+  env.write = WriteId{3, 42};
+  env.meta.assign(static_cast<std::size_t>(state.range(0)), 0x5a);
+  serial::BufferPool pool;
+  for (auto _ : state) {
+    serial::ByteWriter w(serial::ClockWidth::k4Bytes, pool.acquire());
+    env.encode_into(w);
+    pool.release(w.take());
+    benchmark::DoNotOptimize(pool);
+  }
+}
+BENCHMARK(BM_EnvelopePooledEncode)->Arg(64)->Arg(6400);
 
 // Whole-cluster DES run: 0 = tracing off, 1 = trace sink attached,
 // 2 = trace sink + LogSampler (100 ms period). With no sink every

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/panic.hpp"
@@ -107,18 +109,50 @@ const char* flag_value(const char* arg, const char* name, int argc, char** argv,
 }
 }  // namespace
 
-BenchOptions parse_bench_args(int argc, char** argv) {
-  BenchOptions options;
+std::string bench_usage(const char* argv0) {
+  std::string usage = "usage: ";
+  usage += argv0;
+  usage +=
+      " [--quick] [--csv] [--trace-out FILE] [--metrics-out FILE]"
+      " [--report-out FILE]\n"
+      "  --quick            shrink seeds/ops for a smoke run\n"
+      "  --csv              also print tables as CSV\n"
+      "  --trace-out FILE   write a Chrome/Perfetto trace-event JSON\n"
+      "  --metrics-out FILE write metrics JSON (CSV when FILE ends in .csv)\n"
+      "  --report-out FILE  write an analysis report JSON\n"
+      "  (value flags also accept --flag=FILE)\n";
+  return usage;
+}
+
+bool try_parse_bench_args(int argc, char** argv, BenchOptions& options,
+                          std::string& error) {
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) options.quick = true;
-    if (std::strcmp(argv[i], "--csv") == 0) options.csv = true;
-    if (const char* v = flag_value(argv[i], "--trace-out", argc, argv, i)) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      options.csv = true;
+    } else if (const char* v = flag_value(argv[i], "--trace-out", argc, argv, i)) {
       options.trace_out = v;
     } else if (const char* m = flag_value(argv[i], "--metrics-out", argc, argv, i)) {
       options.metrics_out = m;
     } else if (const char* r = flag_value(argv[i], "--report-out", argc, argv, i)) {
       options.report_out = r;
+    } else {
+      error = "unknown or malformed flag: ";
+      error += argv[i];
+      return false;
     }
+  }
+  return true;
+}
+
+BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions options;
+  std::string error;
+  if (!try_parse_bench_args(argc, argv, options, error)) {
+    std::fprintf(stderr, "%s\n%s", error.c_str(),
+                 bench_usage(argc > 0 ? argv[0] : "bench").c_str());
+    std::exit(2);
   }
   return options;
 }

@@ -105,6 +105,20 @@ struct BenchOptions {
   std::string metrics_out;  // metrics JSON, or CSV when the name ends in .csv
   std::string report_out;   // analysis report JSON (causim.analysis.v1)
 };
+
+/// The flag reference printed on parse errors (argv0 names the binary).
+std::string bench_usage(const char* argv0);
+
+/// Testable parser core: fills `options` and returns true, or — on an
+/// unknown flag or a value-flag missing its value — sets `error` to an
+/// actionable message and returns false, leaving exit policy to the
+/// caller.
+bool try_parse_bench_args(int argc, char** argv, BenchOptions& options,
+                          std::string& error);
+
+/// CLI entry used by the bench binaries: a malformed command line prints
+/// the error plus usage to stderr and exits with status 2 — a typoed flag
+/// must not silently fall through to a full default run.
 BenchOptions parse_bench_args(int argc, char** argv);
 
 /// Applies --quick to params (1 seed, 300 ops/site).

@@ -15,6 +15,9 @@
 //              Full-Track-HB, plus clocks and the KS log
 //   ksmulticast/ the KS causal multicast algorithm in message-passing form
 //   dsm/       the shared-memory runtime: sites, clusters, placement
+//   engine/    node-stack assembly + schedule execution shared by both
+//              cluster substrates (validated EngineConfig, NodeStack,
+//              ScheduleDriver with Sim/Thread executors)
 //   workload/  randomized operation schedules
 //   stats/     metrics and table rendering
 //   obs/       structured tracing + metrics registry, Perfetto export
@@ -46,6 +49,9 @@
 #include "dsm/placement.hpp"
 #include "dsm/site_runtime.hpp"
 #include "dsm/thread_cluster.hpp"
+#include "engine/config.hpp"
+#include "engine/node_stack.hpp"
+#include "engine/schedule_driver.hpp"
 #include "ksmulticast/ks_process.hpp"
 #include "ksmulticast/multicast_group.hpp"
 #include "net/sim_transport.hpp"
@@ -55,6 +61,7 @@
 #include "obs/perfetto_export.hpp"
 #include "obs/trace_event.hpp"
 #include "obs/trace_sink.hpp"
+#include "serial/buffer_pool.hpp"
 #include "serial/reader.hpp"
 #include "serial/writer.hpp"
 #include "sim/latency.hpp"

@@ -1,177 +1,73 @@
 #include "dsm/cluster.hpp"
 
-#include "common/panic.hpp"
-
 namespace causim::dsm {
 
+namespace {
+
+/// Runs validation before any member construction so a malformed config
+/// fails with the engine's actionable message, not a downstream CHECK.
+const ClusterConfig& validated(const ClusterConfig& config) {
+  engine::validate_or_panic(config);
+  return config;
+}
+
+}  // namespace
+
 Cluster::Cluster(const ClusterConfig& config)
-    : config_(config),
-      placement_(config.sites, config.variables, config.effective_replication(),
-                 config.seed, config.placement_strategy, config.fetch_policy),
-      latency_(config.latency_lo, config.latency_hi) {
-  CAUSIM_CHECK(!causal::requires_full_replication(config.protocol) ||
-                   placement_.fully_replicated(),
-               to_string(config.protocol) << " requires full replication (p = n)");
-  if (!config_.fetch_distances.empty()) {
-    placement_.set_distances(config_.fetch_distances);
-  }
+    : config_(validated(config)),
+      latency_(config_.latency_lo, config_.latency_hi) {
   const sim::LatencyModel& model =
       config_.latency_model ? *config_.latency_model
                             : static_cast<const sim::LatencyModel&>(latency_);
-  transport_ =
-      std::make_unique<net::SimTransport>(simulator_, model, config.sites, config.seed);
-  // Fault stack, bottom-up: wire -> injector -> reliability layer. Any
-  // active fault implies the reliability layer (the protocols assume the
-  // reliable FIFO channels of §II-B); with neither configured the sites
-  // talk to the wire directly and nothing below observes a difference.
-  edge_ = transport_.get();
-  const bool faulty = config_.fault_plan.any();
-  if (faulty || config_.reliable_channel) {
-    timer_ = std::make_unique<net::SimTimerDriver>(simulator_);
-    if (faulty) {
-      injector_ = std::make_unique<faults::FaultInjector>(
-          *edge_, *timer_, config_.fault_plan, config_.seed);
-      edge_ = injector_.get();
-    }
-    reliable_ = std::make_unique<net::ReliableTransport>(*edge_, *timer_,
-                                                         config_.reliable_config);
-    edge_ = reliable_.get();
-  }
-  edge_->set_trace_sink(config.trace_sink);
-  runtimes_.reserve(config.sites);
-  for (SiteId i = 0; i < config.sites; ++i) {
-    auto protocol = causal::make_protocol(config.protocol, i, config.sites,
-                                          config.protocol_options);
-    runtimes_.push_back(std::make_unique<SiteRuntime>(
-        i, placement_, *edge_, std::move(protocol),
-        config.record_history ? &history_ : nullptr,
-        config.protocol_options.clock_width, [this] { return simulator_.now(); },
-        config.causal_fetch));
-    runtimes_.back()->set_trace_sink(config.trace_sink);
-    edge_->attach(i, runtimes_.back().get());
-  }
+  transport_ = std::make_unique<net::SimTransport>(simulator_, model, config_.sites,
+                                                   config_.seed);
+  engine::NodeStack::Wiring wiring;
+  wiring.wire = transport_.get();
+  wiring.make_timer = [this] {
+    return std::make_unique<net::SimTimerDriver>(simulator_);
+  };
+  wiring.now_fn = [this] { return simulator_.now(); };
+  stack_ = std::make_unique<engine::NodeStack>(config_, std::move(wiring));
+  executor_ = std::make_unique<engine::SimExecutor>(*stack_, simulator_);
+  driver_ = std::make_unique<engine::ScheduleDriver>(*stack_, *executor_);
 }
 
 void Cluster::execute(const workload::Schedule& schedule) {
-  CAUSIM_CHECK(schedule.sites() == config_.sites,
-               "schedule built for " << schedule.sites() << " sites, cluster has "
-                                     << config_.sites);
-  schedule_ = &schedule;
-  cursor_.assign(config_.sites, 0);
-  for (SiteId s = 0; s < config_.sites; ++s) issue_next(s);
-  if (config_.log_sample_interval > 0 && config_.trace_sink != nullptr) {
-    simulator_.schedule_at(simulator_.now(), [this] { sample_logs(); });
-  }
-  simulator_.run();
-  schedule_ = nullptr;
-
-  // Quiescence invariants: the network drained and every delivered update
-  // was applied (an unapplied pending update would mean the activation
-  // predicate can never fire — a protocol bug).
-  CAUSIM_CHECK(transport_->packets_sent() == transport_->packets_delivered(),
-               "network did not drain");
-  if (reliable_ != nullptr) {
-    // The app-level view must also balance: every packet a site sent was
-    // handed to its peer exactly once despite drops/dups below.
-    CAUSIM_CHECK(reliable_->quiescent(),
-                 "reliability layer did not drain: "
-                     << reliable_->packets_sent() << " sent, "
-                     << reliable_->packets_delivered() << " delivered");
-  }
-  for (SiteId s = 0; s < config_.sites; ++s) {
-    CAUSIM_CHECK(runtimes_[s]->pending_updates() == 0,
-                 "site " << s << " finished with unapplied updates");
-    CAUSIM_CHECK(!runtimes_[s]->fetch_pending(),
-                 "site " << s << " finished with an unanswered fetch");
-    CAUSIM_CHECK(runtimes_[s]->pending_remote_fetches() == 0,
-                 "site " << s << " finished holding fetch requests");
-  }
-}
-
-void Cluster::issue_next(SiteId s) {
-  const auto& ops = schedule_->per_site[s];
-  if (cursor_[s] >= ops.size()) return;  // this site's application finished
-  const SimTime at = std::max(simulator_.now(), ops[cursor_[s]].at);
-  simulator_.schedule_at(at, [this, s] { run_op(s); });
-}
-
-void Cluster::run_op(SiteId s) {
-  const workload::Op& op = schedule_->per_site[s][cursor_[s]];
-  SiteRuntime& site = *runtimes_[s];
-  if (op.kind == workload::Op::Kind::kWrite) {
-    site.write(op.var, op.payload_bytes, op.record);
-    ++cursor_[s];
-    issue_next(s);
-    return;
-  }
-  // Reads complete asynchronously when remote; the continuation resumes the
-  // site's schedule either way (it runs inline for local reads).
-  site.read(op.var, [this, s](Value, WriteId) {
-    ++cursor_[s];
-    issue_next(s);
-  }, op.record);
-}
-
-void Cluster::sample_logs() {
-  for (auto& r : runtimes_) r->trace_log_occupancy();
-  // execute() runs the simulator to an empty queue, so the sampler must
-  // stop once it is the only remaining work — reschedule only while the
-  // schedule or the network still has events in flight.
-  if (!simulator_.idle()) {
-    simulator_.schedule_after(config_.log_sample_interval, [this] { sample_logs(); });
-  }
+  driver_->execute(schedule);
 }
 
 void Cluster::set_message_probe(SiteRuntime::MessageProbe probe) {
-  for (auto& r : runtimes_) r->set_message_probe(probe);
+  stack_->set_message_probe(std::move(probe));
 }
 
 stats::MessageStats Cluster::aggregate_message_stats() const {
-  stats::MessageStats total;
-  for (const auto& r : runtimes_) total += r->message_stats();
-  return total;
+  return stack_->aggregate_message_stats();
 }
 
 stats::Summary Cluster::aggregate_log_entries() const {
-  stats::Summary total;
-  for (const auto& r : runtimes_) total += r->log_entries();
-  return total;
+  return stack_->aggregate_log_entries();
 }
 
 stats::Summary Cluster::aggregate_log_bytes() const {
-  stats::Summary total;
-  for (const auto& r : runtimes_) total += r->log_bytes();
-  return total;
+  return stack_->aggregate_log_bytes();
 }
 
 stats::Summary Cluster::aggregate_fetch_latency() const {
-  stats::Summary total;
-  for (const auto& r : runtimes_) total += r->fetch_latency();
-  return total;
+  return stack_->aggregate_fetch_latency();
 }
 
 stats::Summary Cluster::aggregate_apply_delay() const {
-  stats::Summary total;
-  for (const auto& r : runtimes_) total += r->apply_delay();
-  return total;
+  return stack_->aggregate_apply_delay();
 }
 
-std::uint64_t Cluster::total_applies() const {
-  std::uint64_t total = 0;
-  for (const auto& r : runtimes_) total += r->total_applies();
-  return total;
-}
+std::uint64_t Cluster::total_applies() const { return stack_->total_applies(); }
 
 void Cluster::export_metrics(obs::MetricsRegistry& registry) const {
-  for (const auto& r : runtimes_) r->export_metrics(registry);
-  if (reliable_ != nullptr) reliable_->export_metrics(registry);
-  if (injector_ != nullptr) injector_->export_metrics(registry);
+  stack_->export_metrics(registry);
 }
 
 checker::CheckResult Cluster::check(checker::CheckOptions options) const {
-  return checker::check_causal_consistency(
-      history_.events(), config_.sites,
-      [this](VarId var) { return placement_.replicas(var); }, options);
+  return stack_->check(options);
 }
 
 }  // namespace causim::dsm

@@ -1,26 +1,28 @@
 // Cluster — an n-site causal DSM instance over the discrete-event
-// simulator, plus the schedule executor used by tests and benches.
+// simulator.
 //
-// The cluster wires together: placement, latency model, SimTransport, one
-// SiteRuntime + Protocol per site, an optional history recorder, and the
-// aggregation of per-site statistics. `execute()` plays a workload
-// Schedule exactly as the paper's testbed does: each site issues its
-// scheduled operations in order, never starting the next operation while a
-// RemoteFetch is outstanding (the fetch primitive blocks, §II-B).
+// The cluster supplies the substrate-specific edges (SimTransport, the
+// simulator clock, SimTimerDriver) and delegates everything else to the
+// engine layer: engine::NodeStack assembles the per-site stack (placement,
+// fault stack, runtimes, frame pool, observability wiring) and
+// engine::ScheduleDriver + SimExecutor play a workload Schedule exactly as
+// the paper's testbed does — each site issues its scheduled operations in
+// order, never starting the next operation while a RemoteFetch is
+// outstanding (the fetch primitive blocks, §II-B).
 #pragma once
 
 #include <memory>
-#include <vector>
 
-#include "causal/factory.hpp"
 #include "checker/causal_checker.hpp"
 #include "checker/history.hpp"
 #include "dsm/placement.hpp"
 #include "dsm/site_runtime.hpp"
+#include "engine/config.hpp"
+#include "engine/node_stack.hpp"
+#include "engine/schedule_driver.hpp"
 #include "faults/fault_injector.hpp"
 #include "net/reliable_channel.hpp"
 #include "net/sim_transport.hpp"
-#include "net/timer.hpp"
 #include "sim/latency.hpp"
 #include "sim/simulator.hpp"
 #include "stats/message_stats.hpp"
@@ -28,62 +30,10 @@
 
 namespace causim::dsm {
 
-struct ClusterConfig {
-  SiteId sites = 5;                                  // n
-  VarId variables = 100;                             // q
-  /// Replicas per variable (p). 0 means full replication (p = n).
-  SiteId replication = 0;
-  causal::ProtocolKind protocol = causal::ProtocolKind::kOptTrack;
-  causal::ProtocolOptions protocol_options = {};
-  PlacementStrategy placement_strategy = PlacementStrategy::kRandom;
-  FetchPolicy fetch_policy = FetchPolicy::kHashed;
-  /// n×n site distances, required for FetchPolicy::kNearest (typically the
-  /// latency model's base matrix).
-  std::vector<std::vector<SimTime>> fetch_distances;
-  std::uint64_t seed = 1;
-  /// Uniform one-way channel latency range; wide enough by default that
-  /// cross-channel arrivals genuinely reorder.
-  SimTime latency_lo = 5 * kMillisecond;
-  SimTime latency_hi = 150 * kMillisecond;
-  /// Optional custom latency model (e.g. sim::GeoLatency); overrides the
-  /// uniform range above when set. Must outlive the Cluster.
-  std::shared_ptr<const sim::LatencyModel> latency_model;
-  /// Record the execution history for the causal checker.
-  bool record_history = true;
-  /// Causally fresh RemoteFetch (extension; see SiteRuntime): FMs carry a
-  /// guard and responders delay replies until they applied every write in
-  /// the reader's causal past destined to them. Off by default — the
-  /// paper's FM carries no meta-data (Table I) and replies immediately.
-  bool causal_fetch = false;
-  /// Optional structured-trace sink (src/obs), attached to the transport
-  /// and every site. Must outlive the cluster. Null disables tracing.
-  obs::TraceSink* trace_sink = nullptr;
-  /// LogSampler period (simulated µs): every interval, each site emits a
-  /// kLogSample trace event with its causal-log entry count and meta-data
-  /// bytes, giving the analysis engine a log-occupancy time series. 0 (the
-  /// default) disables the sampler entirely — no simulator events are
-  /// scheduled, preserving the null-sink overhead bound. Requires a
-  /// trace_sink; only execute() drives it (not hand-driven settle() runs).
-  SimTime log_sample_interval = 0;
-  /// Channel faults to inject between the sites and the wire
-  /// (causim::faults). Any active fault automatically enables the
-  /// reliability sublayer below — the protocols are written against the
-  /// reliable FIFO channels of §II-B and would wedge on a lossy wire. The
-  /// default (empty) plan builds no fault stack at all, so a run is
-  /// byte-identical to one before the layer existed.
-  faults::FaultPlan fault_plan;
-  /// Forces the reliability sublayer on even with an empty fault plan (the
-  /// equivalence tests use this to measure the layer's own overhead). Its
-  /// ACK traffic shares the transport RNG, so enabling it perturbs packet
-  /// timing — protocol-level message counts and sizes stay the same, wire
-  /// timing does not.
-  bool reliable_channel = false;
-  net::ReliableConfig reliable_config;
-
-  SiteId effective_replication() const {
-    return replication == 0 ? sites : replication;
-  }
-};
+/// The cluster description lives in the engine layer (the one validated
+/// config both substrates assemble from); the alias keeps every existing
+/// caller compiling unchanged.
+using ClusterConfig = engine::EngineConfig;
 
 class Cluster {
  public:
@@ -91,18 +41,20 @@ class Cluster {
 
   SiteId sites() const { return config_.sites; }
   const ClusterConfig& config() const { return config_; }
-  const Placement& placement() const { return placement_; }
-  SiteRuntime& site(SiteId i) { return *runtimes_[i]; }
-  const SiteRuntime& site(SiteId i) const { return *runtimes_[i]; }
+  const Placement& placement() const { return stack_->placement(); }
+  SiteRuntime& site(SiteId i) { return stack_->site(i); }
+  const SiteRuntime& site(SiteId i) const { return stack_->site(i); }
   sim::Simulator& simulator() { return simulator_; }
+  /// The assembled per-site stack (fault layers, runtimes, frame pool).
+  engine::NodeStack& stack() { return *stack_; }
   /// The wire-level transport (frame counts under the fault stack).
   net::Transport& transport() { return *transport_; }
   /// The transport the sites actually talk to: the reliability layer when
   /// the fault stack is up, otherwise the wire itself.
-  net::Transport& edge() { return *edge_; }
+  net::Transport& edge() { return stack_->edge(); }
   /// Non-null while the fault stack is wired in.
-  const faults::FaultInjector* injector() const { return injector_.get(); }
-  const net::ReliableTransport* reliable() const { return reliable_.get(); }
+  const faults::FaultInjector* injector() const { return stack_->injector(); }
+  const net::ReliableTransport* reliable() const { return stack_->reliable(); }
 
   /// Plays the schedule to completion and verifies the network drained and
   /// every received update was applied.
@@ -128,27 +80,16 @@ class Cluster {
 
   /// Runs the causal checker over the recorded history.
   checker::CheckResult check(checker::CheckOptions options = {}) const;
-  const checker::HistoryRecorder& history() const { return history_; }
+  const checker::HistoryRecorder& history() const { return stack_->history(); }
 
  private:
-  void issue_next(SiteId s);
-  void run_op(SiteId s);
-  void sample_logs();
-
   ClusterConfig config_;
-  Placement placement_;
   sim::Simulator simulator_;
   sim::UniformLatency latency_;
   std::unique_ptr<net::SimTransport> transport_;
-  std::unique_ptr<net::SimTimerDriver> timer_;
-  std::unique_ptr<faults::FaultInjector> injector_;
-  std::unique_ptr<net::ReliableTransport> reliable_;
-  net::Transport* edge_ = nullptr;
-  checker::HistoryRecorder history_;
-  std::vector<std::unique_ptr<SiteRuntime>> runtimes_;
-
-  const workload::Schedule* schedule_ = nullptr;
-  std::vector<std::size_t> cursor_;
+  std::unique_ptr<engine::NodeStack> stack_;
+  std::unique_ptr<engine::SimExecutor> executor_;
+  std::unique_ptr<engine::ScheduleDriver> driver_;
 };
 
 }  // namespace causim::dsm

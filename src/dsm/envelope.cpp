@@ -6,6 +6,11 @@ namespace causim::dsm {
 
 serial::Bytes Envelope::encode(serial::ClockWidth cw, Sizes* sizes) const {
   serial::ByteWriter w(cw);
+  encode_into(w, sizes);
+  return w.take();
+}
+
+void Envelope::encode_into(serial::ByteWriter& w, Sizes* sizes) const {
   w.put_u8(static_cast<std::uint8_t>(kind));
   w.put_site(sender);
   w.put_var(var);
@@ -36,7 +41,6 @@ serial::Bytes Envelope::encode(serial::ClockWidth cw, Sizes* sizes) const {
     sizes->meta = meta.size();
     sizes->payload = kind == MessageKind::kFM ? 0 : value.payload_bytes;
   }
-  return w.take();
 }
 
 std::optional<Envelope> Envelope::try_decode(const serial::Bytes& bytes,

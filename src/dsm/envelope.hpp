@@ -49,6 +49,13 @@ struct Envelope {
   /// Serializes; fills `sizes` with the exact byte split.
   serial::Bytes encode(serial::ClockWidth cw, Sizes* sizes = nullptr) const;
 
+  /// Serializes into a caller-supplied writer — the pooled hot path: pass a
+  /// writer seeded with a serial::BufferPool buffer and take() the frame
+  /// without a fresh allocation. Precondition: `w` is freshly constructed
+  /// (both ByteWriter constructors start empty) with the envelope's clock
+  /// width.
+  void encode_into(serial::ByteWriter& w, Sizes* sizes = nullptr) const;
+
   /// Decodes untrusted bytes: any truncation, length mismatch, or unknown
   /// kind byte yields nullopt instead of a panic (the fuzz round-trip in
   /// tests/test_envelope.cpp flips and truncates at will).

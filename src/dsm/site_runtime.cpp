@@ -31,6 +31,20 @@ void SiteRuntime::set_trace_sink(obs::TraceSink* sink) {
   trace_ = sink;
 }
 
+void SiteRuntime::set_buffer_pool(serial::BufferPool* pool) {
+  std::lock_guard lock(mutex_);
+  pool_ = pool;
+}
+
+serial::ByteWriter SiteRuntime::meta_writer_locked() const {
+  return pool_ != nullptr ? serial::ByteWriter(clock_width_, pool_->acquire())
+                          : serial::ByteWriter(clock_width_);
+}
+
+void SiteRuntime::recycle_locked(serial::Bytes&& bytes) {
+  if (pool_ != nullptr) pool_->release(std::move(bytes));
+}
+
 void SiteRuntime::trace_log_occupancy() {
   std::lock_guard lock(mutex_);
   if (trace_ == nullptr) return;
@@ -85,7 +99,7 @@ WriteId SiteRuntime::write(VarId var, std::uint32_t payload_bytes, bool record) 
   value.id = (static_cast<std::uint64_t>(self_) + 1) << 32 | ++next_value_seq_;
   value.payload_bytes = payload_bytes;
 
-  serial::ByteWriter meta(clock_width_);
+  serial::ByteWriter meta = meta_writer_locked();
   const WriteId w = protocol_->local_write(var, value, dests, meta);
   if (recorder_ != nullptr) recorder_->record_write(self_, var, w);
 
@@ -104,6 +118,7 @@ WriteId SiteRuntime::write(VarId var, std::uint32_t payload_bytes, bool record) 
   dests.for_each([&](SiteId d) {
     if (d != self_) send_envelope(env, d, record);
   });
+  recycle_locked(std::move(env.meta));
 
   if (record) sample_meta_locked();
   {
@@ -160,11 +175,12 @@ bool SiteRuntime::read(VarId var, ReadCallback done, bool record) {
   env.fetch_seq = fetch_->seq;
   env.record = record;
   if (causal_fetch_) {
-    serial::ByteWriter guard(clock_width_);
+    serial::ByteWriter guard = meta_writer_locked();
     protocol_->fetch_guard_meta(target, guard);
     env.meta = guard.take();
   }
   send_envelope(env, target, record);
+  recycle_locked(std::move(env.meta));
   return false;
 }
 
@@ -194,6 +210,11 @@ bool SiteRuntime::fetch_pending() const {
 
 void SiteRuntime::on_packet(net::Packet packet) {
   Envelope env = Envelope::decode(packet.bytes, clock_width_);
+  {
+    // The frame is spent: decode copied everything into `env`.
+    std::lock_guard lock(mutex_);
+    recycle_locked(std::move(packet.bytes));
+  }
   switch (env.kind) {
     case MessageKind::kSM:
       handle_sm(std::move(env));
@@ -219,6 +240,7 @@ void SiteRuntime::handle_sm(Envelope env) {
     CAUSIM_CHECK(meta.ok(), "corrupt SM meta-data at site " << self_
                                                             << " (the reliability layer "
                                                                "must deliver intact bytes)");
+    recycle_locked(std::move(env.meta));  // decode_sm copied what it needs
     const bool buffered = !protocol_->ready(*update);
     pending_.push_back(QueuedUpdate{std::move(update), now_locked(), buffered});
     pending_hwm_ = std::max(pending_hwm_, pending_.size());
@@ -260,7 +282,7 @@ void SiteRuntime::handle_fm(const Envelope& env, SiteId from) {
 }
 
 void SiteRuntime::serve_fm_locked(const Envelope& env, SiteId from) {
-  serial::ByteWriter meta(clock_width_);
+  serial::ByteWriter meta = meta_writer_locked();
   protocol_->remote_return_meta(env.var, meta);
   const auto it = store_.find(env.var);
   const auto [value, w] = it == store_.end() ? std::pair<Value, WriteId>{} : it->second;
@@ -276,6 +298,7 @@ void SiteRuntime::serve_fm_locked(const Envelope& env, SiteId from) {
   rm.record = env.record;  // the RM inherits the fetch's warm-up status
   rm.meta = meta.take();
   send_envelope(rm, from, env.record);
+  recycle_locked(std::move(rm.meta));
 }
 
 void SiteRuntime::handle_rm(Envelope env) {
@@ -377,7 +400,8 @@ void SiteRuntime::drain_held_fetches_locked() {
 
 void SiteRuntime::send_envelope(const Envelope& env, SiteId to, bool record) {
   Envelope::Sizes sizes;
-  serial::Bytes bytes = env.encode(clock_width_, &sizes);
+  serial::ByteWriter frame = meta_writer_locked();
+  env.encode_into(frame, &sizes);
   if (record) {
     stats_.record(env.kind, sizes.header, sizes.meta, sizes.payload);
     if (message_probe_) {
@@ -393,7 +417,7 @@ void SiteRuntime::send_envelope(const Envelope& env, SiteId to, bool record) {
     e.b = sizes.header + sizes.meta;
     trace_locked(e);
   }
-  transport_.send(self_, to, std::move(bytes));
+  transport_.send(self_, to, frame.take());
 }
 
 void SiteRuntime::set_message_probe(MessageProbe probe) {

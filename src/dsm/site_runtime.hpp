@@ -29,6 +29,7 @@
 #include "dsm/placement.hpp"
 #include "net/transport.hpp"
 #include "obs/trace_event.hpp"
+#include "serial/buffer_pool.hpp"
 #include "stats/histogram.hpp"
 #include "stats/message_stats.hpp"
 
@@ -121,6 +122,13 @@ class SiteRuntime final : public net::PacketHandler, private causal::ProtocolObs
   /// call it from their own timer.
   void trace_log_occupancy();
 
+  /// Attaches the shared frame pool (see serial::BufferPool): outgoing
+  /// envelopes and protocol meta-data blocks are encoded into recycled
+  /// buffers, and every frame this site consumes is released back. Attach
+  /// before driving traffic (like the trace sink); null disables pooling.
+  /// The pool must outlive the runtime.
+  void set_buffer_pool(serial::BufferPool* pool);
+
   /// Attaches a trace sink receiving this site's lifecycle events — op
   /// issue/complete, sends, buffering, activation, fetch holds, log
   /// merge/prune (nullptr detaches). Attach before driving traffic; the
@@ -157,6 +165,9 @@ class SiteRuntime final : public net::PacketHandler, private causal::ProtocolObs
   void drain_pending_locked();
   void send_envelope(const Envelope& env, SiteId to, bool record);
   void sample_meta_locked();
+  /// Meta-data writer backed by a pooled buffer when a pool is attached.
+  serial::ByteWriter meta_writer_locked() const;
+  void recycle_locked(serial::Bytes&& bytes);
 
   // causal::ProtocolObserver — the protocol only runs inside entry points
   // that already hold the site mutex, so these fire with mutex_ held.
@@ -221,6 +232,8 @@ class SiteRuntime final : public net::PacketHandler, private causal::ProtocolObs
 
   // Observability (guarded by mutex_ like the rest of the instruments).
   obs::TraceSink* trace_ = nullptr;
+  // Frame pool (set before traffic starts, internally synchronized).
+  serial::BufferPool* pool_ = nullptr;
   stats::Histogram fetch_latency_hist_{0.0, 1e6, 200};  // µs, 5 ms buckets
   stats::Summary dest_set_size_;
   std::uint64_t buffered_updates_ = 0;

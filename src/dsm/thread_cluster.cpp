@@ -1,149 +1,56 @@
 #include "dsm/thread_cluster.hpp"
 
-#include <chrono>
-#include <thread>
-
-#include "common/panic.hpp"
-
 namespace causim::dsm {
 
 ThreadCluster::ThreadCluster(const ClusterConfig& config)
     : ThreadCluster(config, Options()) {}
 
 ThreadCluster::ThreadCluster(const ClusterConfig& config, Options options)
-    : config_(config),
-      options_(options),
-      placement_(config.sites, config.variables, config.effective_replication(),
-                 config.seed, config.placement_strategy, config.fetch_policy) {
-  CAUSIM_CHECK(!causal::requires_full_replication(config.protocol) ||
-                   placement_.fully_replicated(),
-               to_string(config.protocol) << " requires full replication (p = n)");
+    : config_(config), options_(options) {
+  engine::validate_or_panic(config_);
   net::ThreadTransport::Options topt;
   topt.max_delay_us = options.max_wire_delay_us;
-  topt.seed = config.seed;
-  transport_ = std::make_unique<net::ThreadTransport>(config.sites, topt);
-  // Fault stack, bottom-up, mirroring Cluster: wire -> injector ->
-  // reliability layer. The ThreadTimerDriver supplies real-time RTOs and
-  // injected delays.
-  edge_ = transport_.get();
-  const bool faulty = config_.fault_plan.any();
-  if (faulty || config_.reliable_channel) {
-    timer_ = std::make_unique<net::ThreadTimerDriver>();
-    if (faulty) {
-      injector_ = std::make_unique<faults::FaultInjector>(
-          *edge_, *timer_, config_.fault_plan, config_.seed);
-      edge_ = injector_.get();
-    }
-    reliable_ = std::make_unique<net::ReliableTransport>(*edge_, *timer_,
-                                                         config_.reliable_config);
-    edge_ = reliable_.get();
-  }
-  edge_->set_trace_sink(config.trace_sink);
-  runtimes_.reserve(config.sites);
-  for (SiteId i = 0; i < config.sites; ++i) {
-    auto protocol = causal::make_protocol(config.protocol, i, config.sites,
-                                          config.protocol_options);
-    runtimes_.push_back(std::make_unique<SiteRuntime>(
-        i, placement_, *edge_, std::move(protocol),
-        config.record_history ? &history_ : nullptr,
-        config.protocol_options.clock_width, std::function<SimTime()>{},
-        config.causal_fetch));
-    runtimes_.back()->set_trace_sink(config.trace_sink);
-    edge_->attach(i, runtimes_.back().get());
-  }
+  topt.seed = config_.seed;
+  transport_ = std::make_unique<net::ThreadTransport>(config_.sites, topt);
+  engine::NodeStack::Wiring wiring;
+  wiring.wire = transport_.get();
+  // The ThreadTimerDriver supplies real-time RTOs and injected delays.
+  wiring.make_timer = [] { return std::make_unique<net::ThreadTimerDriver>(); };
+  stack_ = std::make_unique<engine::NodeStack>(config_, std::move(wiring));
+  engine::ThreadExecutor::Options xopt;
+  xopt.time_scale = options.time_scale;
+  executor_ = std::make_unique<engine::ThreadExecutor>(*stack_, *transport_, xopt);
+  driver_ = std::make_unique<engine::ScheduleDriver>(*stack_, *executor_);
 }
 
 ThreadCluster::~ThreadCluster() {
-  if (started_) {
-    if (timer_ != nullptr) timer_->stop();
-    transport_->stop();
-  }
+  // Emergency teardown when execute() did not complete (exception unwind):
+  // background threads must not outlive the stack they reference.
+  if (executor_ != nullptr) executor_->abort();
 }
 
 void ThreadCluster::execute(const workload::Schedule& schedule) {
-  CAUSIM_CHECK(schedule.sites() == config_.sites,
-               "schedule built for " << schedule.sites() << " sites, cluster has "
-                                     << config_.sites);
-  transport_->start();
-  started_ = true;
-
-  std::vector<std::thread> apps;
-  apps.reserve(config_.sites);
-  for (SiteId s = 0; s < config_.sites; ++s) {
-    apps.emplace_back([this, s, &schedule] {
-      SimTime prev = 0;
-      for (const workload::Op& op : schedule.per_site[s]) {
-        if (options_.time_scale > 0.0) {
-          const auto gap = static_cast<std::int64_t>(
-              static_cast<double>(op.at - prev) * options_.time_scale);
-          if (gap > 0) std::this_thread::sleep_for(std::chrono::microseconds(gap));
-          prev = op.at;
-        }
-        if (op.kind == workload::Op::Kind::kWrite) {
-          runtimes_[s]->write(op.var, op.payload_bytes, op.record);
-        } else {
-          runtimes_[s]->read_blocking(op.var, op.record);
-        }
-      }
-    });
-  }
-  for (auto& t : apps) t.join();
-
-  // All senders are done; wait for the network to drain, then every
-  // received update must have been applied. Shutdown order with the fault
-  // stack up: (1) the reliability layer reaches app-level quiescence
-  // (every packet delivered exactly once and acked — retransmission timers
-  // still live to get it there), (2) the timer stops, discarding pending
-  // callbacks (all droppable now: stale retransmits, delayed duplicates)
-  // so nothing races the transport teardown, (3) the wire drains, (4) the
-  // transport stops.
-  if (reliable_ != nullptr) reliable_->wait_quiescent();
-  if (timer_ != nullptr) timer_->stop();
-  transport_->quiesce();
-  CAUSIM_CHECK(transport_->packets_sent() == transport_->packets_delivered(),
-               "network did not drain");
-  if (reliable_ != nullptr) {
-    CAUSIM_CHECK(reliable_->quiescent(),
-                 "reliability layer did not drain: "
-                     << reliable_->packets_sent() << " sent, "
-                     << reliable_->packets_delivered() << " delivered");
-  }
-  for (SiteId s = 0; s < config_.sites; ++s) {
-    CAUSIM_CHECK(runtimes_[s]->pending_updates() == 0,
-                 "site " << s << " finished with unapplied updates");
-  }
-  transport_->stop();
-  started_ = false;
+  driver_->execute(schedule);
 }
 
 stats::MessageStats ThreadCluster::aggregate_message_stats() const {
-  stats::MessageStats total;
-  for (const auto& r : runtimes_) total += r->message_stats();
-  return total;
+  return stack_->aggregate_message_stats();
 }
 
 stats::Summary ThreadCluster::aggregate_log_entries() const {
-  stats::Summary total;
-  for (const auto& r : runtimes_) total += r->log_entries();
-  return total;
+  return stack_->aggregate_log_entries();
 }
 
 stats::Summary ThreadCluster::aggregate_log_bytes() const {
-  stats::Summary total;
-  for (const auto& r : runtimes_) total += r->log_bytes();
-  return total;
+  return stack_->aggregate_log_bytes();
 }
 
 void ThreadCluster::export_metrics(obs::MetricsRegistry& registry) const {
-  for (const auto& r : runtimes_) r->export_metrics(registry);
-  if (reliable_ != nullptr) reliable_->export_metrics(registry);
-  if (injector_ != nullptr) injector_->export_metrics(registry);
+  stack_->export_metrics(registry);
 }
 
 checker::CheckResult ThreadCluster::check(checker::CheckOptions options) const {
-  return checker::check_causal_consistency(
-      history_.events(), config_.sites,
-      [this](VarId var) { return placement_.replicas(var); }, options);
+  return stack_->check(options);
 }
 
 }  // namespace causim::dsm

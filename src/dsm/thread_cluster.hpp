@@ -1,23 +1,24 @@
 // ThreadCluster — the same n-site causal DSM run over real threads,
 // standing in for the paper's one-JVM-process-per-site TCP testbed.
 //
-// Each site gets an application thread (executing its schedule, blocking
-// on RemoteFetch exactly as §II-B prescribes) and a receipt thread inside
-// ThreadTransport. Message counts and sizes are schedule-determined and
-// must match the discrete-event run bit for bit where contents are
+// The cluster supplies the substrate-specific edges (ThreadTransport and
+// its ThreadTimerDriver) and delegates assembly to engine::NodeStack and
+// schedule execution to engine::ScheduleDriver + ThreadExecutor: one
+// application thread per site, blocking on RemoteFetch exactly as §II-B
+// prescribes. Message counts and sizes are schedule-determined and must
+// match the discrete-event run bit for bit where contents are
 // interleaving-independent (counts, Full-Track/optP clock sizes); the test
 // suite asserts the cross-transport equivalences that hold.
 #pragma once
 
 #include <memory>
-#include <vector>
 
-#include "causal/factory.hpp"
 #include "checker/causal_checker.hpp"
-#include "checker/history.hpp"
 #include "dsm/cluster.hpp"
 #include "dsm/placement.hpp"
 #include "dsm/site_runtime.hpp"
+#include "engine/node_stack.hpp"
+#include "engine/schedule_driver.hpp"
 #include "net/thread_transport.hpp"
 #include "workload/schedule.hpp"
 
@@ -38,11 +39,13 @@ class ThreadCluster {
   ~ThreadCluster();
 
   SiteId sites() const { return config_.sites; }
-  const Placement& placement() const { return placement_; }
-  SiteRuntime& site(SiteId i) { return *runtimes_[i]; }
+  const Placement& placement() const { return stack_->placement(); }
+  SiteRuntime& site(SiteId i) { return stack_->site(i); }
+  /// The assembled per-site stack (fault layers, runtimes, frame pool).
+  engine::NodeStack& stack() { return *stack_; }
   /// Non-null while the fault stack is wired in (see ClusterConfig).
-  const faults::FaultInjector* injector() const { return injector_.get(); }
-  const net::ReliableTransport* reliable() const { return reliable_.get(); }
+  const faults::FaultInjector* injector() const { return stack_->injector(); }
+  const net::ReliableTransport* reliable() const { return stack_->reliable(); }
 
   /// Plays the schedule with one application thread per site, waits for
   /// network quiescence, and verifies every update was applied.
@@ -60,15 +63,10 @@ class ThreadCluster {
  private:
   ClusterConfig config_;
   Options options_;
-  Placement placement_;
   std::unique_ptr<net::ThreadTransport> transport_;
-  std::unique_ptr<net::ThreadTimerDriver> timer_;
-  std::unique_ptr<faults::FaultInjector> injector_;
-  std::unique_ptr<net::ReliableTransport> reliable_;
-  net::Transport* edge_ = nullptr;
-  checker::HistoryRecorder history_;
-  std::vector<std::unique_ptr<SiteRuntime>> runtimes_;
-  bool started_ = false;
+  std::unique_ptr<engine::NodeStack> stack_;
+  std::unique_ptr<engine::ThreadExecutor> executor_;
+  std::unique_ptr<engine::ScheduleDriver> driver_;
 };
 
 }  // namespace causim::dsm

@@ -1,0 +1,86 @@
+#include "engine/config.hpp"
+
+#include <sstream>
+
+#include "common/panic.hpp"
+
+namespace causim::engine {
+
+std::vector<std::string> validate(const EngineConfig& config) {
+  std::vector<std::string> errors;
+  const auto reject = [&errors](const std::string& message) {
+    errors.push_back(message);
+  };
+
+  if (config.sites == 0) {
+    reject("sites must be >= 1 (a cluster needs at least one site)");
+  }
+  if (config.variables == 0) {
+    reject("variables must be >= 1 (the workload has nothing to touch otherwise)");
+  }
+  if (config.replication > config.sites) {
+    std::ostringstream os;
+    os << "replication (" << config.replication << ") exceeds sites ("
+       << config.sites << "); use 0 for full replication";
+    reject(os.str());
+  }
+  if (causal::requires_full_replication(config.protocol) &&
+      config.sites != 0 && config.effective_replication() != config.sites) {
+    std::ostringstream os;
+    os << to_string(config.protocol) << " requires full replication: set "
+       << "replication to 0 or " << config.sites << ", not " << config.replication;
+    reject(os.str());
+  }
+  if (config.latency_lo > config.latency_hi) {
+    std::ostringstream os;
+    os << "latency_lo (" << config.latency_lo << "us) exceeds latency_hi ("
+       << config.latency_hi << "us); swap the bounds";
+    reject(os.str());
+  }
+  if (!config.fetch_distances.empty()) {
+    const std::size_t n = config.sites;
+    bool square = config.fetch_distances.size() == n;
+    for (const auto& row : config.fetch_distances) {
+      if (row.size() != n) square = false;
+    }
+    if (!square) {
+      std::ostringstream os;
+      os << "fetch_distances must be an " << n << "x" << n
+         << " matrix (got " << config.fetch_distances.size() << " rows)";
+      reject(os.str());
+    }
+  }
+  if (config.fetch_policy == dsm::FetchPolicy::kNearest &&
+      config.fetch_distances.empty()) {
+    reject("FetchPolicy::kNearest needs fetch_distances (e.g. the latency "
+           "model's base matrix)");
+  }
+  if (config.fault_plan.any() || config.reliable_channel) {
+    const net::ReliableConfig& r = config.reliable_config;
+    if (r.rto_initial <= 0) {
+      reject("reliable_config.rto_initial must be positive (it is the first "
+             "retransmission timeout)");
+    }
+    if (r.rto_max < r.rto_initial) {
+      std::ostringstream os;
+      os << "reliable_config.rto_max (" << r.rto_max << "us) is below "
+         << "rto_initial (" << r.rto_initial << "us)";
+      reject(os.str());
+    }
+    if (r.rto_backoff < 1.0) {
+      reject("reliable_config.rto_backoff must be >= 1.0 (a shrinking RTO "
+             "floods the wire with retransmissions)");
+    }
+  }
+  return errors;
+}
+
+void validate_or_panic(const EngineConfig& config) {
+  const std::vector<std::string> errors = validate(config);
+  if (errors.empty()) return;
+  std::ostringstream os;
+  for (const std::string& e : errors) os << "\n  - " << e;
+  CAUSIM_CHECK(false, "invalid EngineConfig:" << os.str());
+}
+
+}  // namespace causim::engine

@@ -1,0 +1,138 @@
+#include "engine/node_stack.hpp"
+
+#include <utility>
+
+#include "causal/factory.hpp"
+#include "common/panic.hpp"
+
+namespace causim::engine {
+
+NodeStack::NodeStack(const EngineConfig& config, Wiring wiring)
+    : config_(config),
+      placement_(config.sites, config.variables, config.effective_replication(),
+                 config.seed, config.placement_strategy, config.fetch_policy),
+      wire_(wiring.wire) {
+  validate_or_panic(config_);
+  CAUSIM_CHECK(wire_ != nullptr, "NodeStack needs a wire transport");
+  CAUSIM_CHECK(wire_->size() == config_.sites,
+               "wire transport sized for " << wire_->size() << " sites, config has "
+                                           << config_.sites);
+  if (!config_.fetch_distances.empty()) {
+    placement_.set_distances(config_.fetch_distances);
+  }
+
+  // Fault stack, bottom-up: wire -> injector -> reliability layer. Any
+  // active fault implies the reliability layer (the protocols assume the
+  // reliable FIFO channels of §II-B); with neither configured the sites
+  // talk to the wire directly and nothing below observes a difference.
+  edge_ = wire_;
+  const bool faulty = config_.fault_plan.any();
+  if (faulty || config_.reliable_channel) {
+    CAUSIM_CHECK(wiring.make_timer != nullptr,
+                 "this config needs a timer-driven layer but the wiring has no "
+                 "timer factory");
+    timer_ = wiring.make_timer();
+    if (faulty) {
+      injector_ = std::make_unique<faults::FaultInjector>(
+          *edge_, *timer_, config_.fault_plan, config_.seed);
+      edge_ = injector_.get();
+    }
+    reliable_ = std::make_unique<net::ReliableTransport>(*edge_, *timer_,
+                                                         config_.reliable_config);
+    reliable_->set_buffer_pool(&pool_);
+    edge_ = reliable_.get();
+  }
+  edge_->set_trace_sink(config_.trace_sink);
+
+  runtimes_.reserve(config_.sites);
+  for (SiteId i = 0; i < config_.sites; ++i) {
+    auto protocol = causal::make_protocol(config_.protocol, i, config_.sites,
+                                          config_.protocol_options);
+    runtimes_.push_back(std::make_unique<dsm::SiteRuntime>(
+        i, placement_, *edge_, std::move(protocol),
+        config_.record_history ? &history_ : nullptr,
+        config_.protocol_options.clock_width, wiring.now_fn, config_.causal_fetch));
+    runtimes_.back()->set_trace_sink(config_.trace_sink);
+    runtimes_.back()->set_buffer_pool(&pool_);
+    edge_->attach(i, runtimes_.back().get());
+  }
+}
+
+void NodeStack::set_message_probe(dsm::SiteRuntime::MessageProbe probe) {
+  for (auto& r : runtimes_) r->set_message_probe(probe);
+}
+
+void NodeStack::trace_log_occupancy() {
+  for (auto& r : runtimes_) r->trace_log_occupancy();
+}
+
+void NodeStack::verify_quiescent() const {
+  CAUSIM_CHECK(wire_->packets_sent() == wire_->packets_delivered(),
+               "network did not drain");
+  if (reliable_ != nullptr) {
+    // The app-level view must also balance: every packet a site sent was
+    // handed to its peer exactly once despite drops/dups below.
+    CAUSIM_CHECK(reliable_->quiescent(),
+                 "reliability layer did not drain: "
+                     << reliable_->packets_sent() << " sent, "
+                     << reliable_->packets_delivered() << " delivered");
+  }
+  for (SiteId s = 0; s < config_.sites; ++s) {
+    CAUSIM_CHECK(runtimes_[s]->pending_updates() == 0,
+                 "site " << s << " finished with unapplied updates");
+    CAUSIM_CHECK(!runtimes_[s]->fetch_pending(),
+                 "site " << s << " finished with an unanswered fetch");
+    CAUSIM_CHECK(runtimes_[s]->pending_remote_fetches() == 0,
+                 "site " << s << " finished holding fetch requests");
+  }
+}
+
+stats::MessageStats NodeStack::aggregate_message_stats() const {
+  stats::MessageStats total;
+  for (const auto& r : runtimes_) total += r->message_stats();
+  return total;
+}
+
+stats::Summary NodeStack::aggregate_log_entries() const {
+  stats::Summary total;
+  for (const auto& r : runtimes_) total += r->log_entries();
+  return total;
+}
+
+stats::Summary NodeStack::aggregate_log_bytes() const {
+  stats::Summary total;
+  for (const auto& r : runtimes_) total += r->log_bytes();
+  return total;
+}
+
+stats::Summary NodeStack::aggregate_fetch_latency() const {
+  stats::Summary total;
+  for (const auto& r : runtimes_) total += r->fetch_latency();
+  return total;
+}
+
+stats::Summary NodeStack::aggregate_apply_delay() const {
+  stats::Summary total;
+  for (const auto& r : runtimes_) total += r->apply_delay();
+  return total;
+}
+
+std::uint64_t NodeStack::total_applies() const {
+  std::uint64_t total = 0;
+  for (const auto& r : runtimes_) total += r->total_applies();
+  return total;
+}
+
+void NodeStack::export_metrics(obs::MetricsRegistry& registry) const {
+  for (const auto& r : runtimes_) r->export_metrics(registry);
+  if (reliable_ != nullptr) reliable_->export_metrics(registry);
+  if (injector_ != nullptr) injector_->export_metrics(registry);
+}
+
+checker::CheckResult NodeStack::check(checker::CheckOptions options) const {
+  return checker::check_causal_consistency(
+      history_.events(), config_.sites,
+      [this](VarId var) { return placement_.replicas(var); }, options);
+}
+
+}  // namespace causim::engine

@@ -1,0 +1,145 @@
+#include "engine/schedule_driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/panic.hpp"
+#include "net/thread_transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace causim::engine {
+
+void ScheduleDriver::execute(const workload::Schedule& schedule) {
+  CAUSIM_CHECK(schedule.sites() == stack_.sites(),
+               "schedule built for " << schedule.sites() << " sites, cluster has "
+                                     << stack_.sites());
+  executor_.play(*this, schedule);
+  executor_.drain();
+  // Quiescence invariants: the network drained and every delivered update
+  // was applied (an unapplied pending update would mean the activation
+  // predicate can never fire — a protocol bug).
+  stack_.verify_quiescent();
+  executor_.finish();
+}
+
+void ScheduleDriver::dispatch(SiteId s, const workload::Op& op,
+                              std::function<void()> done) {
+  dsm::SiteRuntime& site = stack_.site(s);
+  if (op.kind == workload::Op::Kind::kWrite) {
+    site.write(op.var, op.payload_bytes, op.record);
+    done();
+    return;
+  }
+  site.read(op.var, [done = std::move(done)](Value, WriteId) { done(); },
+            op.record);
+}
+
+// ---------------------------------------------------------------------------
+
+void SimExecutor::play(ScheduleDriver& driver, const workload::Schedule& schedule) {
+  schedule_ = &schedule;
+  cursor_.assign(stack_.sites(), 0);
+  for (SiteId s = 0; s < stack_.sites(); ++s) issue_next(driver, s);
+  if (stack_.config().log_sample_interval > 0 &&
+      stack_.config().trace_sink != nullptr) {
+    simulator_.schedule_at(simulator_.now(), [this] { sample_logs(); });
+  }
+  simulator_.run();
+  schedule_ = nullptr;
+}
+
+void SimExecutor::issue_next(ScheduleDriver& driver, SiteId s) {
+  const auto& ops = schedule_->per_site[s];
+  if (cursor_[s] >= ops.size()) return;  // this site's application finished
+  const SimTime at = std::max(simulator_.now(), ops[cursor_[s]].at);
+  simulator_.schedule_at(at, [this, &driver, s] { run_op(driver, s); });
+}
+
+void SimExecutor::run_op(ScheduleDriver& driver, SiteId s) {
+  const workload::Op& op = schedule_->per_site[s][cursor_[s]];
+  // Writes complete inline; remote reads resume the site's schedule from
+  // the RM continuation — either way the next op is only issued after
+  // `done`, which is the blocking-fetch rule.
+  driver.dispatch(s, op, [this, &driver, s] {
+    ++cursor_[s];
+    issue_next(driver, s);
+  });
+}
+
+void SimExecutor::sample_logs() {
+  stack_.trace_log_occupancy();
+  // play() runs the simulator to an empty queue, so the sampler must stop
+  // once it is the only remaining work — reschedule only while the
+  // schedule or the network still has events in flight.
+  if (!simulator_.idle()) {
+    simulator_.schedule_after(stack_.config().log_sample_interval,
+                              [this] { sample_logs(); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+void ThreadExecutor::play(ScheduleDriver& driver, const workload::Schedule& schedule) {
+  transport_.start();
+  started_ = true;
+
+  std::vector<std::thread> apps;
+  apps.reserve(stack_.sites());
+  for (SiteId s = 0; s < stack_.sites(); ++s) {
+    apps.emplace_back([this, s, &driver, &schedule] {
+      SimTime prev = 0;
+      for (const workload::Op& op : schedule.per_site[s]) {
+        if (options_.time_scale > 0.0) {
+          const auto gap = static_cast<std::int64_t>(
+              static_cast<double>(op.at - prev) * options_.time_scale);
+          if (gap > 0) std::this_thread::sleep_for(std::chrono::microseconds(gap));
+          prev = op.at;
+        }
+        // One latch per op: dispatch fires `done` inline for writes and
+        // local reads, from the receipt thread for remote reads.
+        std::mutex m;
+        std::condition_variable cv;
+        bool done = false;
+        // Notify *under* the mutex: the latch lives on this stack frame,
+        // and the waiter may only destroy it after the signaler's last
+        // touch of `cv` — which the held lock guarantees.
+        driver.dispatch(s, op, [&] {
+          std::lock_guard lock(m);
+          done = true;
+          cv.notify_one();
+        });
+        std::unique_lock lock(m);
+        cv.wait(lock, [&] { return done; });
+      }
+    });
+  }
+  for (auto& t : apps) t.join();
+}
+
+void ThreadExecutor::drain() {
+  // All senders are done; wait for the network to drain. Shutdown order
+  // with the fault stack up: (1) the reliability layer reaches app-level
+  // quiescence (every packet delivered exactly once and acked —
+  // retransmission timers still live to get it there), (2) the timer
+  // stops, discarding pending callbacks (all droppable now: stale
+  // retransmits, delayed duplicates) so nothing races the transport
+  // teardown, (3) the wire drains.
+  if (stack_.reliable() != nullptr) stack_.reliable()->wait_quiescent();
+  if (stack_.timer() != nullptr) stack_.timer()->stop();
+  transport_.quiesce();
+}
+
+void ThreadExecutor::finish() {
+  transport_.stop();
+  started_ = false;
+}
+
+void ThreadExecutor::abort() {
+  if (!started_) return;
+  if (stack_.timer() != nullptr) stack_.timer()->stop();
+  transport_.stop();
+  started_ = false;
+}
+
+}  // namespace causim::engine

@@ -1,0 +1,130 @@
+// ScheduleDriver — the one implementation of the paper's schedule
+// execution semantics (§II-B), parameterized over the execution substrate.
+//
+// Both clusters used to re-implement the same contract: each site issues
+// its scheduled operations in order and never starts the next operation
+// while a RemoteFetch is outstanding (the fetch primitive blocks). The
+// driver owns that contract in dispatch(); an Executor supplies only the
+// substrate mechanics — how ops are scheduled in time, how the network is
+// drained, how the substrate shuts down. SimExecutor replays the schedule
+// as simulator events (deterministic, continuation-driven); ThreadExecutor
+// runs one application thread per site that blocks on each op's
+// completion, standing in for the paper's one-process-per-site testbed.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "engine/node_stack.hpp"
+#include "workload/schedule.hpp"
+
+namespace causim::net {
+class ThreadTransport;
+}  // namespace causim::net
+
+namespace causim::sim {
+class Simulator;
+}  // namespace causim::sim
+
+namespace causim::engine {
+
+class ScheduleDriver;
+
+/// The substrate half of schedule execution. execute() drives the phases
+/// in order: play (run every site's schedule to application completion),
+/// drain (bring the network to quiescence), then — after the shared
+/// quiescence invariants pass — finish (substrate teardown).
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual void play(ScheduleDriver& driver, const workload::Schedule& schedule) = 0;
+  virtual void drain() = 0;
+  virtual void finish() = 0;
+};
+
+class ScheduleDriver {
+ public:
+  ScheduleDriver(NodeStack& stack, Executor& executor)
+      : stack_(stack), executor_(executor) {}
+
+  /// Plays the schedule to completion, verifies the shared quiescence
+  /// invariants (NodeStack::verify_quiescent), and tears the substrate
+  /// down.
+  void execute(const workload::Schedule& schedule);
+
+  /// The op semantics, shared by every executor: a write multicasts and
+  /// completes inline (`done` runs before returning); a read completes
+  /// inline when local and on RM arrival when remote — either way `done`
+  /// fires exactly once, and the executor must not start the site's next
+  /// op before it does (the blocking-fetch rule).
+  void dispatch(SiteId s, const workload::Op& op, std::function<void()> done);
+
+  NodeStack& stack() { return stack_; }
+
+ private:
+  NodeStack& stack_;
+  Executor& executor_;
+};
+
+/// Discrete-event substrate: ops become simulator events at
+/// max(now, op.at); remote-read continuations re-enter the per-site
+/// cursor, preserving the exact event ordering the pre-engine Cluster
+/// produced (runs are byte-identical for a fixed seed). The simulator
+/// running to an empty queue is already the drain.
+class SimExecutor final : public Executor {
+ public:
+  SimExecutor(NodeStack& stack, sim::Simulator& simulator)
+      : stack_(stack), simulator_(simulator) {}
+
+  void play(ScheduleDriver& driver, const workload::Schedule& schedule) override;
+  void drain() override {}
+  void finish() override {}
+
+ private:
+  void issue_next(ScheduleDriver& driver, SiteId s);
+  void run_op(ScheduleDriver& driver, SiteId s);
+  void sample_logs();
+
+  NodeStack& stack_;
+  sim::Simulator& simulator_;
+  const workload::Schedule* schedule_ = nullptr;
+  std::vector<std::size_t> cursor_;
+};
+
+/// Real-thread substrate: one application thread per site issues ops in
+/// order, sleeping out schedule gaps when time_scale > 0 and blocking on a
+/// latch until each op's completion fires. drain() runs the shared
+/// shutdown sequence: reliability-layer quiescence first (retransmission
+/// timers still live to get it there), then the timer stops (pending
+/// callbacks are all droppable by then), then the wire drains.
+class ThreadExecutor final : public Executor {
+ public:
+  struct Options {
+    /// Sleep schedule gaps scaled by this factor (0 = run at full speed;
+    /// 1e-6 turns a millisecond of schedule time into a microsecond).
+    double time_scale = 0.0;
+  };
+
+  ThreadExecutor(NodeStack& stack, net::ThreadTransport& transport,
+                 Options options)
+      : stack_(stack), transport_(transport), options_(options) {}
+
+  void play(ScheduleDriver& driver, const workload::Schedule& schedule) override;
+  void drain() override;
+  void finish() override;
+
+  /// Emergency teardown for destruction mid-run (an exception unwound past
+  /// execute()): stops the timer and the transport so no background thread
+  /// outlives the stack. Idempotent; a completed finish() makes it a no-op.
+  void abort();
+
+ private:
+  NodeStack& stack_;
+  net::ThreadTransport& transport_;
+  Options options_;
+  bool started_ = false;
+};
+
+}  // namespace causim::engine

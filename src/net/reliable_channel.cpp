@@ -12,18 +12,6 @@ namespace causim::net {
 
 namespace {
 
-serial::Bytes make_frame(std::uint8_t tag, std::uint64_t value,
-                         const serial::Bytes* payload) {
-  serial::Bytes out;
-  out.reserve(ReliableChannel::kFrameHeaderBytes + (payload ? payload->size() : 0));
-  out.push_back(tag);
-  for (std::size_t i = 0; i < 8; ++i) {
-    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
-  }
-  if (payload != nullptr) out.insert(out.end(), payload->begin(), payload->end());
-  return out;
-}
-
 std::uint64_t frame_value(const serial::Bytes& frame) {
   std::uint64_t v = 0;
   for (std::size_t i = 0; i < 8; ++i) {
@@ -41,10 +29,26 @@ ReliableChannel::ReliableChannel(ReliableConfig config)
   CAUSIM_CHECK(config_.rto_backoff >= 1.0, "rto_backoff must be >= 1");
 }
 
+serial::Bytes ReliableChannel::make_frame(std::uint8_t tag, std::uint64_t value,
+                                          const serial::Bytes* payload) const {
+  serial::Bytes out = pool_ != nullptr ? pool_->acquire() : serial::Bytes{};
+  out.reserve(kFrameHeaderBytes + (payload ? payload->size() : 0));
+  out.push_back(tag);
+  for (std::size_t i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+  if (payload != nullptr) out.insert(out.end(), payload->begin(), payload->end());
+  return out;
+}
+
+serial::Bytes ReliableChannel::pooled_copy(const serial::Bytes& bytes) const {
+  return pool_ != nullptr ? pool_->copy(bytes.data(), bytes.size()) : bytes;
+}
+
 serial::Bytes ReliableChannel::send(const serial::Bytes& payload) {
   const std::uint64_t seq = next_seq_++;
   serial::Bytes frame = make_frame(kDataFrame, seq, &payload);
-  unacked_.emplace(seq, frame);
+  unacked_.emplace(seq, pooled_copy(frame));
   return frame;
 }
 
@@ -53,7 +57,7 @@ std::vector<ReliableChannel::Frame> ReliableChannel::on_timer() {
   if (unacked_.empty()) return out;
   out.reserve(unacked_.size());
   for (const auto& [seq, bytes] : unacked_) {
-    out.push_back(Frame{seq, bytes});
+    out.push_back(Frame{seq, pooled_copy(bytes)});
     ++retransmits_;
   }
   const double next = static_cast<double>(rto_) * config_.rto_backoff;
@@ -77,6 +81,7 @@ ReliableChannel::Ingest ReliableChannel::on_frame(const serial::Bytes& frame) {
     out.was_ack = true;
     // Cumulative: `value` is the peer's next_expected, acking all seq < value.
     while (!unacked_.empty() && unacked_.begin()->first < value) {
+      if (pool_ != nullptr) pool_->release(std::move(unacked_.begin()->second));
       unacked_.erase(unacked_.begin());
       out.made_progress = true;
     }
@@ -89,8 +94,11 @@ ReliableChannel::Ingest ReliableChannel::on_frame(const serial::Bytes& frame) {
     out.was_duplicate = true;
     ++dup_suppressed_;
   } else {
-    reorder_.emplace(seq,
-                     serial::Bytes(frame.begin() + kFrameHeaderBytes, frame.end()));
+    reorder_.emplace(
+        seq, pool_ != nullptr
+                 ? pool_->copy(frame.data() + kFrameHeaderBytes,
+                               frame.size() - kFrameHeaderBytes)
+                 : serial::Bytes(frame.begin() + kFrameHeaderBytes, frame.end()));
     while (true) {
       auto it = reorder_.find(next_expected_);
       if (it == reorder_.end()) break;
@@ -175,6 +183,12 @@ void ReliableTransport::on_rto(std::size_t idx, SiteId from, SiteId to) {
   }
 }
 
+void ReliableTransport::set_buffer_pool(serial::BufferPool* pool) {
+  std::lock_guard lock(mutex_);
+  pool_ = pool;
+  for (Chan& chan : chans_) chan.channel.set_buffer_pool(pool);
+}
+
 void ReliableTransport::on_packet(Packet packet) {
   CAUSIM_CHECK(!packet.bytes.empty(), "empty reliable frame");
   const bool is_ack = packet.bytes[0] == ReliableChannel::kAckFrame;
@@ -184,6 +198,7 @@ void ReliableTransport::on_packet(Packet packet) {
     const std::size_t idx = index(packet.to, packet.from);
     std::lock_guard lock(mutex_);
     chans_[idx].channel.on_frame(packet.bytes);
+    if (pool_ != nullptr) pool_->release(std::move(packet.bytes));
     cv_.notify_all();
     return;
   }
@@ -199,6 +214,9 @@ void ReliableTransport::on_packet(Packet packet) {
     ack = std::move(ingest.ack);
     ++frames_sent_;  // the ACK below
     handler = handlers_[packet.to];
+    // The DATA frame is spent: its payload was copied into the reorder
+    // buffer (or it was a suppressed duplicate) and the ACK is built.
+    if (pool_ != nullptr) pool_->release(std::move(packet.bytes));
   }
   inner_.send(packet.to, packet.from, std::move(ack));
   CAUSIM_CHECK(handler != nullptr, "packet for unattached site " << packet.to);

@@ -29,6 +29,7 @@
 #include "common/ids.hpp"
 #include "net/timer.hpp"
 #include "net/transport.hpp"
+#include "serial/buffer_pool.hpp"
 
 namespace causim::obs {
 class MetricsRegistry;
@@ -56,6 +57,11 @@ class ReliableChannel {
   static constexpr std::size_t kFrameHeaderBytes = 9;
 
   explicit ReliableChannel(ReliableConfig config = {});
+
+  /// Frames (DATA, ACK, retransmission copies) are acquired from `pool` and
+  /// acked/consumed frames released back to it. Null (the default) falls
+  /// back to plain allocation — the state machine itself is unchanged.
+  void set_buffer_pool(serial::BufferPool* pool) { pool_ = pool; }
 
   // ---- sender half ----
 
@@ -115,9 +121,13 @@ class ReliableChannel {
 
  private:
   serial::Bytes make_ack();
+  serial::Bytes make_frame(std::uint8_t tag, std::uint64_t value,
+                           const serial::Bytes* payload) const;
+  serial::Bytes pooled_copy(const serial::Bytes& bytes) const;
 
   ReliableConfig config_;
   SimTime rto_;
+  serial::BufferPool* pool_ = nullptr;
 
   // sender half
   std::uint64_t next_seq_ = 0;
@@ -149,6 +159,11 @@ class ReliableTransport final : public Transport, public PacketHandler {
   std::uint64_t packets_delivered() const override;
   /// Keeps the sink for kRetransmit events and forwards it down the stack.
   void set_trace_sink(obs::TraceSink* sink) override;
+
+  /// Wires `pool` into every per-channel state machine and recycles
+  /// consumed wire frames (ACKs, duplicates, absorbed DATA) through it.
+  /// Call before the first send; null disables pooling (the default).
+  void set_buffer_pool(serial::BufferPool* pool);
 
   void on_packet(Packet packet) override;
 
@@ -198,6 +213,7 @@ class ReliableTransport final : public Transport, public PacketHandler {
   std::uint64_t frames_sent_ = 0;
   std::size_t reorder_hwm_ = 0;
   obs::TraceSink* trace_ = nullptr;
+  serial::BufferPool* pool_ = nullptr;
 };
 
 }  // namespace causim::net

@@ -37,6 +37,12 @@ class TimerDriver {
   /// delay_us == 0 is requested under the simulator; callbacks must not
   /// assume a particular thread.
   virtual void schedule(SimTime delay_us, std::function<void()> fn) = 0;
+
+  /// Stops the driver, discarding callbacks that have not fired. A no-op
+  /// for drivers with nothing to tear down (the simulator owns its queue);
+  /// engine::ThreadExecutor calls this through the base interface during
+  /// the shared shutdown sequence.
+  virtual void stop() {}
 };
 
 /// Deterministic driver: timers are ordinary simulator events.
@@ -70,7 +76,7 @@ class ThreadTimerDriver final : public TimerDriver {
   void schedule(SimTime delay_us, std::function<void()> fn) override;
 
   /// Joins the timer thread; pending callbacks are discarded. Idempotent.
-  void stop();
+  void stop() override;
 
  private:
   struct Entry {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/dest_set.hpp"
@@ -28,6 +29,12 @@ enum class ClockWidth : std::uint8_t { k4Bytes = 4, k8Bytes = 8 };
 class ByteWriter {
  public:
   explicit ByteWriter(ClockWidth cw = ClockWidth::k4Bytes) : clock_width_(cw) {}
+
+  /// Writes into `buffer` (cleared first), reusing its capacity — the
+  /// pooled encode path (serial::BufferPool) hands recycled frames in here.
+  ByteWriter(ClockWidth cw, Bytes&& buffer) : clock_width_(cw), buf_(std::move(buffer)) {
+    buf_.clear();
+  }
 
   void put_u8(std::uint8_t v) { buf_.push_back(v); }
   void put_u16(std::uint16_t v) { put_fixed(v, 2); }

@@ -34,6 +34,50 @@ TEST(BenchSupport, ParseArgs) {
   EXPECT_FALSE(o.quick);
 }
 
+TEST(BenchSupport, ParseArgsAcceptsValueFlagsInBothStyles) {
+  const char* argv[] = {"bench", "--trace-out=t.json", "--metrics-out", "m.csv",
+                        "--report-out=r.json"};
+  BenchOptions o;
+  std::string error;
+  ASSERT_TRUE(try_parse_bench_args(5, const_cast<char**>(argv), o, error)) << error;
+  EXPECT_EQ(o.trace_out, "t.json");
+  EXPECT_EQ(o.metrics_out, "m.csv");
+  EXPECT_EQ(o.report_out, "r.json");
+}
+
+TEST(BenchSupport, ParseArgsRejectsUnknownFlag) {
+  // A typoed flag must surface, not silently fall through to a default
+  // full-length run.
+  const char* argv[] = {"bench", "--qucik"};
+  BenchOptions o;
+  std::string error;
+  EXPECT_FALSE(try_parse_bench_args(2, const_cast<char**>(argv), o, error));
+  EXPECT_NE(error.find("--qucik"), std::string::npos);
+}
+
+TEST(BenchSupport, ParseArgsRejectsPositionalArguments) {
+  const char* argv[] = {"bench", "quick"};
+  BenchOptions o;
+  std::string error;
+  EXPECT_FALSE(try_parse_bench_args(2, const_cast<char**>(argv), o, error));
+}
+
+TEST(BenchSupport, ParseArgsRejectsValueFlagMissingItsValue) {
+  const char* argv[] = {"bench", "--trace-out"};
+  BenchOptions o;
+  std::string error;
+  EXPECT_FALSE(try_parse_bench_args(2, const_cast<char**>(argv), o, error));
+  EXPECT_NE(error.find("--trace-out"), std::string::npos);
+}
+
+TEST(BenchSupport, BenchUsageNamesEveryFlag) {
+  const std::string usage = bench_usage("bench");
+  for (const char* flag : {"--quick", "--csv", "--trace-out", "--metrics-out",
+                           "--report-out"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
 TEST(BenchSupport, ApplyQuickShrinksRuns) {
   ExperimentParams params;
   params.seeds = {1, 2, 3};

@@ -1,0 +1,116 @@
+// serial::BufferPool unit tests plus the allocation bound the pooled
+// encode path promises: once warm, encoding an Envelope into a pooled
+// frame and recycling it performs zero heap allocations per message.
+//
+// The bound is measured with replacement global operator new/delete that
+// count while a flag is up — no malloc hooks, no sampling, an exact count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "dsm/envelope.hpp"
+#include "serial/buffer_pool.hpp"
+#include "serial/writer.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<bool> g_counting{false};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace causim::serial {
+namespace {
+
+TEST(BufferPool, AcquireStartsEmptyAndCountsMisses) {
+  BufferPool pool;
+  const Bytes b = pool.acquire();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.reuses(), 0u);
+}
+
+TEST(BufferPool, ReleaseRecyclesCapacity) {
+  BufferPool pool;
+  Bytes b = pool.acquire();
+  b.resize(256);
+  const std::uint8_t* data = b.data();
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.pooled(), 1u);
+
+  const Bytes again = pool.acquire();
+  EXPECT_TRUE(again.empty());  // contents are discarded...
+  EXPECT_GE(again.capacity(), 256u);  // ...the capacity is what recycles
+  EXPECT_EQ(again.data(), data);
+  EXPECT_EQ(pool.reuses(), 1u);
+}
+
+TEST(BufferPool, ZeroCapacityReleaseIsSkipped) {
+  BufferPool pool;
+  pool.release(Bytes{});
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST(BufferPool, CopyProducesPooledDuplicate) {
+  BufferPool pool;
+  Bytes warm(64, 0xAB);
+  pool.release(std::move(warm));
+
+  const std::uint8_t src[] = {1, 2, 3, 4};
+  const Bytes out = pool.copy(src, sizeof(src));
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[3], 4u);
+  EXPECT_EQ(pool.reuses(), 1u);
+}
+
+TEST(BufferPool, PooledEncodePathIsAllocationFreeOnceWarm) {
+  BufferPool pool;
+
+  dsm::Envelope env;
+  env.kind = MessageKind::kSM;
+  env.sender = 3;
+  env.var = 17;
+  env.value.id = 42;
+  env.value.payload_bytes = 64;
+  env.write.writer = 3;
+  env.write.clock = 9;
+  env.meta.assign(96, 0x5C);  // a realistic piggyback block
+
+  const auto encode_once = [&] {
+    ByteWriter w(ClockWidth::k8Bytes, pool.acquire());
+    env.encode_into(w);
+    pool.release(w.take());
+  };
+
+  // Warm-up: the first round grows the pooled buffer to frame size.
+  for (int i = 0; i < 8; ++i) encode_once();
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < 1000; ++i) encode_once();
+  g_counting.store(false);
+
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "steady-state pooled encode must not touch the heap";
+}
+
+}  // namespace
+}  // namespace causim::serial

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Header self-containment check: compiles every public header under src/
+# standalone (-fsyntax-only), so a header that silently leans on its
+# includer's includes fails here instead of in the next refactor. Run from
+# anywhere; CI runs it next to the build.
+set -u
+cd "$(dirname "$0")/.."
+
+CXX="${CXX:-c++}"
+STD="${STD:-c++20}"
+
+fail=0
+count=0
+while IFS= read -r hdr; do
+  count=$((count + 1))
+  if ! err=$("$CXX" -std="$STD" -fsyntax-only -I src -x c++ "$hdr" 2>&1); then
+    echo "NOT SELF-CONTAINED: $hdr"
+    echo "$err" | head -20
+    fail=1
+  fi
+done < <(find src -name '*.hpp' | sort)
+
+if [ "$fail" -eq 0 ]; then
+  echo "OK: $count headers compile standalone"
+fi
+exit "$fail"
