@@ -19,9 +19,16 @@
 //   2. Protocol matrix at a fixed drop rate: all four protocols stay
 //      causally consistent and quiesce; their relative meta-data ordering
 //      is unchanged by loss.
+//   3. ARQ A/B — go-back-N vs selective repeat, both with the adaptive
+//      Jacobson/Karels RTO. This table *enforces* the layer's two headline
+//      claims (exit 1 on regression): zero spurious retransmits at drop
+//      rate 0, and selective-repeat wire amplification strictly below
+//      go-back-N once the drop rate reaches 30 %.
 //
-// Fault activity lands in faults.* / net.reliable.* metrics and the
-// report's "faults" section — never in the paper's msg.* numbers.
+// `--arq gbn|sr` and `--adaptive-rto` select the reliability-layer policy
+// for tables 1–2 (table 3 always runs both modes). Fault activity lands in
+// faults.* / net.reliable.* metrics and the report's "faults" section —
+// never in the paper's msg.* numbers.
 #include <iostream>
 #include <string>
 #include <vector>
@@ -52,6 +59,7 @@ int main(int argc, char** argv) {
     bench_support::apply_quick(params, options);
     params.fault_plan = faults::FaultPlan::uniform_drop(rate);
     params.reliable_channel = true;  // rate 0 measures the layer's floor
+    bench_support::apply_arq_options(params.reliable_config, options);
     params.trace_sink = observability.claim_trace_sink();  // first cell only
     params.log_sample_interval = observability.log_sample_interval();
     params.metrics = observability.metrics();
@@ -98,6 +106,7 @@ int main(int argc, char** argv) {
     params.seeds = options.quick ? std::vector<std::uint64_t>{1}
                                  : std::vector<std::uint64_t>{1, 2, 3};
     params.fault_plan = faults::FaultPlan::uniform_drop(0.2);
+    bench_support::apply_arq_options(params.reliable_config, options);
     params.check = true;
     params.metrics = observability.metrics();
     const auto r = bench_support::run_experiment(params);
@@ -123,6 +132,62 @@ int main(int argc, char** argv) {
   }
   std::cout << matrix << "\n";
   if (options.csv) std::cout << "CSV:\n" << matrix.to_csv() << "\n";
+
+  stats::Table ab(
+      "3. ARQ A/B with adaptive RTO — Opt-Track, n = 10, p = 3: selective "
+      "repeat resends only what is missing; adaptation kills the drop-0 "
+      "spurious-retransmit floor");
+  ab.set_columns({"drop %", "arq", "drops", "retransmits", "wire frames",
+                  "amplif", "apply delay ms", "rtt samples"});
+  bool ab_ok = true;
+  const double ab_rates[] = {0.0, 0.30, 0.50};
+  for (const double rate : ab_rates) {
+    std::uint64_t frames_by_mode[2] = {0, 0};
+    for (const net::ArqMode mode :
+         {net::ArqMode::kGoBackN, net::ArqMode::kSelectiveRepeat}) {
+      bench_support::ExperimentParams params;
+      params.protocol = causal::ProtocolKind::kOptTrack;
+      params.sites = 10;
+      params.replication = bench_support::partial_replication_factor(10);
+      params.write_rate = 0.5;
+      params.ops_per_site = 300;
+      bench_support::apply_quick(params, options);
+      params.fault_plan = faults::FaultPlan::uniform_drop(rate);
+      params.reliable_channel = true;
+      params.reliable_config.arq = mode;
+      params.reliable_config.adaptive_rto = true;
+      const auto r = bench_support::run_experiment(params);
+      frames_by_mode[mode == net::ArqMode::kSelectiveRepeat ? 1 : 0] =
+          r.reliable_frames;
+      const double amplif =
+          r.reliable_packets == 0
+              ? 0.0
+              : static_cast<double>(r.reliable_frames) /
+                    static_cast<double>(r.reliable_packets);
+      ab.add_row({stats::Table::num(rate * 100.0, 0), to_string(mode),
+                  stats::Table::integer(r.drops),
+                  stats::Table::integer(r.retransmits),
+                  stats::Table::integer(r.reliable_frames),
+                  stats::Table::num(amplif, 2),
+                  stats::Table::num(r.apply_delay_us.mean() / 1000.0, 1),
+                  stats::Table::integer(r.rtt_samples)});
+      if (rate == 0.0 && r.retransmits != 0) {
+        std::cerr << "FAIL: " << r.retransmits << " spurious retransmits at "
+                  << "drop rate 0 under " << to_string(mode)
+                  << " with adaptive RTO (expected 0)\n";
+        ab_ok = false;
+      }
+    }
+    if (rate >= 0.30 && frames_by_mode[1] >= frames_by_mode[0]) {
+      std::cerr << "FAIL: selective-repeat wire frames (" << frames_by_mode[1]
+                << ") not strictly below go-back-N (" << frames_by_mode[0]
+                << ") at drop rate " << rate << "\n";
+      ab_ok = false;
+    }
+  }
+  std::cout << ab << "\n";
+  if (options.csv) std::cout << "CSV:\n" << ab.to_csv() << "\n";
+  if (!ab_ok) return 1;
 
   return observability.finish() ? 0 : 1;
 }

@@ -78,6 +78,7 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
       result.dup_suppressed += cluster.reliable()->dup_suppressed();
       result.reliable_frames += cluster.reliable()->frames_sent();
       result.reliable_packets += cluster.reliable()->packets_sent();
+      result.rtt_samples += cluster.reliable()->rtt_samples();
     }
     result.recorded_writes += schedule.recorded_writes();
     result.recorded_reads += schedule.recorded_reads();
@@ -114,13 +115,17 @@ std::string bench_usage(const char* argv0) {
   usage += argv0;
   usage +=
       " [--quick] [--csv] [--trace-out FILE] [--metrics-out FILE]"
-      " [--report-out FILE]\n"
+      " [--report-out FILE] [--arq gbn|sr] [--adaptive-rto]\n"
       "  --quick            shrink seeds/ops for a smoke run\n"
       "  --csv              also print tables as CSV\n"
       "  --trace-out FILE   write a Chrome/Perfetto trace-event JSON\n"
       "  --metrics-out FILE write metrics JSON (CSV when FILE ends in .csv)\n"
       "  --report-out FILE  write an analysis report JSON\n"
-      "  (value flags also accept --flag=FILE)\n";
+      "  --arq gbn|sr       reliability-layer ARQ mode (go-back-N | selective\n"
+      "                     repeat); only fault benches use it\n"
+      "  --adaptive-rto     Jacobson/Karels adaptive RTO instead of the fixed\n"
+      "                     initial timeout\n"
+      "  (value flags also accept --flag=VALUE)\n";
   return usage;
 }
 
@@ -137,6 +142,18 @@ bool try_parse_bench_args(int argc, char** argv, BenchOptions& options,
       options.metrics_out = m;
     } else if (const char* r = flag_value(argv[i], "--report-out", argc, argv, i)) {
       options.report_out = r;
+    } else if (const char* a = flag_value(argv[i], "--arq", argc, argv, i)) {
+      if (std::strcmp(a, "gbn") == 0) {
+        options.arq = net::ArqMode::kGoBackN;
+      } else if (std::strcmp(a, "sr") == 0) {
+        options.arq = net::ArqMode::kSelectiveRepeat;
+      } else {
+        error = "--arq expects gbn or sr, got: ";
+        error += a;
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--adaptive-rto") == 0) {
+      options.adaptive_rto = true;
     } else {
       error = "unknown or malformed flag: ";
       error += argv[i];
@@ -155,6 +172,11 @@ BenchOptions parse_bench_args(int argc, char** argv) {
     std::exit(2);
   }
   return options;
+}
+
+void apply_arq_options(net::ReliableConfig& config, const BenchOptions& options) {
+  config.arq = options.arq;
+  config.adaptive_rto = options.adaptive_rto;
 }
 
 void apply_quick(ExperimentParams& params, const BenchOptions& options) {

@@ -83,6 +83,7 @@ struct ExperimentResult {
   std::uint64_t dup_suppressed = 0;
   std::uint64_t reliable_frames = 0;  // wire frames incl. acks/retransmits
   std::uint64_t reliable_packets = 0;  // app-level packets through the layer
+  std::uint64_t rtt_samples = 0;  // adaptive-RTO estimator inputs, all channels
 
   // -- derived, per-run means --
   double mean_total_overhead_bytes() const;  // header+meta per run
@@ -104,7 +105,15 @@ struct BenchOptions {
   std::string trace_out;    // Chrome/Perfetto trace-event JSON
   std::string metrics_out;  // metrics JSON, or CSV when the name ends in .csv
   std::string report_out;   // analysis report JSON (causim.analysis.v1)
+  /// Reliability-layer ARQ knobs for fault benches (see net::ReliableConfig):
+  /// `--arq gbn|sr` and `--adaptive-rto`. Benches without a fault stack
+  /// accept but ignore them.
+  net::ArqMode arq = net::ArqMode::kGoBackN;
+  bool adaptive_rto = false;
 };
+
+/// Copies the CLI's ARQ knobs into a reliable-channel config.
+void apply_arq_options(net::ReliableConfig& config, const BenchOptions& options);
 
 /// The flag reference printed on parse errors (argv0 names the binary).
 std::string bench_usage(const char* argv0);

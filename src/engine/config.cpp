@@ -71,6 +71,18 @@ std::vector<std::string> validate(const EngineConfig& config) {
       reject("reliable_config.rto_backoff must be >= 1.0 (a shrinking RTO "
              "floods the wire with retransmissions)");
     }
+    if (r.adaptive_rto) {
+      if (r.rto_min <= 0) {
+        reject("reliable_config.rto_min must be positive with adaptive_rto "
+               "(it is the estimator's lower clamp, RFC 6298 style)");
+      }
+      if (r.rto_max < r.rto_min) {
+        std::ostringstream os;
+        os << "reliable_config.rto_max (" << r.rto_max << "us) is below "
+           << "rto_min (" << r.rto_min << "us)";
+        reject(os.str());
+      }
+    }
   }
   return errors;
 }

@@ -8,8 +8,20 @@
 // per-channel sequence number, the receiver releases frames strictly in
 // sequence (buffering out-of-order arrivals, suppressing duplicates) and
 // answers every DATA frame with a cumulative ACK, and the sender
-// retransmits everything unacked on a timeout that backs off
-// exponentially and resets on forward progress.
+// retransmits unacked frames on a timeout that backs off exponentially
+// and resets on forward progress.
+//
+// The ARQ policy is configurable (ReliableConfig):
+//   * go-back-N (default) — on timeout, resend *everything* unacked.
+//     Simple, and byte-identical to the layer's original behaviour.
+//   * selective repeat — the receiver piggybacks the sequence numbers it
+//     holds out of order (a SACK list) on every cumulative ACK, and the
+//     sender resends only the frames the receiver is actually missing.
+//   * adaptive RTO — Jacobson/Karels SRTT/RTTVAR estimation from ACK
+//     round-trip samples with Karn's rule (retransmitted frames are never
+//     sampled), replacing the fixed initial timeout; retransmission is
+//     age-gated per frame so a timer firing never resends data that has
+//     not yet been in flight for a full RTO.
 //
 // ReliableChannel is the pure per-channel state machine — no transport,
 // no timers, no locks — so property tests can drive it through adversarial
@@ -37,24 +49,64 @@ class MetricsRegistry;
 
 namespace causim::net {
 
+/// Retransmission policy of the reliability sublayer.
+enum class ArqMode : std::uint8_t {
+  /// Timeout resends every unacked frame; ACKs are plain cumulative.
+  kGoBackN = 0,
+  /// ACKs carry a SACK list of out-of-order frames the receiver already
+  /// holds; timeout resends only frames not covered by cum-ack or SACK.
+  kSelectiveRepeat,
+};
+
+inline const char* to_string(ArqMode mode) {
+  switch (mode) {
+    case ArqMode::kGoBackN: return "go-back-N";
+    case ArqMode::kSelectiveRepeat: return "selective-repeat";
+  }
+  return "??";
+}
+
 struct ReliableConfig {
-  /// First retransmission timeout. Should comfortably exceed one round
-  /// trip; spurious retransmits are suppressed as duplicates but waste
-  /// wire bytes.
+  /// First retransmission timeout — and, without adaptive_rto, the value
+  /// the RTO resets to on ACK progress. Should comfortably exceed one
+  /// round trip; spurious retransmits are suppressed as duplicates but
+  /// waste wire bytes.
   SimTime rto_initial = 400 * kMillisecond;
-  /// Backoff ceiling.
+  /// Backoff ceiling (and the adaptive estimator's upper clamp).
   SimTime rto_max = 10 * kSecond;
-  /// RTO multiplier applied on every timeout; reset to rto_initial when an
-  /// ACK acknowledges new data.
+  /// RTO multiplier applied on every timeout that actually retransmits;
+  /// cleared when an ACK acknowledges new data.
   double rto_backoff = 2.0;
+  /// Retransmission policy. The default keeps the original go-back-N wire
+  /// format and timing byte-identical.
+  ArqMode arq = ArqMode::kGoBackN;
+  /// Jacobson/Karels RTT estimation: RTO = SRTT + 4·RTTVAR (clamped to
+  /// [rto_min, rto_max]), sampled from ACKs of never-retransmitted frames
+  /// (Karn's rule), with rto_initial as the pre-sample fallback. Also
+  /// age-gates retransmission: a timer firing resends only frames whose
+  /// last transmission is at least one RTO old, so pipelined traffic never
+  /// triggers spurious resends of data still legitimately in flight.
+  bool adaptive_rto = false;
+  /// Lower clamp of the adaptive estimator — the RFC 6298 minimum-RTO
+  /// idea. The conservative default (= rto_initial) means adaptation only
+  /// ever *raises* the timeout above the old fixed value; lower it when
+  /// the deployment's worst-case RTT is known to be smaller.
+  SimTime rto_min = 400 * kMillisecond;
 };
 
 class ReliableChannel {
  public:
   static constexpr std::uint8_t kDataFrame = 0xD1;
   static constexpr std::uint8_t kAckFrame = 0xA2;
-  /// u8 frame tag + u64 seq (DATA) or cumulative ack (ACK).
+  /// Selective-repeat ACK: the cumulative value, then a u8 count and
+  /// `count` LE u64 sequence numbers the receiver holds out of order.
+  static constexpr std::uint8_t kSackFrame = 0xA3;
+  /// u8 frame tag + u64 seq (DATA) or cumulative ack (ACK/SACK).
   static constexpr std::size_t kFrameHeaderBytes = 9;
+  /// SACK list cap (the count is a single byte). A reorder buffer deeper
+  /// than this just advertises its first 255 entries — correctness never
+  /// depends on SACK, it only suppresses redundant resends.
+  static constexpr std::size_t kMaxSackEntries = 255;
 
   explicit ReliableChannel(ReliableConfig config = {});
 
@@ -66,8 +118,10 @@ class ReliableChannel {
   // ---- sender half ----
 
   /// Wraps `payload` into a DATA frame, assigns the next sequence number
-  /// and remembers the frame for retransmission until acked.
-  serial::Bytes send(const serial::Bytes& payload);
+  /// and remembers the frame for retransmission until acked. `now` stamps
+  /// the transmission for RTT sampling and age-gating (ignored — and safely
+  /// omittable — without adaptive_rto).
+  serial::Bytes send(const serial::Bytes& payload, SimTime now = 0);
 
   /// True while unacked data exists (a retransmission timer must be armed).
   bool timer_needed() const { return !unacked_.empty(); }
@@ -75,15 +129,23 @@ class ReliableChannel {
   /// Current retransmission timeout.
   SimTime rto() const { return rto_; }
 
+  /// Earliest instant any outstanding frame becomes eligible for
+  /// retransmission (last transmission + current RTO, over frames a
+  /// timeout would actually resend). Only meaningful while timer_needed().
+  SimTime next_deadline() const;
+
   struct Frame {
     std::uint64_t seq = 0;
     serial::Bytes bytes;
   };
 
-  /// Retransmission timeout fired: returns every unacked frame (go-back-N)
-  /// in sequence order and doubles the RTO up to the ceiling. Empty when
-  /// everything was acked in the meantime.
-  std::vector<Frame> on_timer();
+  /// Retransmission timeout fired: returns the frames to resend in
+  /// sequence order — every unacked frame under go-back-N, only
+  /// un-SACKed frames under selective repeat, and (with adaptive_rto)
+  /// only frames at least one RTO old. Multiplies the RTO by the backoff
+  /// factor (up to the ceiling) when anything was actually resent. Empty
+  /// when nothing is eligible.
+  std::vector<Frame> on_timer(SimTime now = 0);
 
   // ---- ingest (both halves) ----
 
@@ -103,11 +165,24 @@ class ReliableChannel {
     bool was_duplicate = false;
     /// An ACK acknowledged at least one new frame (resets the backoff).
     bool made_progress = false;
+    /// The frame was syntactically invalid (truncated header, unknown tag,
+    /// SACK list overrunning the frame) and was ignored without touching
+    /// any channel state.
+    bool malformed = false;
+    /// The frame was a well-formed ACK/SACK claiming data this sender
+    /// never sent (cum > next_seq, or a SACK entry >= next_seq); it was
+    /// rejected without advancing sender state — a corrupted or forged
+    /// ACK must not fake delivery.
+    bool ack_rejected = false;
+    /// Adaptive RTO: round-trip sample taken from this ACK (µs; 0 = none,
+    /// e.g. every acked frame had been retransmitted — Karn's rule).
+    SimTime rtt_sample = 0;
   };
 
   /// Feeds one frame received from the peer (DATA for the incoming
-  /// direction, ACK for the outgoing one).
-  Ingest on_frame(const serial::Bytes& frame);
+  /// direction, ACK/SACK for the outgoing one). `now` feeds RTT sampling,
+  /// as in send().
+  Ingest on_frame(const serial::Bytes& frame, SimTime now = 0);
 
   // ---- introspection ----
 
@@ -118,12 +193,40 @@ class ReliableChannel {
   std::uint64_t retransmit_count() const { return retransmits_; }
   std::uint64_t dup_suppressed() const { return dup_suppressed_; }
   std::uint64_t acks_sent() const { return acks_sent_; }
+  std::uint64_t malformed_count() const { return malformed_; }
+  std::uint64_t acks_rejected() const { return acks_rejected_; }
+  /// Outstanding frames currently covered by a SACK (selective repeat).
+  std::uint64_t sacked_outstanding() const { return sacked_outstanding_; }
+
+  // -- adaptive RTO estimator --
+
+  std::uint64_t rtt_samples() const { return rtt_samples_; }
+  /// Smoothed RTT estimate in µs (0 before the first sample).
+  SimTime srtt() const { return static_cast<SimTime>(srtt_); }
+  /// RTT mean deviation in µs (0 before the first sample).
+  SimTime rttvar() const { return static_cast<SimTime>(rttvar_); }
 
  private:
+  struct Outstanding {
+    serial::Bytes bytes;       // framed copy kept for retransmission
+    SimTime first_tx = 0;      // original send instant (RTT sample base)
+    SimTime last_tx = 0;       // most recent (re)transmission
+    bool retransmitted = false;  // Karn: excluded from RTT sampling
+    bool sacked = false;       // receiver holds it (selective repeat only)
+  };
+
   serial::Bytes make_ack();
   serial::Bytes make_frame(std::uint8_t tag, std::uint64_t value,
                            const serial::Bytes* payload) const;
   serial::Bytes pooled_copy(const serial::Bytes& bytes) const;
+  Ingest ingest_ack(std::uint8_t tag, const serial::Bytes& frame, SimTime now);
+  /// Selective repeat: true when a timeout should NOT resend this frame
+  /// (the receiver already holds it) — except the all-sacked probe case.
+  bool skip_sacked(std::uint64_t seq, const Outstanding& frame) const;
+  void record_rtt_sample(SimTime sample);
+  /// The RTO an ACK making progress resets to: the clamped estimator value
+  /// under adaptive_rto (once a sample exists), rto_initial otherwise.
+  SimTime progress_rto() const;
 
   ReliableConfig config_;
   SimTime rto_;
@@ -131,8 +234,17 @@ class ReliableChannel {
 
   // sender half
   std::uint64_t next_seq_ = 0;
-  std::map<std::uint64_t, serial::Bytes> unacked_;  // seq -> framed bytes
+  std::map<std::uint64_t, Outstanding> unacked_;  // seq -> frame state
   std::uint64_t retransmits_ = 0;
+  std::uint64_t sacked_outstanding_ = 0;
+  std::uint64_t acks_rejected_ = 0;
+  std::uint64_t malformed_ = 0;
+
+  // adaptive RTO estimator (Jacobson/Karels, RFC 6298 constants)
+  bool has_srtt_ = false;
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  std::uint64_t rtt_samples_ = 0;
 
   // receiver half
   std::uint64_t next_expected_ = 0;
@@ -157,7 +269,8 @@ class ReliableTransport final : public Transport, public PacketHandler {
   SiteId size() const override { return inner_.size(); }
   std::uint64_t packets_sent() const override;
   std::uint64_t packets_delivered() const override;
-  /// Keeps the sink for kRetransmit events and forwards it down the stack.
+  /// Keeps the sink for kRetransmit/kRttSample events and forwards it down
+  /// the stack.
   void set_trace_sink(obs::TraceSink* sink) override;
 
   /// Wires `pool` into every per-channel state machine and recycles
@@ -181,6 +294,14 @@ class ReliableTransport final : public Transport, public PacketHandler {
   /// retransmissions + ACKs) — the wire amplification factor of the
   /// reliability layer.
   std::uint64_t frames_sent() const;
+  /// Wire frames dropped as syntactically invalid (truncated, unknown tag,
+  /// bad SACK list) instead of crashing — the recoverable-wire-boundary
+  /// policy of Envelope::try_decode applied to this layer's own frames.
+  std::uint64_t malformed() const;
+  /// Well-formed ACKs rejected for claiming never-sent data.
+  std::uint64_t acks_rejected() const;
+  /// RTT samples folded into the adaptive estimators (all channels).
+  std::uint64_t rtt_samples() const;
 
   /// Folds the layer's counters into `registry` under net.reliable.* —
   /// deliberately disjoint from the protocol's msg.* namespace.
@@ -196,7 +317,7 @@ class ReliableTransport final : public Transport, public PacketHandler {
     return static_cast<std::size_t>(from) * n_ + to;
   }
   /// Arms the retransmission timer for the channel if needed (lock held).
-  void arm_locked(std::size_t idx, SiteId from, SiteId to);
+  void arm_locked(std::size_t idx, SiteId from, SiteId to, SimTime now);
   void on_rto(std::size_t idx, SiteId from, SiteId to);
 
   Transport& inner_;
@@ -211,6 +332,7 @@ class ReliableTransport final : public Transport, public PacketHandler {
   std::uint64_t sent_ = 0;       // app-level packets accepted by send()
   std::uint64_t delivered_ = 0;  // app-level packets fully handled
   std::uint64_t frames_sent_ = 0;
+  std::uint64_t wire_malformed_ = 0;  // dropped before reaching a channel
   std::size_t reorder_hwm_ = 0;
   obs::TraceSink* trace_ = nullptr;
   serial::BufferPool* pool_ = nullptr;

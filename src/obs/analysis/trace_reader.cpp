@@ -12,6 +12,7 @@ constexpr TraceEventType kAllEventTypes[] = {
     TraceEventType::kFetchServed, TraceEventType::kLogMerge,
     TraceEventType::kLogPrune,   TraceEventType::kLogSample,
     TraceEventType::kDrop,       TraceEventType::kRetransmit,
+    TraceEventType::kRttSample,
 };
 
 bool set_error(std::string* error, const std::string& message) {

@@ -64,6 +64,11 @@ enum class TraceEventType : std::uint8_t {
   /// retransmission timeout (site = sender, peer = destination,
   /// a = reliable channel seq, b = frame bytes). Also faults-layer-only.
   kRetransmit,
+  /// The adaptive-RTO estimator folded in a round-trip sample taken from a
+  /// cumulative ACK of a never-retransmitted frame (Karn's rule; site =
+  /// data sender, peer = acking site, a = sample µs, b = resulting RTO µs).
+  /// Emitted only with ReliableConfig::adaptive_rto; faults-layer-only.
+  kRttSample,
 };
 
 inline const char* to_string(TraceEventType t) {
@@ -82,6 +87,7 @@ inline const char* to_string(TraceEventType t) {
     case TraceEventType::kLogSample: return "log_sample";
     case TraceEventType::kDrop: return "drop";
     case TraceEventType::kRetransmit: return "retransmit";
+    case TraceEventType::kRttSample: return "rtt_sample";
   }
   return "??";
 }

@@ -55,6 +55,35 @@ TEST(BenchSupport, ParseArgsRejectsUnknownFlag) {
   EXPECT_NE(error.find("--qucik"), std::string::npos);
 }
 
+TEST(BenchSupport, ParseArgsAcceptsArqFlagsInBothStyles) {
+  const char* argv[] = {"bench", "--arq=sr", "--adaptive-rto"};
+  BenchOptions o;
+  std::string error;
+  ASSERT_TRUE(try_parse_bench_args(3, const_cast<char**>(argv), o, error)) << error;
+  EXPECT_EQ(o.arq, net::ArqMode::kSelectiveRepeat);
+  EXPECT_TRUE(o.adaptive_rto);
+
+  const char* detached[] = {"bench", "--arq", "gbn"};
+  BenchOptions d;
+  ASSERT_TRUE(try_parse_bench_args(3, const_cast<char**>(detached), d, error)) << error;
+  EXPECT_EQ(d.arq, net::ArqMode::kGoBackN);
+  EXPECT_FALSE(d.adaptive_rto);  // defaults stay byte-identical to go-back-N
+
+  net::ReliableConfig rc;
+  apply_arq_options(rc, o);
+  EXPECT_EQ(rc.arq, net::ArqMode::kSelectiveRepeat);
+  EXPECT_TRUE(rc.adaptive_rto);
+}
+
+TEST(BenchSupport, ParseArgsRejectsBadArqMode) {
+  const char* argv[] = {"bench", "--arq=tcp"};
+  BenchOptions o;
+  std::string error;
+  EXPECT_FALSE(try_parse_bench_args(2, const_cast<char**>(argv), o, error));
+  EXPECT_NE(error.find("tcp"), std::string::npos);
+  EXPECT_NE(error.find("gbn"), std::string::npos) << "error should name the choices";
+}
+
 TEST(BenchSupport, ParseArgsRejectsPositionalArguments) {
   const char* argv[] = {"bench", "quick"};
   BenchOptions o;
@@ -73,7 +102,7 @@ TEST(BenchSupport, ParseArgsRejectsValueFlagMissingItsValue) {
 TEST(BenchSupport, BenchUsageNamesEveryFlag) {
   const std::string usage = bench_usage("bench");
   for (const char* flag : {"--quick", "--csv", "--trace-out", "--metrics-out",
-                           "--report-out"}) {
+                           "--report-out", "--arq", "--adaptive-rto"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

@@ -11,8 +11,13 @@
 #include <new>
 
 #include "dsm/envelope.hpp"
+#include "net/reliable_channel.hpp"
+#include "net/sim_transport.hpp"
+#include "net/timer.hpp"
 #include "serial/buffer_pool.hpp"
 #include "serial/writer.hpp"
+#include "sim/latency.hpp"
+#include "sim/simulator.hpp"
 
 namespace {
 
@@ -110,6 +115,58 @@ TEST(BufferPool, PooledEncodePathIsAllocationFreeOnceWarm) {
 
   EXPECT_EQ(g_allocations.load(), 0u)
       << "steady-state pooled encode must not touch the heap";
+}
+
+TEST(BufferPool, ReliableStackSteadyStateDrawsNothingNewFromThePool) {
+  // Regression for the send-path leak: ReliableTransport::send used to
+  // copy the app payload into the DATA frame and then destroy the caller's
+  // pooled buffer without releasing it, draining the pool by one buffer
+  // per message — so steady state kept missing (and allocating) forever.
+  // With the recycle in place, a warmed-up stack serves every buffer of
+  // the reliable path (payload, DATA frame, retransmission copy, reorder
+  // slot, ACK) from the free list: the miss counter goes flat.
+  sim::Simulator simulator;
+  sim::UniformLatency latency(1000, 5000);
+  net::SimTransport wire(simulator, latency, 2, 1);
+  net::SimTimerDriver timer(simulator);
+  net::ReliableTransport reliable(wire, timer);
+  BufferPool pool;
+  reliable.set_buffer_pool(&pool);
+
+  // The app layer above the stack recycles what it is handed, exactly like
+  // SiteRuntime's receive path.
+  struct Recycler final : net::PacketHandler {
+    BufferPool* pool = nullptr;
+    std::uint64_t delivered = 0;
+    void on_packet(net::Packet packet) override {
+      ++delivered;
+      pool->release(std::move(packet.bytes));
+    }
+  };
+  Recycler sink0, sink1;
+  sink0.pool = sink1.pool = &pool;
+  reliable.attach(0, &sink0);
+  reliable.attach(1, &sink1);
+
+  const auto round = [&] {
+    for (int i = 0; i < 50; ++i) {
+      Bytes payload = pool.acquire();
+      payload.assign(64, static_cast<std::uint8_t>(i));
+      reliable.send(0, 1, std::move(payload));
+    }
+    simulator.run();
+  };
+
+  round();  // warm-up: the pool grows to the stack's peak working set
+  round();
+  const std::uint64_t warm_misses = pool.misses();
+  EXPECT_GT(warm_misses, 0u);  // the warm-up really did populate the pool
+  for (int i = 0; i < 3; ++i) round();
+  EXPECT_EQ(pool.misses(), warm_misses)
+      << "steady-state reliable path drew new buffers from the heap: the "
+         "send-side recycle regressed";
+  EXPECT_EQ(sink1.delivered, 250u);
+  EXPECT_EQ(reliable.retransmits(), 0u);  // clean wire: pure steady state
 }
 
 }  // namespace

@@ -97,6 +97,26 @@ TEST(EngineConfigValidation, RejectsReliableRtoMisconfiguration) {
   EXPECT_TRUE(mentions(validate(c), "rto_backoff"));
 }
 
+TEST(EngineConfigValidation, RejectsAdaptiveRtoMisconfiguration) {
+  EngineConfig c;
+  c.reliable_channel = true;
+  c.reliable_config.adaptive_rto = true;
+  c.reliable_config.rto_min = 0;
+  EXPECT_TRUE(mentions(validate(c), "rto_min must be positive"));
+
+  c.reliable_config = {};
+  c.reliable_config.adaptive_rto = true;
+  c.reliable_config.rto_min = 2 * kSecond;
+  c.reliable_config.rto_max = 1 * kSecond;
+  c.reliable_config.rto_initial = 500 * kMillisecond;
+  EXPECT_TRUE(mentions(validate(c), "rto_min"));
+
+  // Without adaptive_rto the estimator clamps are dormant and irrelevant.
+  c.reliable_config = {};
+  c.reliable_config.rto_min = 0;
+  EXPECT_TRUE(validate(c).empty());
+}
+
 TEST(EngineConfigValidation, IgnoresReliableConfigWhileLayerIsDown) {
   // Without a fault plan or the forced reliable channel the sublayer is
   // never built, so its knobs are irrelevant and must not reject.

@@ -66,9 +66,11 @@ struct Outcome {
 };
 
 Outcome run_once(causal::ProtocolKind protocol, double drop_rate,
-                 std::uint64_t seed) {
+                 std::uint64_t seed,
+                 const net::ReliableConfig& reliable = {}) {
   dsm::ClusterConfig config = base_config(protocol, seed);
   if (drop_rate > 0.0) config.fault_plan = faults::FaultPlan::uniform_drop(drop_rate);
+  config.reliable_config = reliable;
   dsm::Cluster cluster(config);
   cluster.execute(schedule_for(seed));
 
@@ -90,8 +92,11 @@ Outcome run_once(causal::ProtocolKind protocol, double drop_rate,
 }
 
 /// The matrix body: for every seed, a fault-free baseline and one faulty
-/// run per drop rate; causal consistency always, counts always equal.
-void run_matrix(causal::ProtocolKind protocol) {
+/// run per drop rate; causal consistency always, counts always equal. The
+/// `reliable` knobs select the ARQ policy under test — the conformance
+/// contract is policy-independent, so the matrix runs once per mode.
+void run_matrix(causal::ProtocolKind protocol,
+                const net::ReliableConfig& reliable = {}) {
   const int seeds = seed_count();
   const double rates[] = {0.10, 0.30, 0.50};
   std::uint64_t total_drops = 0;
@@ -102,7 +107,7 @@ void run_matrix(causal::ProtocolKind protocol) {
     ASSERT_TRUE(baseline.causal_ok)
         << to_string(protocol) << " violates causality fault-free, seed " << s;
     for (const double rate : rates) {
-      const Outcome faulty = run_once(protocol, rate, seed);
+      const Outcome faulty = run_once(protocol, rate, seed, reliable);
       EXPECT_TRUE(faulty.causal_ok) << to_string(protocol) << " seed " << s
                                     << " drop " << rate << ": causal violation";
       // Counts are invariant for every protocol. Meta *bytes* are only
@@ -143,6 +148,29 @@ TEST(FaultConformance, OptTrackCrpMatrix) {
 }
 TEST(FaultConformance, OptPMatrix) {
   run_matrix(causal::ProtocolKind::kOptP);
+}
+
+// The same contract must hold under selective repeat + adaptive RTO — the
+// upgraded ARQ engine changes which frames cross the wire, never what the
+// protocols above it observe.
+net::ReliableConfig sr_adaptive() {
+  net::ReliableConfig reliable;
+  reliable.arq = net::ArqMode::kSelectiveRepeat;
+  reliable.adaptive_rto = true;
+  return reliable;
+}
+
+TEST(FaultConformance, FullTrackMatrixSelectiveRepeatAdaptive) {
+  run_matrix(causal::ProtocolKind::kFullTrack, sr_adaptive());
+}
+TEST(FaultConformance, OptTrackMatrixSelectiveRepeatAdaptive) {
+  run_matrix(causal::ProtocolKind::kOptTrack, sr_adaptive());
+}
+TEST(FaultConformance, OptTrackCrpMatrixSelectiveRepeatAdaptive) {
+  run_matrix(causal::ProtocolKind::kOptTrackCrp, sr_adaptive());
+}
+TEST(FaultConformance, OptPMatrixSelectiveRepeatAdaptive) {
+  run_matrix(causal::ProtocolKind::kOptP, sr_adaptive());
 }
 
 // ---- Equivalence: the layer is invisible when disabled ----

@@ -13,10 +13,15 @@ structurally wrong:
             serialization), fault-layer events (drop / retransmit) are
             instants addressed to a peer with a positive byte count, and
             the `causim` metadata reports zero ring-buffer drops (a
-            truncated trace fails the gate).
+            truncated trace fails the gate); rtt_sample events (adaptive
+            RTO) are instants with a peer, a positive sample and a
+            positive resulting RTO.
   metrics — registry JSON: the four sections exist, per-kind message
-            counters are present and positive, and every histogram's
-            quantiles are ordered (p50 <= p90 <= p99).
+            counters are present and positive, every histogram's
+            quantiles are ordered (p50 <= p90 <= p99), and when the
+            reliability layer exported (net.reliable.*) its frame
+            accounting balances: frames = data + ack + retransmit, with
+            non-negative srtt/rto gauges.
   report  — analysis report JSON (schema causim.analysis.v1): the derived
             sections (including `faults`) exist, events > 0, buffered <=
             applies, activation quantiles are ordered, SM sends were
@@ -83,6 +88,19 @@ def check_trace(path: str) -> None:
                 fail(f"{path}: {e['name']} without a peer: {e}")
             if args.get("b", 0) <= 0:
                 fail(f"{path}: {e['name']} without a byte count: {e}")
+        if e["name"] == "rtt_sample":
+            # Adaptive-RTO estimator input: an instant on the data
+            # sender's track, a = round-trip sample (µs), b = the RTO the
+            # estimator produced from it — both strictly positive.
+            if e["ph"] != "i":
+                fail(f"{path}: rtt_sample must be an instant event: {e}")
+            args = e.get("args", {})
+            if args.get("peer") is None:
+                fail(f"{path}: rtt_sample without a peer: {e}")
+            if args.get("a", 0) <= 0:
+                fail(f"{path}: rtt_sample without a positive sample: {e}")
+            if args.get("b", 0) <= 0:
+                fail(f"{path}: rtt_sample without a positive RTO: {e}")
     names = {e["name"] for e in real}
     for required in ("op_issue", "op_complete", "send"):
         if required not in names:
@@ -108,6 +126,21 @@ def check_metrics_json(path: str) -> None:
         q = h.get("quantiles", {})
         if not q.get("p50", 0) <= q.get("p90", 0) <= q.get("p99", 0):
             fail(f"{path}: histogram '{name}' quantiles out of order: {q}")
+    if "net.reliable.frames.count" in counters:
+        # The reliability layer exported: its wire-frame accounting must
+        # balance exactly — every frame is a first DATA transmission, a
+        # retransmission, or an ACK/SACK; nothing else touches the wire.
+        frames = counters["net.reliable.frames.count"]
+        parts = (counters.get("net.reliable.data.count", 0)
+                 + counters.get("net.reliable.ack.count", 0)
+                 + counters.get("net.reliable.retransmit.count", 0))
+        if frames != parts:
+            fail(f"{path}: net.reliable.frames.count {frames} != "
+                 f"data + ack + retransmit {parts}")
+        for gauge in ("net.reliable.srtt.us", "net.reliable.rto.us"):
+            value = doc["gauges"].get(gauge, {}).get("value")
+            if value is not None and value < 0:
+                fail(f"{path}: gauge '{gauge}' negative: {value}")
     print(f"check_trace: {path}: OK ({len(counters)} counters, "
           f"{len(doc['histograms'])} histograms)")
 
