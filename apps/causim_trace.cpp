@@ -4,11 +4,17 @@
 //   causim-trace analyze trace.json [--out report.json] [--label NAME]
 //                                   [--max-points N]
 //   causim-trace diff a.json b.json [--out diff.json]
+//   causim-trace timeseries ts.json [--out summary.json]
+//   causim-trace timeseries a.json b.json [--out diff.json]
 //
 // `analyze` re-reads a `--trace-out` file and emits the same
 // causim.analysis.v1 report that `--report-out` produces in-process (with
 // the default label the two are byte-identical). `diff` takes two report
 // files and emits a structural A/B comparison (causim.analysis.diff.v1).
+// `timeseries` summarizes a `--timeseries-out` stream
+// (causim.timeseries.v1) into per-metric aggregates
+// (causim.timeseries.summary.v1); with two files it diffs the two
+// summaries structurally (causim.timeseries.diff.v1).
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -19,6 +25,7 @@
 
 #include "obs/analysis/analysis.hpp"
 #include "obs/analysis/trace_reader.hpp"
+#include "stats/histogram.hpp"
 
 namespace {
 
@@ -28,7 +35,9 @@ int usage(std::ostream& out, int code) {
   out << "usage:\n"
          "  causim-trace analyze <trace.json> [--out FILE] [--label NAME]"
          " [--max-points N]\n"
-         "  causim-trace diff <a.json> <b.json> [--out FILE]\n";
+         "  causim-trace diff <a.json> <b.json> [--out FILE]\n"
+         "  causim-trace timeseries <ts.json> [--out FILE]\n"
+         "  causim-trace timeseries <a.json> <b.json> [--out FILE]\n";
   return code;
 }
 
@@ -162,12 +171,127 @@ int run_diff(int argc, char** argv) {
   return ok ? 0 : 1;
 }
 
+/// The per-sample metrics of a causim.timeseries.v1 stream, in output
+/// order. `ts` is summarized separately (t_begin/t_end).
+constexpr const char* kTimeseriesMetrics[] = {
+    "ops",         "sends",       "applies",
+    "wire_inflight", "buffered_sm", "log_entries",
+    "log_bytes",   "reliable_frames", "retransmits"};
+
+/// Summarizes one causim.timeseries.v1 document into
+/// causim.timeseries.summary.v1: per-metric count/mean/min/max/last over
+/// the sample stream, plus the stream's shape (samples, runs, interval,
+/// time span). Returns false with an error on a wrong or missing schema.
+bool summarize_timeseries(const obs::analysis::Json& doc, const std::string& path,
+                          std::ostream& out) {
+  if (doc.at("schema").str() != "causim.timeseries.v1") {
+    std::cerr << "error: " << path << ": expected schema causim.timeseries.v1, got '"
+              << doc.at("schema").str() << "'\n";
+    return false;
+  }
+  const auto& samples = doc.at("samples").array();
+  const auto num = [](double v) {
+    std::ostringstream s;
+    if (v == static_cast<double>(static_cast<long long>(v))) {
+      s << static_cast<long long>(v);
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.9g", v);
+      s << buf;
+    }
+    return s.str();
+  };
+
+  out << "{\"schema\":\"causim.timeseries.summary.v1\"";
+  out << ",\"samples\":" << samples.size();
+  out << ",\"runs\":" << doc.at("runs").size();
+  out << ",\"interval_us\":" << num(doc.at("interval_us").number());
+  out << ",\"sites\":" << num(doc.at("sites").number());
+  out << ",\"truncated\":" << num(doc.at("truncated").number());
+  if (!samples.empty()) {
+    out << ",\"t_begin\":" << num(samples.front().at("ts").number());
+    out << ",\"t_end\":" << num(samples.back().at("ts").number());
+  }
+  out << ",\"metrics\":{";
+  bool first = true;
+  for (const char* metric : kTimeseriesMetrics) {
+    causim::stats::Summary summary;
+    double last = 0.0;
+    for (const auto& sample : samples) {
+      const double v = sample.at(metric).number();
+      summary.record(v);
+      last = v;
+    }
+    out << (first ? "" : ",") << "\"" << metric << "\":{\"count\":" << summary.count()
+        << ",\"mean\":" << num(summary.mean()) << ",\"min\":" << num(summary.min())
+        << ",\"max\":" << num(summary.max()) << ",\"last\":" << num(last) << "}";
+    first = false;
+  }
+  out << "}}\n";
+  return true;
+}
+
+int run_timeseries(int argc, char** argv) {
+  std::string paths[2];
+  std::size_t n_paths = 0;
+  std::string out_path;
+  for (int i = 2; i < argc; ++i) {
+    if (const char* v = flag_value(argv, argc, i, "--out")) {
+      out_path = v;
+    } else if (argv[i][0] == '-') {
+      std::cerr << "error: unknown flag " << argv[i] << "\n";
+      return usage(std::cerr, 2);
+    } else if (n_paths < 2) {
+      paths[n_paths++] = argv[i];
+    } else {
+      return usage(std::cerr, 2);
+    }
+  }
+  if (n_paths == 0) return usage(std::cerr, 2);
+
+  if (n_paths == 1) {
+    obs::analysis::Json doc;
+    if (!parse_json_file(paths[0], &doc)) return 1;
+    std::ostringstream buffer;
+    if (!summarize_timeseries(doc, paths[0], buffer)) return 1;
+    return with_output(out_path,
+                       [&](std::ostream& out) { out << buffer.str(); })
+               ? 0
+               : 1;
+  }
+
+  // Two files: summarize both, then diff the summaries structurally so the
+  // output stays small however long the streams are.
+  obs::analysis::Json summaries[2];
+  for (std::size_t k = 0; k < 2; ++k) {
+    obs::analysis::Json doc;
+    if (!parse_json_file(paths[k], &doc)) return 1;
+    std::ostringstream buffer;
+    if (!summarize_timeseries(doc, paths[k], buffer)) return 1;
+    std::string error;
+    summaries[k] = obs::analysis::Json::parse(buffer.str(), &error);
+    if (!error.empty()) {
+      std::cerr << "error: internal summary of " << paths[k]
+                << " is not valid JSON: " << error << "\n";
+      return 1;
+    }
+  }
+  const bool ok = with_output(out_path, [&](std::ostream& out) {
+    out << "{\"a\":\"" << obs::analysis::json_escape(paths[0]) << "\",\"b\":\""
+        << obs::analysis::json_escape(paths[1]) << "\",\"diff\":";
+    obs::analysis::write_json_diff(out, summaries[0], summaries[1]);
+    out << ",\"schema\":\"causim.timeseries.diff.v1\"}\n";
+  });
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(std::cerr, 2);
   if (std::strcmp(argv[1], "analyze") == 0) return run_analyze(argc, argv);
   if (std::strcmp(argv[1], "diff") == 0) return run_diff(argc, argv);
+  if (std::strcmp(argv[1], "timeseries") == 0) return run_timeseries(argc, argv);
   if (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
     return usage(std::cout, 0);
   }

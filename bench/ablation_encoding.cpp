@@ -10,11 +10,14 @@
 #include <vector>
 
 #include "bench_support/experiment.hpp"
+#include "bench_support/observability.hpp"
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace causim;
   const auto options = bench_support::parse_bench_args(argc, argv);
+  bench_support::Observability observability(options, "ablation_encoding");
+  if (!observability.ok()) return 1;
 
   stats::Table table("Ablation — clock-entry width (n = 20, w_rate = 0.5)");
   table.set_columns(
@@ -40,7 +43,10 @@ int main(int argc, char** argv) {
       params.protocol_options = causal::ProtocolOptions{};
       params.protocol_options.clock_width =
           wide ? serial::ClockWidth::k8Bytes : serial::ClockWidth::k4Bytes;
-      avg[wide] = bench_support::run_experiment(params).avg_overhead(MessageKind::kSM);
+      const std::string label = std::string(to_string(c.kind)) +
+                                (wide ? " 8B" : " 4B") + " n=20 w=0.5";
+      avg[wide] =
+          observability.run_cell(label, params).avg_overhead(MessageKind::kSM);
     }
     table.add_row({to_string(c.kind), c.partial ? "partial p=6" : "full",
                    stats::Table::num(avg[0], 1), stats::Table::num(avg[1], 1),
@@ -48,5 +54,5 @@ int main(int argc, char** argv) {
   }
   std::cout << table;
   if (options.csv) std::cout << "\nCSV:\n" << table.to_csv();
-  return 0;
+  return observability.finish() ? 0 : 1;
 }

@@ -16,11 +16,14 @@
 #include <vector>
 
 #include "bench_support/experiment.hpp"
+#include "bench_support/observability.hpp"
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace causim;
   const auto options = bench_support::parse_bench_args(argc, argv);
+  bench_support::Observability observability(options, "ablation_pruning");
+  if (!observability.ok()) return 1;
 
   struct Variant {
     const char* name;
@@ -59,7 +62,9 @@ int main(int argc, char** argv) {
       params.protocol_options = v.opts;
       params.seeds = {3};
       bench_support::apply_quick(params, options);
-      const auto r = bench_support::run_experiment(params);
+      const std::string label = std::string(v.name) + " Opt-Track n=20 w=" +
+                                stats::Table::num(wrate, 1);
+      const auto r = observability.run_cell(label, params);
       const double total = r.mean_total_overhead_bytes();
       if (v.name == std::string("full")) baseline = total;
       table.add_row({v.name, stats::Table::num(r.avg_overhead(MessageKind::kSM), 1),
@@ -71,5 +76,5 @@ int main(int argc, char** argv) {
     std::cout << table << "\n";
     if (options.csv) std::cout << "CSV:\n" << table.to_csv() << "\n";
   }
-  return 0;
+  return observability.finish() ? 0 : 1;
 }

@@ -9,12 +9,15 @@
 #include <vector>
 
 #include "bench_support/experiment.hpp"
+#include "bench_support/observability.hpp"
 #include "stats/table.hpp"
 
 namespace {
 
-double measured_count(causim::bench_support::ExperimentParams params) {
-  return causim::bench_support::run_experiment(params).mean_message_count();
+double measured_count(causim::bench_support::Observability& observability,
+                      const std::string& label,
+                      causim::bench_support::ExperimentParams params) {
+  return observability.run_cell(label, params).mean_message_count();
 }
 
 }  // namespace
@@ -22,6 +25,8 @@ double measured_count(causim::bench_support::ExperimentParams params) {
 int main(int argc, char** argv) {
   using namespace causim;
   const auto options = bench_support::parse_bench_args(argc, argv);
+  bench_support::Observability observability(options, "eq2_crossover");
+  if (!observability.ok()) return 1;
   const SiteId ns[] = {5, 10, 20, 30, 40};
 
   stats::Table table("Eq. (2) — message-count crossover w_rate* (partial wins above)");
@@ -36,14 +41,19 @@ int main(int argc, char** argv) {
     if (options.quick) base.ops_per_site = 200;
 
     auto ratio_at = [&](double wrate) {
+      // The bisection path is deterministic (fixed seed), so these labels
+      // are stable across runs and usable as bench.v1 cell keys.
+      const std::string cell =
+          " n=" + std::to_string(n) + " w=" + stats::Table::num(wrate, 4);
       bench_support::ExperimentParams p = base;
       p.write_rate = wrate;
       p.protocol = causal::ProtocolKind::kOptTrack;
       p.replication = bench_support::partial_replication_factor(n);
-      const double partial = measured_count(p);
+      const double partial = measured_count(observability, "Opt-Track" + cell, p);
       p.protocol = causal::ProtocolKind::kOptTrackCrp;
       p.replication = 0;
-      const double full = measured_count(p);
+      const double full =
+          measured_count(observability, "Opt-Track-CRP" + cell, p);
       return partial / full;
     };
 
@@ -72,5 +82,5 @@ int main(int argc, char** argv) {
   }
   std::cout << table;
   if (options.csv) std::cout << "\nCSV:\n" << table.to_csv();
-  return 0;
+  return observability.finish() ? 0 : 1;
 }

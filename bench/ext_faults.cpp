@@ -40,7 +40,8 @@
 int main(int argc, char** argv) {
   using namespace causim;
   const auto options = bench_support::parse_bench_args(argc, argv);
-  bench_support::Observability observability(options);
+  bench_support::Observability observability(options, "ext_faults");
+  if (!observability.ok()) return 1;
 
   const double drop_rates[] = {0.0, 0.05, 0.10, 0.20, 0.30, 0.50};
 
@@ -60,10 +61,9 @@ int main(int argc, char** argv) {
     params.fault_plan = faults::FaultPlan::uniform_drop(rate);
     params.reliable_channel = true;  // rate 0 measures the layer's floor
     bench_support::apply_arq_options(params.reliable_config, options);
-    params.trace_sink = observability.claim_trace_sink();  // first cell only
-    params.log_sample_interval = observability.log_sample_interval();
-    params.metrics = observability.metrics();
-    const auto r = bench_support::run_experiment(params);
+    const std::string label = "sweep " + std::string(to_string(params.protocol)) +
+                              " drop=" + stats::Table::num(rate, 2);
+    const auto r = observability.run_cell(label, params);
     const double amplif =
         r.reliable_packets == 0
             ? 0.0
@@ -108,8 +108,9 @@ int main(int argc, char** argv) {
     params.fault_plan = faults::FaultPlan::uniform_drop(0.2);
     bench_support::apply_arq_options(params.reliable_config, options);
     params.check = true;
-    params.metrics = observability.metrics();
-    const auto r = bench_support::run_experiment(params);
+    const std::string label =
+        "matrix " + std::string(to_string(protocol)) + " drop=0.2";
+    const auto r = observability.run_cell(label, params);
     const double meta_per_msg =
         r.stats.total().count == 0
             ? 0.0
@@ -156,7 +157,9 @@ int main(int argc, char** argv) {
       params.reliable_channel = true;
       params.reliable_config.arq = mode;
       params.reliable_config.adaptive_rto = true;
-      const auto r = bench_support::run_experiment(params);
+      const std::string label = "ab " + std::string(to_string(mode)) +
+                                " drop=" + stats::Table::num(rate, 2);
+      const auto r = observability.run_cell(label, params);
       frames_by_mode[mode == net::ArqMode::kSelectiveRepeat ? 1 : 0] =
           r.reliable_frames;
       const double amplif =

@@ -10,11 +10,14 @@
 #include <vector>
 
 #include "bench_support/experiment.hpp"
+#include "bench_support/observability.hpp"
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace causim;
   const auto options = bench_support::parse_bench_args(argc, argv);
+  bench_support::Observability observability(options, "ext_replication_sweep");
+  if (!observability.ok()) return 1;
   constexpr SiteId kN = 20;
 
   for (const double wrate : {0.2, 0.8}) {
@@ -31,7 +34,10 @@ int main(int argc, char** argv) {
                                 : causal::ProtocolKind::kOptTrack;
       params.ops_per_site = options.quick ? 150 : 400;
       params.seeds = {1};
-      const auto r = bench_support::run_experiment(params);
+      const std::string label = std::string(to_string(params.protocol)) + " p=" +
+                                std::to_string(p) +
+                                " w=" + stats::Table::num(wrate, 1);
+      const auto r = observability.run_cell(label, params);
       const double remote_share =
           r.recorded_reads == 0
               ? 0.0
@@ -49,5 +55,5 @@ int main(int argc, char** argv) {
     std::cout << table << "\n";
     if (options.csv) std::cout << "CSV:\n" << table.to_csv() << "\n";
   }
-  return 0;
+  return observability.finish() ? 0 : 1;
 }

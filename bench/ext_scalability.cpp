@@ -10,11 +10,14 @@
 #include <vector>
 
 #include "bench_support/experiment.hpp"
+#include "bench_support/observability.hpp"
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace causim;
   const auto options = bench_support::parse_bench_args(argc, argv);
+  bench_support::Observability observability(options, "ext_scalability");
+  if (!observability.ok()) return 1;
 
   {
     stats::Table table(
@@ -30,10 +33,11 @@ int main(int argc, char** argv) {
       params.ops_per_site = options.quick ? 100 : 200;
       params.seeds = {1};
 
+      const std::string cell = " partial n=" + std::to_string(n);
       params.protocol = causal::ProtocolKind::kOptTrack;
-      const auto opt = bench_support::run_experiment(params);
+      const auto opt = observability.run_cell("Opt-Track" + cell, params);
       params.protocol = causal::ProtocolKind::kFullTrack;
-      const auto full = bench_support::run_experiment(params);
+      const auto full = observability.run_cell("Full-Track" + cell, params);
       table.add_row({std::to_string(n),
                      stats::Table::num(opt.avg_overhead(MessageKind::kSM), 1),
                      stats::Table::num(full.avg_overhead(MessageKind::kSM), 1),
@@ -58,10 +62,11 @@ int main(int argc, char** argv) {
       params.ops_per_site = options.quick ? 60 : 100;
       params.seeds = {1};
 
+      const std::string cell = " full n=" + std::to_string(n);
       params.protocol = causal::ProtocolKind::kOptTrackCrp;
-      const auto crp = bench_support::run_experiment(params);
+      const auto crp = observability.run_cell("Opt-Track-CRP" + cell, params);
       params.protocol = causal::ProtocolKind::kOptP;
-      const auto optp = bench_support::run_experiment(params);
+      const auto optp = observability.run_cell("optP" + cell, params);
       table.add_row({std::to_string(n),
                      stats::Table::num(crp.avg_overhead(MessageKind::kSM), 1),
                      stats::Table::num(optp.avg_overhead(MessageKind::kSM), 1),
@@ -73,5 +78,5 @@ int main(int argc, char** argv) {
     std::cout << table;
     if (options.csv) std::cout << "\nCSV:\n" << table.to_csv();
   }
-  return 0;
+  return observability.finish() ? 0 : 1;
 }

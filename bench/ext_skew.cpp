@@ -12,11 +12,14 @@
 #include <vector>
 
 #include "bench_support/experiment.hpp"
+#include "bench_support/observability.hpp"
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace causim;
   const auto options = bench_support::parse_bench_args(argc, argv);
+  bench_support::Observability observability(options, "ext_skew");
+  if (!observability.ok()) return 1;
 
   stats::Table table(
       "Extension — Zipf access skew, Opt-Track (n = 20, p = 6, w_rate = 0.5)");
@@ -31,7 +34,9 @@ int main(int argc, char** argv) {
     params.zipf_s = s;
     params.ops_per_site = options.quick ? 150 : 400;
     params.seeds = {1, 2};
-    const auto r = bench_support::run_experiment(params);
+    const std::string label =
+        "Opt-Track zipf=" + stats::Table::num(s, 1) + " n=20 w=0.5";
+    const auto r = observability.run_cell(label, params);
     table.add_row({stats::Table::num(s, 1),
                    stats::Table::num(r.avg_overhead(MessageKind::kSM), 1),
                    stats::Table::num(r.avg_overhead(MessageKind::kRM), 1),
@@ -41,5 +46,5 @@ int main(int argc, char** argv) {
   }
   std::cout << table;
   if (options.csv) std::cout << "\nCSV:\n" << table.to_csv();
-  return 0;
+  return observability.finish() ? 0 : 1;
 }

@@ -7,11 +7,14 @@
 #include <iostream>
 
 #include "bench_support/experiment.hpp"
+#include "bench_support/observability.hpp"
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace causim;
   const auto options = bench_support::parse_bench_args(argc, argv);
+  bench_support::Observability observability(options, "fig1_partial_ratio");
+  if (!observability.ok()) return 1;
   const SiteId ns[] = {5, 10, 20, 30, 40};
   const double write_rates[] = {0.2, 0.5, 0.8};
 
@@ -29,10 +32,12 @@ int main(int argc, char** argv) {
       params.replication = bench_support::partial_replication_factor(n);
       bench_support::apply_quick(params, options);
 
+      const std::string cell =
+          " n=" + std::to_string(n) + " w=" + stats::Table::num(w, 1);
       params.protocol = causal::ProtocolKind::kOptTrack;
-      const auto opt = bench_support::run_experiment(params);
+      const auto opt = observability.run_cell("Opt-Track" + cell, params);
       params.protocol = causal::ProtocolKind::kFullTrack;
-      const auto full = bench_support::run_experiment(params);
+      const auto full = observability.run_cell("Full-Track" + cell, params);
 
       const double ratio =
           opt.mean_total_overhead_bytes() / full.mean_total_overhead_bytes();
@@ -42,5 +47,5 @@ int main(int argc, char** argv) {
   }
   std::cout << table;
   if (options.csv) std::cout << "\nCSV:\n" << table.to_csv();
-  return 0;
+  return observability.finish() ? 0 : 1;
 }

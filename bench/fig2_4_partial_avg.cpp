@@ -19,7 +19,8 @@
 int main(int argc, char** argv) {
   using namespace causim;
   const auto options = bench_support::parse_bench_args(argc, argv);
-  bench_support::Observability observability(options);
+  bench_support::Observability observability(options, "fig2_4_partial_avg");
+  if (!observability.ok()) return 1;
   const SiteId ns[] = {5, 10, 20, 30, 40};
   const double write_rates[] = {0.2, 0.5, 0.8};
   const char* fig_name[] = {"Fig. 2 (w_rate = 0.2)", "Fig. 3 (w_rate = 0.5)",
@@ -49,10 +50,10 @@ int main(int argc, char** argv) {
         params.write_rate = write_rates[wi];
         params.replication = bench_support::partial_replication_factor(n);
         bench_support::apply_quick(params, options);
-        params.trace_sink = observability.claim_trace_sink();  // first cell only
-        params.log_sample_interval = observability.log_sample_interval();
-        params.metrics = observability.metrics();
-        const auto r = bench_support::run_experiment(params);
+        const std::string label = std::string(to_string(params.protocol)) + " n=" +
+                                  std::to_string(n) +
+                                  " w=" + stats::Table::num(write_rates[wi], 1);
+        const auto r = observability.run_cell(label, params);
         row.push_back(stats::Table::num(r.avg_overhead(MessageKind::kSM), 1));
         row.push_back(stats::Table::num(r.avg_overhead(MessageKind::kRM), 1));
         row.push_back(stats::Table::num(r.avg_overhead(MessageKind::kFM), 1));

@@ -9,11 +9,14 @@
 #include <vector>
 
 #include "bench_support/experiment.hpp"
+#include "bench_support/observability.hpp"
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace causim;
   const auto options = bench_support::parse_bench_args(argc, argv);
+  bench_support::Observability observability(options, "fig5_full_ratio");
+  if (!observability.ok()) return 1;
   const SiteId ns[] = {5, 10, 20, 30, 40};
   const double write_rates[] = {0.2, 0.5, 0.8};
 
@@ -31,10 +34,12 @@ int main(int argc, char** argv) {
       params.replication = 0;  // full replication
       bench_support::apply_quick(params, options);
 
+      const std::string cell =
+          " n=" + std::to_string(n) + " w=" + stats::Table::num(w, 1);
       params.protocol = causal::ProtocolKind::kOptTrackCrp;
-      const auto crp = bench_support::run_experiment(params);
+      const auto crp = observability.run_cell("Opt-Track-CRP" + cell, params);
       params.protocol = causal::ProtocolKind::kOptP;
-      const auto optp = bench_support::run_experiment(params);
+      const auto optp = observability.run_cell("optP" + cell, params);
 
       row.push_back(stats::Table::num(
           crp.mean_total_overhead_bytes() / optp.mean_total_overhead_bytes(), 3));
@@ -43,5 +48,5 @@ int main(int argc, char** argv) {
   }
   std::cout << table;
   if (options.csv) std::cout << "\nCSV:\n" << table.to_csv();
-  return 0;
+  return observability.finish() ? 0 : 1;
 }

@@ -11,11 +11,14 @@
 #include <vector>
 
 #include "bench_support/experiment.hpp"
+#include "bench_support/observability.hpp"
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace causim;
   const auto options = bench_support::parse_bench_args(argc, argv);
+  bench_support::Observability observability(options, "fig6_8_full_avg");
+  if (!observability.ok()) return 1;
   const SiteId ns[] = {5, 10, 20, 30, 35, 40};
   const double write_rates[] = {0.2, 0.5, 0.8};
 
@@ -31,13 +34,15 @@ int main(int argc, char** argv) {
       params.replication = 0;
       bench_support::apply_quick(params, options);
 
+      const std::string cell = " n=" + std::to_string(n) +
+                               " w=" + stats::Table::num(write_rates[wi], 1);
       params.protocol = causal::ProtocolKind::kOptTrackCrp;
-      const auto crp = bench_support::run_experiment(params);
+      const auto crp = observability.run_cell("Opt-Track-CRP" + cell, params);
       crp_avg[{wi, n}] = crp.avg_overhead(MessageKind::kSM);
       crp_log_d[{wi, n}] = crp.log_entries.mean();
 
       params.protocol = causal::ProtocolKind::kOptP;
-      const auto optp = bench_support::run_experiment(params);
+      const auto optp = observability.run_cell("optP" + cell, params);
       // Report the mid write-rate run for optP's column (all three match).
       if (wi == 1) optp_avg[n] = optp.avg_overhead(MessageKind::kSM);
     }
@@ -67,5 +72,5 @@ int main(int argc, char** argv) {
   }
   std::cout << t3;
   if (options.csv) std::cout << "\nCSV:\n" << t3.to_csv();
-  return 0;
+  return observability.finish() ? 0 : 1;
 }

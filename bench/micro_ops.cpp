@@ -8,6 +8,7 @@
 #include "causal/ks_log.hpp"
 #include "dsm/cluster.hpp"
 #include "dsm/envelope.hpp"
+#include "obs/live/live_telemetry.hpp"
 #include "obs/trace_sink.hpp"
 #include "serial/buffer_pool.hpp"
 #include "sim/rng.hpp"
@@ -148,11 +149,17 @@ void BM_EnvelopePooledEncode(benchmark::State& state) {
 BENCHMARK(BM_EnvelopePooledEncode)->Arg(64)->Arg(6400);
 
 // Whole-cluster DES run: 0 = tracing off, 1 = trace sink attached,
-// 2 = trace sink + LogSampler (100 ms period). With no sink every
-// instrumentation point is a null-pointer test and no sampler events are
-// scheduled, so Arg(0) must land within noise of the pre-observability
-// baseline — this is the guard behind "tracing is free when disabled"
-// (docs/OBSERVABILITY.md).
+// 2 = trace sink + LogSampler (100 ms period), 3 = trace sink + the live
+// telemetry layer (visibility tracker + 100 ms time-series sampler) in
+// place of the LogSampler. With no sink every instrumentation point is a
+// null-pointer test and no sampler events are scheduled, so Arg(0) must
+// land within noise of the pre-observability baseline — this is the
+// guard behind "tracing is free when disabled" (docs/OBSERVABILITY.md).
+// Arg(3) vs Arg(2) is the telemetry-on/off pair for the live layer: both
+// run one 100 ms sampler taking the same per-site log snapshot, so the
+// delta isolates the streaming path — an O(1) ring push/pop plus a
+// histogram increment per SM — and Arg(3) must not exceed Arg(2) by more
+// than 5 % on this config.
 void BM_ClusterExecute(benchmark::State& state) {
   dsm::ClusterConfig config;
   config.sites = 5;
@@ -164,11 +171,18 @@ void BM_ClusterExecute(benchmark::State& state) {
   wl.ops_per_site = 100;
   const workload::Schedule schedule = workload::generate_schedule(config.sites, wl);
   obs::RingBufferSink sink;
+  obs::live::LiveConfig live_config;
+  live_config.sites = config.sites;
+  live_config.variables = config.variables;
+  live_config.sample_interval = 100 * kMillisecond;
+  live_config.max_samples = 1 << 20;  // never truncate inside the loop
+  obs::live::LiveTelemetry live(live_config);  // built once, outside timing
   std::size_t ops = 0;
   for (auto _ : state) {
     sink.clear();
     config.trace_sink = state.range(0) == 0 ? nullptr : &sink;
     config.log_sample_interval = state.range(0) == 2 ? 100 * kMillisecond : 0;
+    config.live = state.range(0) == 3 ? &live : nullptr;
     dsm::Cluster cluster(config);
     cluster.execute(schedule);
     ops += schedule.total_ops();
@@ -176,7 +190,7 @@ void BM_ClusterExecute(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(ops));
 }
-BENCHMARK(BM_ClusterExecute)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_ClusterExecute)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_SimulatorThroughput(benchmark::State& state) {
   for (auto _ : state) {

@@ -13,11 +13,14 @@
 #include <vector>
 
 #include "bench_support/experiment.hpp"
+#include "bench_support/observability.hpp"
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace causim;
   const auto options = bench_support::parse_bench_args(argc, argv);
+  bench_support::Observability observability(options, "payload_fraction");
+  if (!observability.ok()) return 1;
 
   const std::uint32_t payloads[] = {0, 256, 4096, 65536, 679 * 1024};
   stats::Table table(
@@ -44,7 +47,10 @@ int main(int argc, char** argv) {
         params.replication = 0;
       }
       bench_support::apply_quick(params, options);
-      const auto r = bench_support::run_experiment(params);
+      const std::string label = std::string(to_string(params.protocol)) +
+                                (mode == 0 ? " partial" : " full") +
+                                " payload=" + std::to_string(payload);
+      const auto r = observability.run_cell(label, params);
       const auto t = r.stats.total();
       totals[mode] = static_cast<double>(t.total_bytes()) / static_cast<double>(r.runs);
       meta_share[mode] = t.total_bytes() == 0
@@ -60,5 +66,5 @@ int main(int argc, char** argv) {
   }
   std::cout << table;
   if (options.csv) std::cout << "\nCSV:\n" << table.to_csv();
-  return 0;
+  return observability.finish() ? 0 : 1;
 }

@@ -17,7 +17,8 @@
 int main(int argc, char** argv) {
   using namespace causim;
   const auto options = bench_support::parse_bench_args(argc, argv);
-  bench_support::Observability observability(options);
+  bench_support::Observability observability(options, "table4_message_count");
+  if (!observability.ok()) return 1;
   const SiteId ns[] = {5, 10, 20, 30, 40};
   const double write_rates[] = {0.2, 0.5, 0.8};
 
@@ -42,10 +43,11 @@ int main(int argc, char** argv) {
           params.replication = bench_support::partial_replication_factor(n);
         }
         bench_support::apply_quick(params, options);
-        params.trace_sink = observability.claim_trace_sink();  // first cell only
-        params.log_sample_interval = observability.log_sample_interval();
-        params.metrics = observability.metrics();
-        const auto r = bench_support::run_experiment(params);
+        const std::string label = std::string(to_string(params.protocol)) +
+                                  (mode == 0 ? " full" : " partial") +
+                                  " n=" + std::to_string(n) +
+                                  " w=" + stats::Table::num(w, 1);
+        const auto r = observability.run_cell(label, params);
         row.push_back(stats::Table::integer(
             static_cast<std::uint64_t>(r.mean_message_count() + 0.5)));
       }

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/panic.hpp"
+#include "obs/live/live_telemetry.hpp"
 
 namespace causim::bench_support {
 
@@ -53,6 +54,8 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
     config.fault_plan = params.fault_plan;
     config.reliable_channel = params.reliable_channel;
     config.reliable_config = params.reliable_config;
+    config.live = params.live;
+    if (params.live != nullptr) params.live->begin_run(seed);
 
     workload::WorkloadParams wl;
     wl.variables = params.variables;
@@ -115,12 +118,19 @@ std::string bench_usage(const char* argv0) {
   usage += argv0;
   usage +=
       " [--quick] [--csv] [--trace-out FILE] [--metrics-out FILE]"
-      " [--report-out FILE] [--arq gbn|sr] [--adaptive-rto]\n"
+      " [--report-out FILE] [--json-out FILE] [--timeseries-out FILE]"
+      " [--arq gbn|sr] [--adaptive-rto]\n"
       "  --quick            shrink seeds/ops for a smoke run\n"
       "  --csv              also print tables as CSV\n"
       "  --trace-out FILE   write a Chrome/Perfetto trace-event JSON\n"
       "  --metrics-out FILE write metrics JSON (CSV when FILE ends in .csv)\n"
       "  --report-out FILE  write an analysis report JSON\n"
+      "  --json-out FILE    write machine-readable results (causim.bench.v1:\n"
+      "                     per-cell config, message totals, visibility-latency\n"
+      "                     quantiles; gate with tools/check_bench.py)\n"
+      "  --timeseries-out FILE  write the live sampler's causim.timeseries.v1\n"
+      "                     stream for the first cell (summarize/diff with\n"
+      "                     `causim-trace timeseries`)\n"
       "  --arq gbn|sr       reliability-layer ARQ mode (go-back-N | selective\n"
       "                     repeat); only fault benches use it\n"
       "  --adaptive-rto     Jacobson/Karels adaptive RTO instead of the fixed\n"
@@ -142,6 +152,10 @@ bool try_parse_bench_args(int argc, char** argv, BenchOptions& options,
       options.metrics_out = m;
     } else if (const char* r = flag_value(argv[i], "--report-out", argc, argv, i)) {
       options.report_out = r;
+    } else if (const char* j = flag_value(argv[i], "--json-out", argc, argv, i)) {
+      options.json_out = j;
+    } else if (const char* t = flag_value(argv[i], "--timeseries-out", argc, argv, i)) {
+      options.timeseries_out = t;
     } else if (const char* a = flag_value(argv[i], "--arq", argc, argv, i)) {
       if (std::strcmp(a, "gbn") == 0) {
         options.arq = net::ArqMode::kGoBackN;

@@ -53,6 +53,11 @@ struct ExperimentParams {
   /// effective when trace_sink is set. Observability::log_sample_interval
   /// supplies the conventional value.
   SimTime log_sample_interval = 0;
+  /// Online telemetry (obs::live, owned by the caller; see
+  /// EngineConfig::live). Must match sites/variables; run_experiment calls
+  /// begin_run(seed) before each seed's run. Observability::run_cell wires
+  /// one per cell when --json-out / --timeseries-out ask for it.
+  obs::live::LiveTelemetry* live = nullptr;
   /// Channel faults + reliability sublayer (see dsm::ClusterConfig). The
   /// default empty plan builds no fault stack, keeping every paper-facing
   /// bench byte-identical to the pre-faults harness.
@@ -105,6 +110,8 @@ struct BenchOptions {
   std::string trace_out;    // Chrome/Perfetto trace-event JSON
   std::string metrics_out;  // metrics JSON, or CSV when the name ends in .csv
   std::string report_out;   // analysis report JSON (causim.analysis.v1)
+  std::string json_out;     // machine-readable results (causim.bench.v1)
+  std::string timeseries_out;  // live sampler stream (causim.timeseries.v1)
   /// Reliability-layer ARQ knobs for fault benches (see net::ReliableConfig):
   /// `--arq gbn|sr` and `--adaptive-rto`. Benches without a fault stack
   /// accept but ignore them.

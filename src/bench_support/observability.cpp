@@ -1,20 +1,76 @@
 #include "bench_support/observability.hpp"
 
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "obs/analysis/analysis.hpp"
 #include "obs/perfetto_export.hpp"
 
 namespace causim::bench_support {
 
-Observability::Observability(const BenchOptions& options)
-    : trace_out_(options.trace_out),
+namespace {
+
+/// JSON-safe number rendering, matching obs::analysis: integral values
+/// print without a fraction, everything else with round-trip precision.
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void write_kind(std::ostream& out, const char* name, const stats::SizeBreakdown& k) {
+  out << "\"" << name << "\":{\"count\":" << k.count
+      << ",\"overhead_bytes\":" << k.overhead_bytes()
+      << ",\"meta_bytes\":" << k.meta_bytes
+      << ",\"payload_bytes\":" << k.payload_bytes << "}";
+}
+
+}  // namespace
+
+Observability::Observability(const BenchOptions& options, std::string bench_name)
+    : bench_name_(std::move(bench_name)),
+      quick_(options.quick),
+      trace_out_(options.trace_out),
       metrics_out_(options.metrics_out),
-      report_out_(options.report_out) {
+      report_out_(options.report_out),
+      json_out_(options.json_out),
+      timeseries_out_(options.timeseries_out) {
   if (!trace_out_.empty() || !report_out_.empty()) {
     sink_ = std::make_unique<obs::RingBufferSink>();
   }
+  // Fail fast on unwritable outputs: a grid can run for minutes, and
+  // discovering the typoed directory only at finish() throws that work
+  // away (the old behaviour for --trace-out).
+  ok_ &= probe_writable(trace_out_, "--trace-out");
+  ok_ &= probe_writable(metrics_out_, "--metrics-out");
+  ok_ &= probe_writable(report_out_, "--report-out");
+  ok_ &= probe_writable(json_out_, "--json-out");
+  ok_ &= probe_writable(timeseries_out_, "--timeseries-out");
+}
+
+bool Observability::probe_writable(const std::string& path, const char* flag) {
+  if (path.empty()) return true;
+  // Append mode: creates the file when the directory exists, never
+  // truncates anything a concurrent reader may hold open.
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    std::cerr << "error: cannot write " << flag << " '" << path
+              << "': " << std::strerror(errno)
+              << " (does the output directory exist?)\n";
+    return false;
+  }
+  std::fclose(f);
+  return true;
 }
 
 obs::MetricsRegistry* Observability::metrics() {
@@ -31,8 +87,105 @@ SimTime Observability::log_sample_interval() const {
   return sink_ == nullptr ? 0 : 100 * kMillisecond;
 }
 
+ExperimentResult Observability::run_cell(const std::string& label,
+                                         ExperimentParams params) {
+  params.trace_sink = claim_trace_sink();  // first cell only
+  params.log_sample_interval = log_sample_interval();
+  params.metrics = metrics();
+
+  // Live telemetry: the visibility tracker runs for every cell when
+  // results are wanted (--json-out); the time-series sampler only for the
+  // first cell (--timeseries-out), mirroring the one-traced-cell rule.
+  std::unique_ptr<obs::live::LiveTelemetry> cell_live;
+  const bool want_visibility = !json_out_.empty();
+  const bool want_timeseries = !timeseries_out_.empty() && timeseries_live_ == nullptr;
+  if (want_visibility || want_timeseries) {
+    obs::live::LiveConfig lc;
+    lc.sites = params.sites;
+    lc.variables = params.variables;
+    if (want_timeseries) lc.sample_interval = 100 * kMillisecond;
+    cell_live = std::make_unique<obs::live::LiveTelemetry>(lc);
+    params.live = cell_live.get();
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const ExperimentResult result = run_experiment(params);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  if (want_visibility) {
+    append_cell(label, params, result, wall_s, cell_live.get());
+  }
+  if (cell_live != nullptr && params.metrics != nullptr) {
+    cell_live->export_metrics(registry_);
+  }
+  if (want_timeseries) timeseries_live_ = std::move(cell_live);
+  return result;
+}
+
+void Observability::append_cell(const std::string& label,
+                                const ExperimentParams& params,
+                                const ExperimentResult& result, double wall_s,
+                                const obs::live::LiveTelemetry* live) {
+  std::ostringstream out;
+  out << "{\"label\":\"" << obs::analysis::json_escape(label) << "\"";
+  out << ",\"protocol\":\"" << to_string(params.protocol) << "\"";
+  out << ",\"sites\":" << params.sites;
+  out << ",\"replication\":" << params.replication;
+  out << ",\"variables\":" << params.variables;
+  out << ",\"ops_per_site\":" << params.ops_per_site;
+  out << ",\"write_rate\":" << num(params.write_rate);
+  out << ",\"zipf_s\":" << num(params.zipf_s);
+  out << ",\"payload_hi\":" << params.payload_hi;
+  out << ",\"seeds\":" << params.seeds.size();
+  out << ",\"causal_fetch\":" << (params.causal_fetch ? "true" : "false");
+  out << ",\"reliable\":"
+      << (params.reliable_channel || params.fault_plan.any() ? "true" : "false");
+  out << ",\"runs\":" << result.runs;
+  out << ",\"recorded_writes\":" << result.recorded_writes;
+  out << ",\"recorded_reads\":" << result.recorded_reads;
+  out << ",\"wall_s\":" << num(wall_s);
+  out << ",\"messages\":{";
+  write_kind(out, "SM", result.stats.of(MessageKind::kSM));
+  out << ",";
+  write_kind(out, "FM", result.stats.of(MessageKind::kFM));
+  out << ",";
+  write_kind(out, "RM", result.stats.of(MessageKind::kRM));
+  out << ",";
+  write_kind(out, "total", result.stats.total());
+  out << "}";
+  out << ",\"mean_message_count\":" << num(result.mean_message_count());
+  out << ",\"mean_total_meta_bytes\":" << num(result.mean_total_meta_bytes());
+  out << ",\"mean_total_overhead_bytes\":" << num(result.mean_total_overhead_bytes());
+  out << ",\"log_entries\":{\"count\":" << result.log_entries.count()
+      << ",\"mean\":" << num(result.log_entries.mean())
+      << ",\"max\":" << num(result.log_entries.max()) << "}";
+  out << ",\"apply_delay_us\":{\"count\":" << result.apply_delay_us.count()
+      << ",\"mean\":" << num(result.apply_delay_us.mean())
+      << ",\"max\":" << num(result.apply_delay_us.max()) << "}";
+  out << ",\"fetch_latency_us\":{\"count\":" << result.fetch_latency_us.count()
+      << ",\"mean\":" << num(result.fetch_latency_us.mean())
+      << ",\"max\":" << num(result.fetch_latency_us.max()) << "}";
+  out << ",\"faults\":{\"drops\":" << result.drops
+      << ",\"retransmits\":" << result.retransmits
+      << ",\"dup_suppressed\":" << result.dup_suppressed
+      << ",\"reliable_frames\":" << result.reliable_frames
+      << ",\"reliable_packets\":" << result.reliable_packets
+      << ",\"rtt_samples\":" << result.rtt_samples << "}";
+  if (live != nullptr) {
+    const obs::live::VisibilitySummary v = live->visibility_summary();
+    out << ",\"visibility_us\":{\"count\":" << v.count
+        << ",\"unmatched\":" << v.unmatched << ",\"mean\":" << num(v.mean_us)
+        << ",\"max\":" << num(v.max_us) << ",\"p50\":" << num(v.p50_us)
+        << ",\"p90\":" << num(v.p90_us) << ",\"p99\":" << num(v.p99_us)
+        << ",\"p999\":" << num(v.p999_us) << "}";
+  }
+  out << "}";
+  cells_.push_back(out.str());
+}
+
 bool Observability::finish() {
-  bool ok = true;
+  bool ok = ok_;
   if (sink_ != nullptr && metrics() != nullptr) {
     // Surface trace health next to the run's metrics so a truncated trace
     // is visible without opening the trace file itself.
@@ -82,6 +235,39 @@ bool Observability::finish() {
         registry_.write_json(out);
       }
       std::cerr << "metrics -> " << metrics_out_ << "\n";
+    }
+  }
+  if (!json_out_.empty()) {
+    std::ofstream out(json_out_);
+    if (!out) {
+      std::cerr << "error: cannot write results to " << json_out_ << "\n";
+      ok = false;
+    } else {
+      out << "{\"schema\":\"causim.bench.v1\",\"bench\":\""
+          << obs::analysis::json_escape(bench_name_) << "\",\"quick\":"
+          << (quick_ ? "true" : "false") << ",\"cells\":[";
+      for (std::size_t i = 0; i < cells_.size(); ++i) {
+        out << (i == 0 ? "" : ",") << "\n" << cells_[i];
+      }
+      out << "\n]}\n";
+      std::cerr << "results: " << cells_.size() << " cells -> " << json_out_ << "\n";
+    }
+  }
+  if (!timeseries_out_.empty()) {
+    if (timeseries_live_ == nullptr) {
+      std::cerr << "error: --timeseries-out set but no cell ran through "
+                   "run_cell (nothing sampled)\n";
+      ok = false;
+    } else {
+      std::ofstream out(timeseries_out_);
+      if (!out) {
+        std::cerr << "error: cannot write timeseries to " << timeseries_out_ << "\n";
+        ok = false;
+      } else {
+        timeseries_live_->write_timeseries_json(out);
+        std::cerr << "timeseries: " << timeseries_live_->samples().size()
+                  << " samples -> " << timeseries_out_ << "\n";
+      }
     }
   }
   return ok;

@@ -55,6 +55,20 @@ void SiteRuntime::trace_log_occupancy() {
   trace_locked(e);
 }
 
+SiteRuntime::LiveSample SiteRuntime::live_sample(std::uint64_t ordinal) {
+  std::lock_guard lock(mutex_);
+  LiveSample sample;
+  sample.pending_updates = pending_.size();
+  sample.log_entries = protocol_->log_entry_count();
+  sample.log_bytes = protocol_->local_meta_bytes();
+  obs::TraceEvent e;
+  e.type = obs::TraceEventType::kTimeSample;
+  e.a = sample.pending_updates;
+  e.b = ordinal;
+  trace_locked(e);
+  return sample;
+}
+
 void SiteRuntime::trace_locked(obs::TraceEvent e) {
   if (trace_ == nullptr) return;
   e.site = self_;

@@ -122,6 +122,18 @@ class SiteRuntime final : public net::PacketHandler, private causal::ProtocolObs
   /// call it from their own timer.
   void trace_log_occupancy();
 
+  /// One tick of the live time-series sampler (obs::live, see
+  /// EngineConfig::live): under the site lock, snapshots the pending
+  /// (buffered) update count and the protocol log's current footprint, and
+  /// emits one kTimeSample trace event (a = pending updates, b = the
+  /// sampler ordinal). The trace emission is a no-op without a sink.
+  struct LiveSample {
+    std::size_t pending_updates = 0;
+    std::uint64_t log_entries = 0;
+    std::uint64_t log_bytes = 0;
+  };
+  LiveSample live_sample(std::uint64_t ordinal);
+
   /// Attaches the shared frame pool (see serial::BufferPool): outgoing
   /// envelopes and protocol meta-data blocks are encoded into recycled
   /// buffers, and every frame this site consumes is released back. Attach

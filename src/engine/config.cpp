@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/panic.hpp"
+#include "obs/live/live_telemetry.hpp"
 
 namespace causim::engine {
 
@@ -54,6 +55,16 @@ std::vector<std::string> validate(const EngineConfig& config) {
       config.fetch_distances.empty()) {
     reject("FetchPolicy::kNearest needs fetch_distances (e.g. the latency "
            "model's base matrix)");
+  }
+  if (config.live != nullptr &&
+      (config.live->sites() != config.sites ||
+       config.live->variables() != config.variables)) {
+    std::ostringstream os;
+    os << "live telemetry shape (" << config.live->sites() << " sites, "
+       << config.live->variables() << " variables) does not match the config ("
+       << config.sites << " sites, " << config.variables
+       << " variables); construct the LiveTelemetry from the same shape";
+    reject(os.str());
   }
   if (config.fault_plan.any() || config.reliable_channel) {
     const net::ReliableConfig& r = config.reliable_config;

@@ -23,6 +23,10 @@ namespace causim::obs {
 class TraceSink;
 }  // namespace causim::obs
 
+namespace causim::obs::live {
+class LiveTelemetry;
+}  // namespace causim::obs::live
+
 namespace causim::engine {
 
 struct EngineConfig {
@@ -76,6 +80,13 @@ struct EngineConfig {
   /// timing does not.
   bool reliable_channel = false;
   net::ReliableConfig reliable_config;
+  /// Online telemetry (obs::live): when set, the stack interposes it in
+  /// front of trace_sink (events flow through it and are forwarded), the
+  /// visibility tracker runs, and — if its sample_interval is non-zero —
+  /// the executor drives the time-series sampler. Must outlive the cluster
+  /// and match this config's sites/variables. Null disables everything,
+  /// keeping runs byte-identical to the pre-telemetry engine.
+  obs::live::LiveTelemetry* live = nullptr;
 
   SiteId effective_replication() const {
     return replication == 0 ? sites : replication;

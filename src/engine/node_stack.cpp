@@ -4,6 +4,7 @@
 
 #include "causal/factory.hpp"
 #include "common/panic.hpp"
+#include "obs/live/live_telemetry.hpp"
 
 namespace causim::engine {
 
@@ -42,7 +43,18 @@ NodeStack::NodeStack(const EngineConfig& config, Wiring wiring)
     reliable_->set_buffer_pool(&pool_);
     edge_ = reliable_.get();
   }
-  edge_->set_trace_sink(config_.trace_sink);
+  // Live telemetry interposes in front of the user's sink: site/transport
+  // events flow through the online tracker and are forwarded unchanged.
+  // Under the DES the wiring has a clock and event timestamps are already
+  // exact; under threads site events carry ts = 0, so the tracker stamps
+  // with its own steady clock instead.
+  obs::TraceSink* sink = config_.trace_sink;
+  if (config_.live != nullptr) {
+    config_.live->set_downstream(config_.trace_sink);
+    config_.live->set_event_clock(static_cast<bool>(wiring.now_fn));
+    sink = config_.live;
+  }
+  edge_->set_trace_sink(sink);
 
   runtimes_.reserve(config_.sites);
   for (SiteId i = 0; i < config_.sites; ++i) {
@@ -52,7 +64,7 @@ NodeStack::NodeStack(const EngineConfig& config, Wiring wiring)
         i, placement_, *edge_, std::move(protocol),
         config_.record_history ? &history_ : nullptr,
         config_.protocol_options.clock_width, wiring.now_fn, config_.causal_fetch));
-    runtimes_.back()->set_trace_sink(config_.trace_sink);
+    runtimes_.back()->set_trace_sink(sink);
     runtimes_.back()->set_buffer_pool(&pool_);
     edge_->attach(i, runtimes_.back().get());
   }
@@ -64,6 +76,27 @@ void NodeStack::set_message_probe(dsm::SiteRuntime::MessageProbe probe) {
 
 void NodeStack::trace_log_occupancy() {
   for (auto& r : runtimes_) r->trace_log_occupancy();
+}
+
+void NodeStack::live_sample(SimTime now) {
+  obs::live::LiveTelemetry* live = config_.live;
+  if (live == nullptr) return;
+  obs::live::StackGauges gauges;
+  const std::uint64_t ordinal = live->samples_recorded();
+  for (auto& r : runtimes_) {
+    const dsm::SiteRuntime::LiveSample s = r->live_sample(ordinal);
+    gauges.buffered_sm += s.pending_updates;
+    gauges.log_entries += s.log_entries;
+    gauges.log_bytes += s.log_bytes;
+  }
+  const std::uint64_t sent = wire_->packets_sent();
+  const std::uint64_t delivered = wire_->packets_delivered();
+  gauges.wire_inflight = sent >= delivered ? sent - delivered : 0;
+  if (reliable_ != nullptr) {
+    gauges.reliable_frames = reliable_->frames_sent();
+    gauges.retransmits = reliable_->retransmits();
+  }
+  live->record_sample(now, gauges);
 }
 
 void NodeStack::verify_quiescent() const {

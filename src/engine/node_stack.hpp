@@ -79,6 +79,14 @@ class NodeStack {
   /// Emits one kLogSample trace event per site (the LogSampler tick).
   void trace_log_occupancy();
 
+  /// One live time-series tick (no-op without EngineConfig::live): polls
+  /// every site's LiveSample, the wire's in-flight count and the
+  /// reliability layer's counters, and hands the lot to
+  /// LiveTelemetry::record_sample with the given clock reading (`now` is
+  /// the DES clock under SimExecutor; thread drivers pass 0 and the
+  /// telemetry stamps with its own steady clock).
+  void live_sample(SimTime now);
+
   /// The post-run quiescence invariants, shared verbatim by both
   /// substrates: the wire drained, the reliability layer (when up)
   /// delivered every app-level packet exactly once, and no site holds

@@ -6,6 +6,7 @@
 
 #include "common/panic.hpp"
 #include "net/thread_transport.hpp"
+#include "obs/live/live_telemetry.hpp"
 #include "sim/simulator.hpp"
 
 namespace causim::engine {
@@ -40,10 +41,17 @@ void ScheduleDriver::dispatch(SiteId s, const workload::Op& op,
 void SimExecutor::play(ScheduleDriver& driver, const workload::Schedule& schedule) {
   schedule_ = &schedule;
   cursor_.assign(stack_.sites(), 0);
+  sampler_events_ = 0;
   for (SiteId s = 0; s < stack_.sites(); ++s) issue_next(driver, s);
   if (stack_.config().log_sample_interval > 0 &&
       stack_.config().trace_sink != nullptr) {
+    ++sampler_events_;
     simulator_.schedule_at(simulator_.now(), [this] { sample_logs(); });
+  }
+  if (stack_.config().live != nullptr &&
+      stack_.config().live->sample_interval() > 0) {
+    ++sampler_events_;
+    simulator_.schedule_at(simulator_.now(), [this] { sample_live(); });
   }
   simulator_.run();
   schedule_ = nullptr;
@@ -68,13 +76,27 @@ void SimExecutor::run_op(ScheduleDriver& driver, SiteId s) {
 }
 
 void SimExecutor::sample_logs() {
+  --sampler_events_;
   stack_.trace_log_occupancy();
-  // play() runs the simulator to an empty queue, so the sampler must stop
-  // once it is the only remaining work — reschedule only while the
-  // schedule or the network still has events in flight.
-  if (!simulator_.idle()) {
+  // play() runs the simulator to an empty queue, so a sampler must stop
+  // once samplers are the only remaining work. Comparing the queue size
+  // against the outstanding sampler events (not just idle()) matters when
+  // both periodic samplers run: each would otherwise see the other's
+  // queued event and they would keep each other alive forever.
+  if (simulator_.pending() > sampler_events_) {
+    ++sampler_events_;
     simulator_.schedule_after(stack_.config().log_sample_interval,
                               [this] { sample_logs(); });
+  }
+}
+
+void SimExecutor::sample_live() {
+  --sampler_events_;
+  stack_.live_sample(simulator_.now());
+  if (simulator_.pending() > sampler_events_) {
+    ++sampler_events_;
+    simulator_.schedule_after(stack_.config().live->sample_interval(),
+                              [this] { sample_live(); });
   }
 }
 
@@ -83,6 +105,7 @@ void SimExecutor::sample_logs() {
 void ThreadExecutor::play(ScheduleDriver& driver, const workload::Schedule& schedule) {
   transport_.start();
   started_ = true;
+  start_live_sampler();
 
   std::vector<std::thread> apps;
   apps.reserve(stack_.sites());
@@ -131,15 +154,45 @@ void ThreadExecutor::drain() {
 }
 
 void ThreadExecutor::finish() {
+  stop_live_sampler();
   transport_.stop();
   started_ = false;
 }
 
 void ThreadExecutor::abort() {
   if (!started_) return;
+  stop_live_sampler();
   if (stack_.timer() != nullptr) stack_.timer()->stop();
   transport_.stop();
   started_ = false;
+}
+
+void ThreadExecutor::start_live_sampler() {
+  obs::live::LiveTelemetry* live = stack_.config().live;
+  if (live == nullptr || live->sample_interval() <= 0) return;
+  live_stop_ = false;
+  live_sampler_ = std::thread([this, live] {
+    const auto period = std::chrono::microseconds(live->sample_interval());
+    std::unique_lock lock(live_mutex_);
+    while (!live_stop_) {
+      lock.unlock();
+      // The stack snapshots under per-site locks; the telemetry stamps the
+      // sample with its own steady clock (no engine clock under threads).
+      stack_.live_sample(0);
+      lock.lock();
+      live_cv_.wait_for(lock, period, [this] { return live_stop_; });
+    }
+  });
+}
+
+void ThreadExecutor::stop_live_sampler() {
+  if (!live_sampler_.joinable()) return;
+  {
+    std::lock_guard lock(live_mutex_);
+    live_stop_ = true;
+  }
+  live_cv_.notify_all();
+  live_sampler_.join();
 }
 
 }  // namespace causim::engine

@@ -15,6 +15,7 @@
 #include <condition_variable>
 #include <functional>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "engine/node_stack.hpp"
@@ -86,11 +87,17 @@ class SimExecutor final : public Executor {
   void issue_next(ScheduleDriver& driver, SiteId s);
   void run_op(ScheduleDriver& driver, SiteId s);
   void sample_logs();
+  void sample_live();
 
   NodeStack& stack_;
   sim::Simulator& simulator_;
   const workload::Schedule* schedule_ = nullptr;
   std::vector<std::size_t> cursor_;
+  /// Sampler events currently in the simulator queue (log + live). A
+  /// sampler only reschedules while the queue holds *non-sampler* work;
+  /// comparing against plain idle() would let two periodic samplers keep
+  /// each other alive forever past quiescence.
+  std::size_t sampler_events_ = 0;
 };
 
 /// Real-thread substrate: one application thread per site issues ops in
@@ -121,10 +128,21 @@ class ThreadExecutor final : public Executor {
   void abort();
 
  private:
+  void start_live_sampler();
+  void stop_live_sampler();
+
   NodeStack& stack_;
   net::ThreadTransport& transport_;
   Options options_;
   bool started_ = false;
+
+  /// Live time-series sampler: real time stands in for the DES clock, so
+  /// a dedicated thread ticks NodeStack::live_sample every
+  /// LiveTelemetry::sample_interval microseconds of wall time until drain.
+  std::thread live_sampler_;
+  std::mutex live_mutex_;
+  std::condition_variable live_cv_;
+  bool live_stop_ = false;
 };
 
 }  // namespace causim::engine

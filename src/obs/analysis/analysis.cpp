@@ -35,7 +35,8 @@ void write_activation(std::ostream& out, const ActivationStats& a,
   if (hist != nullptr) {
     out << ", \"p50\": " << num(hist->quantile(0.50))
         << ", \"p90\": " << num(hist->quantile(0.90))
-        << ", \"p99\": " << num(hist->quantile(0.99));
+        << ", \"p99\": " << num(hist->quantile(0.99))
+        << ", \"p999\": " << num(hist->quantile(0.999));
   }
   out << "}}";
 }

@@ -12,7 +12,7 @@ constexpr TraceEventType kAllEventTypes[] = {
     TraceEventType::kFetchServed, TraceEventType::kLogMerge,
     TraceEventType::kLogPrune,   TraceEventType::kLogSample,
     TraceEventType::kDrop,       TraceEventType::kRetransmit,
-    TraceEventType::kRttSample,
+    TraceEventType::kRttSample,  TraceEventType::kTimeSample,
 };
 
 bool set_error(std::string* error, const std::string& message) {

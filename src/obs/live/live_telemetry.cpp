@@ -1,0 +1,246 @@
+#include "obs/live/live_telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+
+#include "common/panic.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace causim::obs::live {
+
+namespace {
+
+SimTime steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+/// Per-variable FIFO of outstanding send timestamps: a ring over a vector.
+/// Push at tail, pop at head; grows (amortized, doubling) only while the
+/// number of in-flight same-variable writes exceeds every previous burst.
+struct PendingQueue {
+  std::vector<SimTime> slots;
+  std::size_t head = 0;
+  std::size_t size = 0;
+
+  void push(SimTime t) {
+    if (size == slots.size()) {
+      // Full: re-linearize into a doubled buffer (rare; steady state never
+      // allocates once the deepest in-flight burst has been seen).
+      std::vector<SimTime> grown;
+      grown.reserve(std::max<std::size_t>(8, slots.size() * 2));
+      for (std::size_t i = 0; i < size; ++i) grown.push_back(slots[(head + i) % slots.size()]);
+      grown.resize(grown.capacity());
+      slots = std::move(grown);
+      head = 0;
+    }
+    slots[(head + size) % slots.size()] = t;
+    ++size;
+  }
+
+  bool pop(SimTime* out) {
+    if (size == 0) return false;
+    *out = slots[head];
+    head = (head + 1) % slots.size();
+    --size;
+    return true;
+  }
+};
+
+struct LiveTelemetry::Shard {
+  explicit Shard(const LiveConfig& config)
+      : histogram(stats::Histogram::log_scale(config.latency_lo_us, config.latency_hi_us,
+                                              config.buckets_per_decade)),
+        queues(config.variables) {}
+
+  std::mutex mutex;
+  stats::Histogram histogram;
+  std::vector<PendingQueue> queues;  // one per variable
+};
+
+LiveTelemetry::LiveTelemetry(const LiveConfig& config) : config_(config) {
+  CAUSIM_CHECK(config.sites > 0 && config.variables > 0,
+               "live telemetry needs the cluster shape: sites=" << config.sites
+                                                                << " variables=" << config.variables);
+  epoch_ns_ = steady_ns();
+  const std::size_t n = config_.sites;
+  shards_.reserve(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) shards_.push_back(std::make_unique<Shard>(config_));
+  samples_.reserve(config_.max_samples);
+}
+
+LiveTelemetry::~LiveTelemetry() = default;
+
+LiveTelemetry::Shard& LiveTelemetry::shard(SiteId origin, SiteId dest) {
+  return *shards_[static_cast<std::size_t>(origin) * config_.sites + dest];
+}
+
+const LiveTelemetry::Shard& LiveTelemetry::shard(SiteId origin, SiteId dest) const {
+  return *shards_[static_cast<std::size_t>(origin) * config_.sites + dest];
+}
+
+void LiveTelemetry::begin_run(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(sample_mutex_);
+  if (!run_seeds_.empty()) ++run_;
+  run_seeds_.push_back(seed);
+}
+
+SimTime LiveTelemetry::wall_now() const { return (steady_ns() - epoch_ns_) / 1000; }
+
+void LiveTelemetry::on_send(const TraceEvent& event) {
+  sends_.fetch_add(1, std::memory_order_relaxed);
+  if (event.kind != MessageKind::kSM) return;
+  if (event.site >= config_.sites || event.peer >= config_.sites ||
+      event.a >= config_.variables) {
+    return;  // not a site-to-site SM of this cluster's shape
+  }
+  const SimTime t = use_event_ts_ ? event.ts : wall_now();
+  Shard& s = shard(event.site, event.peer);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.queues[event.a].push(t);
+}
+
+void LiveTelemetry::on_activated(const TraceEvent& event) {
+  applies_.fetch_add(1, std::memory_order_relaxed);
+  // kActivated: site = destination, peer = the SM's sender (origin).
+  if (event.site >= config_.sites || event.peer >= config_.sites ||
+      event.a >= config_.variables) {
+    unmatched_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const SimTime t_apply = use_event_ts_ ? event.ts : wall_now();
+  Shard& s = shard(event.peer, event.site);
+  double latency_us = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    SimTime t_send = 0;
+    if (!s.queues[event.a].pop(&t_send)) {
+      unmatched_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    latency_us = static_cast<double>(std::max<SimTime>(0, t_apply - t_send));
+    s.histogram.record(latency_us);
+  }
+  matched_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.keep_latency_samples) {
+    std::lock_guard<std::mutex> lock(raw_mutex_);
+    raw_latencies_.push_back(latency_us);
+  }
+}
+
+void LiveTelemetry::emit(const TraceEvent& event) {
+  switch (event.type) {
+    case TraceEventType::kOpComplete:
+      ops_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case TraceEventType::kSend:
+      on_send(event);
+      break;
+    case TraceEventType::kActivated:
+      on_activated(event);
+      break;
+    default:
+      break;
+  }
+  if (downstream_ != nullptr) downstream_->emit(event);
+}
+
+void LiveTelemetry::record_sample(SimTime now, const StackGauges& gauges) {
+  TimeSample sample;
+  sample.ts = use_event_ts_ ? now : wall_now();
+  sample.ops = ops_.load(std::memory_order_relaxed);
+  sample.sends = sends_.load(std::memory_order_relaxed);
+  sample.applies = applies_.load(std::memory_order_relaxed);
+  sample.wire_inflight = gauges.wire_inflight;
+  sample.buffered_sm = gauges.buffered_sm;
+  sample.log_entries = gauges.log_entries;
+  sample.log_bytes = gauges.log_bytes;
+  sample.reliable_frames = gauges.reliable_frames;
+  sample.retransmits = gauges.retransmits;
+  std::lock_guard<std::mutex> lock(sample_mutex_);
+  sample.run = run_;
+  samples_taken_.fetch_add(1, std::memory_order_relaxed);
+  if (samples_.size() >= config_.max_samples) {
+    truncated_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  samples_.push_back(sample);
+}
+
+stats::Histogram LiveTelemetry::visibility_histogram() const {
+  stats::Histogram merged = shards_.front()->histogram.empty_clone();
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    merged += s->histogram;
+  }
+  return merged;
+}
+
+const stats::Histogram& LiveTelemetry::pair_histogram(SiteId origin, SiteId dest) const {
+  return shard(origin, dest).histogram;
+}
+
+VisibilitySummary LiveTelemetry::visibility_summary() const {
+  const stats::Histogram h = visibility_histogram();
+  VisibilitySummary s;
+  s.count = h.count();
+  s.unmatched = unmatched();
+  s.mean_us = h.mean();
+  s.max_us = h.max();
+  s.p50_us = h.p50();
+  s.p90_us = h.p90();
+  s.p99_us = h.p99();
+  s.p999_us = h.p999();
+  return s;
+}
+
+std::vector<double> LiveTelemetry::latency_samples() const {
+  std::lock_guard<std::mutex> lock(raw_mutex_);
+  return raw_latencies_;
+}
+
+void LiveTelemetry::write_timeseries_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(sample_mutex_);
+  out << "{\"schema\":\"causim.timeseries.v1\"";
+  out << ",\"interval_us\":" << config_.sample_interval;
+  out << ",\"sites\":" << config_.sites;
+  out << ",\"truncated\":" << truncated_.load(std::memory_order_relaxed);
+  out << ",\"runs\":[";
+  for (std::size_t i = 0; i < run_seeds_.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "{\"run\":" << i << ",\"seed\":" << run_seeds_[i] << "}";
+  }
+  out << "],\"samples\":[";
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const TimeSample& s = samples_[i];
+    if (i != 0) out << ",";
+    out << "{\"run\":" << s.run << ",\"ts\":" << s.ts << ",\"ops\":" << s.ops
+        << ",\"sends\":" << s.sends << ",\"applies\":" << s.applies
+        << ",\"wire_inflight\":" << s.wire_inflight << ",\"buffered_sm\":" << s.buffered_sm
+        << ",\"log_entries\":" << s.log_entries << ",\"log_bytes\":" << s.log_bytes
+        << ",\"reliable_frames\":" << s.reliable_frames
+        << ",\"retransmits\":" << s.retransmits << "}";
+  }
+  out << "]}\n";
+}
+
+void LiveTelemetry::export_metrics(MetricsRegistry& registry) const {
+  const stats::Histogram merged = visibility_histogram();
+  registry.histogram("live.visibility.us", merged) += merged;
+  registry.counter("live.ops").add(ops());
+  registry.counter("live.sends").add(sends());
+  registry.counter("live.applies").add(applies());
+  registry.counter("live.visibility.matched").add(matched());
+  registry.counter("live.visibility.unmatched").add(unmatched());
+  registry.counter("live.samples").add(samples_taken_.load(std::memory_order_relaxed));
+}
+
+void replay_events(const std::vector<TraceEvent>& events, LiveTelemetry& into) {
+  for (const TraceEvent& e : events) into.emit(e);
+}
+
+}  // namespace causim::obs::live

@@ -61,6 +61,13 @@ stats::Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
   return histograms_.emplace(name, stats::Histogram(lo, hi, buckets)).first->second;
 }
 
+stats::Histogram& MetricsRegistry::histogram(const std::string& name,
+                                             const stats::Histogram& like) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, like.empty_clone()).first->second;
+}
+
 bool MetricsRegistry::empty() const {
   return counters_.empty() && gauges_.empty() && summaries_.empty() &&
          histograms_.empty();
@@ -115,7 +122,8 @@ void MetricsRegistry::write_json(std::ostream& out) const {
         << ", \"buckets\": " << h.bucket_count() << ", \"overflow\": " << h.overflow()
         << ", \"quantiles\": {\"p50\": " << num(h.quantile(0.50))
         << ", \"p90\": " << num(h.quantile(0.90))
-        << ", \"p99\": " << num(h.quantile(0.99)) << "}";
+        << ", \"p99\": " << num(h.quantile(0.99))
+        << ", \"p999\": " << num(h.quantile(0.999)) << "}";
     out << "}";
     first = false;
   }
@@ -144,6 +152,7 @@ void MetricsRegistry::write_csv(std::ostream& out) const {
     out << csv_field(name) << ",histogram,p50," << num(h.quantile(0.50)) << "\n";
     out << csv_field(name) << ",histogram,p90," << num(h.quantile(0.90)) << "\n";
     out << csv_field(name) << ",histogram,p99," << num(h.quantile(0.99)) << "\n";
+    out << csv_field(name) << ",histogram,p999," << num(h.quantile(0.999)) << "\n";
     out << csv_field(name) << ",histogram,overflow," << h.overflow() << "\n";
   }
 }

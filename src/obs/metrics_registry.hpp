@@ -57,6 +57,10 @@ class MetricsRegistry {
   /// registries disagree).
   stats::Histogram& histogram(const std::string& name, double lo, double hi,
                               std::size_t buckets);
+  /// Same, but the first creation clones `like`'s bucket configuration —
+  /// the only way to register a log-bucketed histogram (a later merge with
+  /// mismatched binning panics, so prototypes beat duplicated constants).
+  stats::Histogram& histogram(const std::string& name, const stats::Histogram& like);
 
   bool empty() const;
 

@@ -69,6 +69,11 @@ enum class TraceEventType : std::uint8_t {
   /// data sender, peer = acking site, a = sample µs, b = resulting RTO µs).
   /// Emitted only with ReliableConfig::adaptive_rto; faults-layer-only.
   kRttSample,
+  /// Periodic per-site instant from the live time-series sampler
+  /// (obs::live, see ClusterConfig::live): a = pending (buffered) SM count
+  /// at the sample instant, b = the sampler's monotonically increasing
+  /// sample ordinal. Emitted only when live telemetry is attached.
+  kTimeSample,
 };
 
 inline const char* to_string(TraceEventType t) {
@@ -88,6 +93,7 @@ inline const char* to_string(TraceEventType t) {
     case TraceEventType::kDrop: return "drop";
     case TraceEventType::kRetransmit: return "retransmit";
     case TraceEventType::kRttSample: return "rtt_sample";
+    case TraceEventType::kTimeSample: return "time_sample";
   }
   return "??";
 }

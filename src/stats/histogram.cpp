@@ -39,14 +39,54 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
   CAUSIM_CHECK(hi > lo && buckets > 0, "invalid histogram range");
 }
 
+Histogram Histogram::log_scale(double lo, double hi, std::size_t buckets_per_decade) {
+  CAUSIM_CHECK(lo > 0.0 && hi > lo && buckets_per_decade > 0,
+               "invalid log histogram range: [" << lo << ", " << hi << ") at "
+                                                << buckets_per_decade << "/decade");
+  Histogram h;
+  h.lo_ = lo;
+  h.hi_ = hi;
+  const double decades = std::log10(hi / lo);
+  const auto buckets = static_cast<std::size_t>(
+      std::ceil(decades * static_cast<double>(buckets_per_decade) - 1e-9));
+  h.edges_.reserve(buckets);
+  for (std::size_t i = 0; i + 1 < buckets; ++i) {
+    h.edges_.push_back(lo * std::pow(10.0, static_cast<double>(i + 1) /
+                                               static_cast<double>(buckets_per_decade)));
+  }
+  h.edges_.push_back(hi);  // the top bucket ends exactly at hi
+  h.buckets_.assign(h.edges_.size(), 0);
+  return h;
+}
+
+Histogram Histogram::empty_clone() const {
+  Histogram h(*this);
+  std::fill(h.buckets_.begin(), h.buckets_.end(), std::uint64_t{0});
+  h.overflow_ = 0;
+  h.summary_ = Summary{};
+  return h;
+}
+
+double Histogram::bucket_edge(std::size_t i) const {
+  return edges_.empty() ? lo_ + width_ * static_cast<double>(i + 1) : edges_.at(i);
+}
+
 void Histogram::record(double x) {
   summary_.record(x);
   if (x >= hi_) {
     ++overflow_;
     return;
   }
-  const double offset = std::max(0.0, x - lo_);
-  auto idx = static_cast<std::size_t>(offset / width_);
+  std::size_t idx;
+  if (edges_.empty()) {
+    const double offset = std::max(0.0, x - lo_);
+    idx = static_cast<std::size_t>(offset / width_);
+  } else {
+    // First edge strictly above x holds it; values below lo clamp into
+    // bucket 0 rather than going missing.
+    idx = static_cast<std::size_t>(
+        std::upper_bound(edges_.begin(), edges_.end(), x) - edges_.begin());
+  }
   idx = std::min(idx, buckets_.size() - 1);
   ++buckets_[idx];
 }
@@ -62,7 +102,7 @@ double Histogram::quantile(double q) const {
     // Clamp the bucket's upper edge to the observed max: a lone sample in a
     // wide bucket should not report a quantile beyond anything recorded.
     if (seen > target) {
-      return std::min(lo_ + width_ * static_cast<double>(i + 1), summary_.max());
+      return std::min(bucket_edge(i), summary_.max());
     }
   }
   // The quantile lands in the overflow bucket (x >= hi); the observed max
@@ -72,10 +112,12 @@ double Histogram::quantile(double q) const {
 
 Histogram& Histogram::operator+=(const Histogram& other) {
   CAUSIM_CHECK(lo_ == other.lo_ && hi_ == other.hi_ &&
-                   buckets_.size() == other.buckets_.size(),
+                   buckets_.size() == other.buckets_.size() &&
+                   edges_.size() == other.edges_.size(),
                "histogram merge with mismatched configuration: [" << lo_ << ", " << hi_
-                   << ")/" << buckets_.size() << " += [" << other.lo_ << ", "
-                   << other.hi_ << ")/" << other.buckets_.size());
+                   << ")/" << buckets_.size() << (is_log() ? " log" : " linear")
+                   << " += [" << other.lo_ << ", " << other.hi_ << ")/"
+                   << other.buckets_.size() << (other.is_log() ? " log" : " linear"));
   for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
   overflow_ += other.overflow_;
   summary_ += other.summary_;

@@ -32,9 +32,21 @@ class Summary {
 
 /// Fixed-width linear-bucket histogram with exact quantiles up to bucket
 /// resolution; values above the range accumulate in an overflow bucket.
+/// The `log_scale` factory switches to geometric (HDR-style) buckets for
+/// long-tailed data such as latencies.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
+
+  /// Log-bucketed histogram over [lo, hi) with `buckets_per_decade` buckets
+  /// per factor of 10 (lo must be > 0). The quantile error is bounded by one
+  /// bucket ratio, 10^(1/buckets_per_decade) — e.g. ~15.5 % at 16/decade —
+  /// relative, instead of the linear histogram's absolute bucket width.
+  static Histogram log_scale(double lo, double hi, std::size_t buckets_per_decade);
+
+  /// Same bucket configuration, zero counts: the prototype for mergeable
+  /// accumulators that must match this histogram's binning.
+  Histogram empty_clone() const;
 
   void record(double x);
   std::uint64_t count() const { return summary_.count(); }
@@ -44,6 +56,9 @@ class Histogram {
 
   double lo() const { return lo_; }
   double hi() const { return hi_; }
+  bool is_log() const { return !edges_.empty(); }
+  /// Upper edge of bucket i (buckets span [previous edge, this edge)).
+  double bucket_edge(std::size_t i) const;
   std::size_t bucket_count() const { return buckets_.size(); }
   std::uint64_t overflow() const { return overflow_; }
   std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
@@ -53,16 +68,28 @@ class Histogram {
   /// the overflow bucket. 0 when empty.
   double quantile(double q) const;
 
+  // The conventional latency quantiles, including the p999 tail.
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
+
   /// Merge (e.g. per-site histograms into one); panics when the (lo, hi,
-  /// buckets) configurations differ — misbinning would be silent otherwise.
+  /// buckets, scale) configurations differ — misbinning would be silent
+  /// otherwise.
   Histogram& operator+=(const Histogram& other);
 
   const Summary& summary() const { return summary_; }
 
  private:
-  double lo_;
-  double hi_;
-  double width_;
+  Histogram() = default;
+
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  double width_ = 0.0;
+  /// Log mode: precomputed upper bucket edges (binary-searched on record,
+  /// so the hot path never touches libm); empty in linear mode.
+  std::vector<double> edges_;
   std::vector<std::uint64_t> buckets_;
   std::uint64_t overflow_ = 0;
   Summary summary_;

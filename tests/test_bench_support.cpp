@@ -2,8 +2,13 @@
 // the CLI flag parser.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "bench_support/args.hpp"
 #include "bench_support/experiment.hpp"
+#include "bench_support/observability.hpp"
 
 namespace causim::bench_support {
 namespace {
@@ -157,6 +162,65 @@ TEST(BenchSupport, CheckFlagRunsChecker) {
   params.check = true;
   const auto r = run_experiment(params);
   EXPECT_TRUE(r.check_ok) << (r.violations.empty() ? "" : r.violations.front());
+}
+
+TEST(Observability, RejectsUnwritableOutputPathUpFront) {
+  // Regression: --trace-out into a nonexistent directory used to run the
+  // whole grid and only fail (or silently lose the trace) at finish().
+  // Every output flag must fail fast at construction with ok() == false.
+  for (const char* flag : {"--trace-out", "--metrics-out", "--report-out",
+                           "--json-out", "--timeseries-out"}) {
+    const std::string arg =
+        std::string(flag) + "=/nonexistent-causim-dir/out.json";
+    const char* argv[] = {"bench", arg.c_str()};
+    BenchOptions options;
+    std::string error;
+    ASSERT_TRUE(try_parse_bench_args(2, const_cast<char**>(argv), options, error))
+        << error;
+    testing::internal::CaptureStderr();
+    Observability observability(options, "test");
+    const std::string log = testing::internal::GetCapturedStderr();
+    EXPECT_FALSE(observability.ok()) << flag;
+    EXPECT_FALSE(observability.finish()) << flag;
+    // The error is actionable: it names the flag, the path and the OS
+    // reason.
+    EXPECT_NE(log.find(flag), std::string::npos) << log;
+    EXPECT_NE(log.find("/nonexistent-causim-dir/out.json"), std::string::npos)
+        << log;
+  }
+}
+
+TEST(Observability, AcceptsWritablePathsAndWritesBenchV1) {
+  const std::string json_path = ::testing::TempDir() + "causim_bench_v1.json";
+  BenchOptions options;
+  options.json_out = json_path;
+  Observability observability(options, "unit_bench");
+  ASSERT_TRUE(observability.ok());
+
+  ExperimentParams params;
+  params.protocol = causal::ProtocolKind::kOptTrack;
+  params.sites = 4;
+  params.replication = 2;
+  params.variables = 10;
+  params.ops_per_site = 40;
+  params.seeds = {1};
+  const auto r = observability.run_cell("Opt-Track n=4", params);
+  EXPECT_EQ(r.runs, 1u);
+  ASSERT_TRUE(observability.finish());
+
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+  EXPECT_NE(doc.find("\"schema\":\"causim.bench.v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"bench\":\"unit_bench\""), std::string::npos);
+  EXPECT_NE(doc.find("\"label\":\"Opt-Track n=4\""), std::string::npos);
+  EXPECT_NE(doc.find("\"protocol\":\"Opt-Track\""), std::string::npos);
+  // --json-out attaches the live visibility tracker per cell.
+  EXPECT_NE(doc.find("\"visibility_us\""), std::string::npos);
+  EXPECT_NE(doc.find("\"unmatched\":0"), std::string::npos);
+  std::remove(json_path.c_str());
 }
 
 TEST(Args, ParsesValuesInBothStyles) {

@@ -2,8 +2,12 @@
 // histograms and table rendering.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <iterator>
+#include <random>
 #include <sstream>
+#include <vector>
 
 #include "stats/histogram.hpp"
 #include "stats/message_stats.hpp"
@@ -116,6 +120,108 @@ TEST(Histogram, MergeMatchesCombinedStream) {
   EXPECT_EQ(a.overflow(), all.overflow());
   EXPECT_DOUBLE_EQ(a.quantile(0.5), all.quantile(0.5));
   EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Histogram, P999TracksTail) {
+  Histogram h(0, 10000, 10000);
+  for (int i = 0; i < 999; ++i) h.record(10);
+  h.record(9000);
+  // One sample in a thousand sits at 9000: p99 stays at the bulk, p999
+  // reaches into the tail.
+  EXPECT_NEAR(h.p99(), 10, 2);
+  EXPECT_NEAR(h.p999(), 9000, 10);
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+  EXPECT_LE(h.p99(), h.p999());
+}
+
+TEST(Histogram, LogScaleBucketEdges) {
+  const Histogram h = Histogram::log_scale(1.0, 1000.0, 4);
+  EXPECT_TRUE(h.is_log());
+  // 3 decades × 4 buckets/decade = 12 geometric buckets; the final edge
+  // is forced to hi exactly.
+  EXPECT_EQ(h.bucket_count(), 12u);
+  EXPECT_DOUBLE_EQ(h.bucket_edge(h.bucket_count() - 1), 1000.0);
+  // Edges grow by 10^(1/4) each step.
+  const double ratio = std::pow(10.0, 0.25);
+  EXPECT_NEAR(h.bucket_edge(0), ratio, 1e-9);
+  EXPECT_NEAR(h.bucket_edge(1), ratio * ratio, 1e-9);
+}
+
+TEST(Histogram, LogScaleRecordsBelowLoAndAboveHi) {
+  Histogram h = Histogram::log_scale(1.0, 100.0, 4);
+  h.record(0.001);  // clamps into the first bucket
+  h.record(1e9);    // overflow
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  EXPECT_LE(h.quantile(0.25), std::pow(10.0, 0.25));
+}
+
+TEST(Histogram, LogScaleMergeRequiresMatchingShape) {
+  Histogram log4 = Histogram::log_scale(1.0, 100.0, 4);
+  Histogram log4b = Histogram::log_scale(1.0, 100.0, 4);
+  log4.record(5);
+  log4b.record(50);
+  log4 += log4b;  // identical configs merge fine
+  EXPECT_EQ(log4.count(), 2u);
+}
+
+TEST(HistogramDeathTest, LogLinearMergePanics) {
+  Histogram log_h = Histogram::log_scale(1.0, 100.0, 4);
+  Histogram linear(1.0, 100.0, 8);
+  EXPECT_DEATH(log_h += linear, "mismatched configuration");
+}
+
+TEST(Histogram, EmptyCloneCopiesShapeNotCounts) {
+  Histogram h = Histogram::log_scale(1.0, 1e6, 16);
+  for (int i = 1; i < 100; ++i) h.record(i * 37.0);
+  const Histogram clone = h.empty_clone();
+  EXPECT_TRUE(clone.is_log());
+  EXPECT_EQ(clone.count(), 0u);
+  EXPECT_EQ(clone.bucket_count(), h.bucket_count());
+  Histogram sum = clone;
+  sum += h;  // shape-compatible with the original
+  EXPECT_EQ(sum.count(), h.count());
+}
+
+// Property test — the streamed log-bucketed quantile against an exact
+// sorted-sample oracle. A geometric histogram's quantile can only err by
+// the current bucket's width, so for every q the streamed estimate must
+// sit in [x, max(x·ratio, lo·ratio)] where x is the exact order statistic
+// and ratio = 10^(1/buckets_per_decade).
+TEST(Histogram, LogScaleQuantileMatchesSortedOracle) {
+  const double lo = 1.0, hi = 1e7;
+  const std::size_t bpd = 16;
+  const double ratio = std::pow(10.0, 1.0 / static_cast<double>(bpd));
+  std::mt19937_64 rng(0xfeedbeef);
+  // Long-tailed latency-like data: log-normal, occasionally huge.
+  std::lognormal_distribution<double> body(3.0, 1.7);
+  for (int trial = 0; trial < 5; ++trial) {
+    Histogram h = Histogram::log_scale(lo, hi, bpd);
+    std::vector<double> samples;
+    const int n = 2000 + trial * 1777;
+    samples.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const double x = std::min(body(rng), hi - 1.0);
+      samples.push_back(x);
+      h.record(x);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (const double q : {0.05, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+      const auto rank = static_cast<std::size_t>(
+          std::ceil(q * static_cast<double>(n))) ;
+      const double exact = samples[std::min(samples.size() - 1,
+                                            rank == 0 ? 0 : rank - 1)];
+      const double streamed = h.quantile(q);
+      EXPECT_GE(streamed, exact - 1e-9)
+          << "q=" << q << " trial=" << trial;
+      EXPECT_LE(streamed, std::max(exact * ratio, lo * ratio) + 1e-9)
+          << "q=" << q << " trial=" << trial << " exact=" << exact;
+    }
+    // And the histogram's max is exact, not bucketed.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), samples.back());
+  }
 }
 
 TEST(HistogramDeathTest, MergeWithMismatchedConfigPanics) {

@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Validate causim.bench.v1 result files and gate on perf regressions.
+
+Usage:
+  check_bench.py results.json [results2.json ...]
+      Schema-validate each file (exit 1 on any violation).
+  check_bench.py --baseline results/baseline_bench.json results.json ...
+      Additionally compare each file's cells against the stored baseline
+      for that bench name; metric drift beyond tolerance fails.
+  check_bench.py --baseline FILE --update-baseline results.json ...
+      Rewrite FILE with the given results as the new baseline.
+
+Comparison model: cells are matched by label. A cell present in the
+baseline but missing from the candidate fails (a silently dropped cell
+must not pass the gate); new cells are reported but pass. Deterministic
+counters (message counts, bytes, log entries) get a tight relative
+tolerance; visibility-latency quantiles — which depend on log-bucket
+resolution — a looser one plus a small absolute floor. Wall-clock time is
+reported but never gated by default (CI machines are too noisy); use
+--gate-wall to enforce it.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "causim.bench.v1"
+BASELINE_SCHEMA = "causim.bench.baseline.v1"
+
+# (json path under cell, relative tolerance, absolute slack)
+COUNTER_TOLERANCE = 0.05  # deterministic counters: tiny drift only
+VISIBILITY_TOLERANCE = 0.35  # log-bucketed quantiles: one-ish bucket widths
+VISIBILITY_ABS_US = 1.0  # sub-microsecond quantiles are all "instant"
+
+GATED_COUNTERS = [
+    ("messages", "SM", "count"),
+    ("messages", "SM", "overhead_bytes"),
+    ("messages", "SM", "meta_bytes"),
+    ("messages", "FM", "count"),
+    ("messages", "RM", "count"),
+    ("messages", "total", "count"),
+    ("messages", "total", "overhead_bytes"),
+    ("messages", "total", "meta_bytes"),
+    ("recorded_writes",),
+    ("recorded_reads",),
+    ("runs",),
+    ("log_entries", "count"),
+]
+
+GATED_VISIBILITY = ["mean", "p50", "p90", "p99", "p999"]
+
+REQUIRED_CELL_KEYS = [
+    "label", "protocol", "sites", "replication", "variables", "ops_per_site",
+    "write_rate", "seeds", "runs", "recorded_writes", "recorded_reads",
+    "wall_s", "messages", "mean_message_count", "mean_total_meta_bytes",
+    "mean_total_overhead_bytes", "log_entries", "apply_delay_us",
+    "fetch_latency_us", "faults",
+]
+
+
+def fail(msg, failures):
+    failures.append(msg)
+
+
+def dig(doc, path):
+    for key in path:
+        if not isinstance(doc, dict) or key not in doc:
+            return None
+        doc = doc[key]
+    return doc
+
+
+def validate(doc, name, failures):
+    if doc.get("schema") != SCHEMA:
+        fail(f"{name}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}", failures)
+        return
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        fail(f"{name}: missing/empty 'bench' name", failures)
+    cells = doc.get("cells")
+    if not isinstance(cells, list):
+        fail(f"{name}: 'cells' is not a list", failures)
+        return
+    labels = set()
+    for i, cell in enumerate(cells):
+        where = f"{name}: cells[{i}]"
+        if not isinstance(cell, dict):
+            fail(f"{where}: not an object", failures)
+            continue
+        for key in REQUIRED_CELL_KEYS:
+            if key not in cell:
+                fail(f"{where}: missing key {key!r}", failures)
+        label = cell.get("label")
+        if label in labels:
+            fail(f"{where}: duplicate label {label!r}", failures)
+        labels.add(label)
+        for kind in ("SM", "FM", "RM", "total"):
+            breakdown = dig(cell, ("messages", kind))
+            if not isinstance(breakdown, dict):
+                fail(f"{where}: messages.{kind} missing", failures)
+        vis = cell.get("visibility_us")
+        if vis is not None:
+            for key in ("count", "unmatched", "mean", "max", "p50", "p90",
+                        "p99", "p999"):
+                if key not in vis:
+                    fail(f"{where}: visibility_us missing {key!r}", failures)
+            if vis.get("unmatched", 0) != 0:
+                fail(f"{where}: {vis['unmatched']} unmatched visibility sends "
+                     "(kActivated never arrived — correlation bug or "
+                     "non-quiescent run)", failures)
+            q = [vis.get(k, 0) for k in ("p50", "p90", "p99", "p999")]
+            if any(a > b + 1e-9 for a, b in zip(q, q[1:])):
+                fail(f"{where}: visibility quantiles not monotone: {q}", failures)
+
+
+def within(base, cand, rel, abs_slack=0.0):
+    lo = min(base * (1 - rel), base - abs_slack)
+    hi = max(base * (1 + rel), base + abs_slack)
+    return lo <= cand <= hi
+
+
+def compare_cell(bench, label, base, cand, args, failures):
+    where = f"{bench} / {label!r}"
+    for path in GATED_COUNTERS:
+        b, c = dig(base, path), dig(cand, path)
+        if b is None or c is None:
+            continue
+        if not within(float(b), float(c), COUNTER_TOLERANCE):
+            fail(f"{where}: {'.'.join(path)} drifted {b} -> {c} "
+                 f"(> {COUNTER_TOLERANCE:.0%} tolerance)", failures)
+    bvis, cvis = base.get("visibility_us"), cand.get("visibility_us")
+    if isinstance(bvis, dict) and isinstance(cvis, dict):
+        for key in GATED_VISIBILITY:
+            b, c = bvis.get(key), cvis.get(key)
+            if b is None or c is None:
+                continue
+            if not within(float(b), float(c), VISIBILITY_TOLERANCE,
+                          VISIBILITY_ABS_US):
+                fail(f"{where}: visibility_us.{key} drifted {b} -> {c} "
+                     f"(> {VISIBILITY_TOLERANCE:.0%} + {VISIBILITY_ABS_US}us)",
+                     failures)
+    if args.gate_wall:
+        b, c = base.get("wall_s"), cand.get("wall_s")
+        if b and c and float(c) > float(b) * (1 + args.wall_tolerance):
+            fail(f"{where}: wall_s regressed {b} -> {c} "
+                 f"(> {args.wall_tolerance:.0%})", failures)
+
+
+def compare(baseline, doc, name, args, failures):
+    bench = doc.get("bench", name)
+    base_doc = baseline.get("benches", {}).get(bench)
+    if base_doc is None:
+        print(f"note: no baseline for bench {bench!r}; skipping comparison")
+        return
+    base_cells = {c.get("label"): c for c in base_doc.get("cells", [])}
+    cand_cells = {c.get("label"): c for c in doc.get("cells", [])}
+    for label, base in base_cells.items():
+        if label not in cand_cells:
+            fail(f"{bench}: baseline cell {label!r} missing from {name}", failures)
+            continue
+        compare_cell(bench, label, base, cand_cells[label], args, failures)
+    for label in cand_cells:
+        if label not in base_cells:
+            print(f"note: {bench}: new cell {label!r} (not in baseline)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("results", nargs="+", help="causim.bench.v1 files")
+    ap.add_argument("--baseline", help="baseline file to compare against")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite --baseline from the given results")
+    ap.add_argument("--gate-wall", action="store_true",
+                    help="also gate wall-clock time")
+    ap.add_argument("--wall-tolerance", type=float, default=0.50,
+                    help="relative wall_s tolerance with --gate-wall")
+    args = ap.parse_args()
+
+    failures = []
+    docs = {}
+    for path in args.results:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"{path}: {e}", failures)
+            continue
+        docs[path] = doc
+        validate(doc, path, failures)
+
+    if args.update_baseline:
+        if not args.baseline:
+            ap.error("--update-baseline requires --baseline")
+        if failures:
+            for msg in failures:
+                print(f"FAIL: {msg}", file=sys.stderr)
+            print("refusing to write a baseline from invalid results",
+                  file=sys.stderr)
+            return 1
+        baseline = {"schema": BASELINE_SCHEMA, "benches": {}}
+        for path, doc in docs.items():
+            baseline["benches"][doc["bench"]] = doc
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"baseline: {len(baseline['benches'])} benches -> {args.baseline}")
+        return 0
+
+    if args.baseline:
+        try:
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"{args.baseline}: {e}", failures)
+            baseline = None
+        if baseline is not None:
+            if baseline.get("schema") != BASELINE_SCHEMA:
+                fail(f"{args.baseline}: schema is {baseline.get('schema')!r}, "
+                     f"expected {BASELINE_SCHEMA!r}", failures)
+            else:
+                for path, doc in docs.items():
+                    compare(baseline, doc, path, args, failures)
+
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        print(f"{len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    names = ", ".join(d.get("bench", p) for p, d in docs.items())
+    print(f"OK: {len(docs)} result file(s) valid ({names})"
+          + (" and within baseline tolerances" if args.baseline else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

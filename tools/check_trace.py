@@ -2,7 +2,7 @@
 """Validate observability artifacts (CI quick-bench gate).
 
 Usage: check_trace.py [--trace FILE] [--metrics FILE] [--report FILE]
-                      [--diff FILE]
+                      [--diff FILE] [--timeseries FILE]
 
 Fails (exit 1) when a given file is missing, empty, unparseable, or
 structurally wrong:
@@ -28,6 +28,10 @@ structurally wrong:
             attributed, and per-site fault activity sums to the totals.
   diff    — A/B comparison JSON (schema causim.analysis.diff.v1) with a
             structural `diff` object.
+  timeseries — live sampler stream (schema causim.timeseries.v1):
+            non-empty samples with monotone timestamps and run ids,
+            cumulative counters (ops / sends / applies) never decreasing
+            within a run, and every run entry carrying a seed.
 A metrics file ending in .csv is checked as long-form CSV instead.
 """
 
@@ -88,6 +92,20 @@ def check_trace(path: str) -> None:
                 fail(f"{path}: {e['name']} without a peer: {e}")
             if args.get("b", 0) <= 0:
                 fail(f"{path}: {e['name']} without a byte count: {e}")
+        if e["name"] == "time_sample":
+            # Live time-series sampler tick: an instant on the sampled
+            # site's track, a = pending SM count (non-negative), b = the
+            # sample ordinal — strictly increasing per pid.
+            if e["ph"] != "i":
+                fail(f"{path}: time_sample must be an instant event: {e}")
+            args = e.get("args", {})
+            if args.get("a", -1) < 0:
+                fail(f"{path}: time_sample with negative pending count: {e}")
+            key = (e["pid"], "time_sample")
+            ordinal = args.get("b", -1)
+            if key in seqs and ordinal <= seqs[key]:
+                fail(f"{path}: time_sample ordinal went backwards: {e}")
+            seqs[key] = ordinal
         if e["name"] == "rtt_sample":
             # Adaptive-RTO estimator input: an instant on the data
             # sender's track, a = round-trip sample (µs), b = the RTO the
@@ -124,7 +142,11 @@ def check_metrics_json(path: str) -> None:
             fail(f"{path}: counter '{name}' missing or zero")
     for name, h in doc["histograms"].items():
         q = h.get("quantiles", {})
-        if not q.get("p50", 0) <= q.get("p90", 0) <= q.get("p99", 0):
+        # p999 appears in newer exports; guard its absence by defaulting to
+        # p99 so the ordering chain stays total.
+        chain = [q.get("p50", 0), q.get("p90", 0), q.get("p99", 0),
+                 q.get("p999", q.get("p99", 0))]
+        if any(a > b for a, b in zip(chain, chain[1:])):
             fail(f"{path}: histogram '{name}' quantiles out of order: {q}")
     if "net.reliable.frames.count" in counters:
         # The reliability layer exported: its wire-frame accounting must
@@ -213,15 +235,53 @@ def check_diff(path: str) -> None:
           f"{len(doc['diff'])} top-level keys)")
 
 
+def check_timeseries(path: str) -> None:
+    doc = load_json(path)
+    if doc.get("schema") != "causim.timeseries.v1":
+        fail(f"{path}: not a timeseries stream: schema={doc.get('schema')!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail(f"{path}: no runs")
+    for r in runs:
+        if "seed" not in r or "run" not in r:
+            fail(f"{path}: run entry missing seed/run: {r}")
+    samples = doc.get("samples")
+    if not isinstance(samples, list) or not samples:
+        fail(f"{path}: no samples")
+    prev = None
+    for s in samples:
+        for field in ("run", "ts", "ops", "sends", "applies"):
+            if field not in s:
+                fail(f"{path}: sample missing '{field}': {s}")
+        if prev is not None:
+            if s["run"] < prev["run"]:
+                fail(f"{path}: run id went backwards: {prev} -> {s}")
+            if s["run"] == prev["run"]:
+                if s["ts"] < prev["ts"]:
+                    fail(f"{path}: timestamp went backwards: {prev} -> {s}")
+                # ops/sends/applies are cumulative totals and never reset
+                # mid-run.
+                for field in ("ops", "sends", "applies"):
+                    if s[field] < prev[field]:
+                        fail(f"{path}: cumulative '{field}' decreased: "
+                             f"{prev} -> {s}")
+        prev = s
+    print(f"check_trace: {path}: OK ({len(samples)} samples, "
+          f"{len(runs)} run(s))")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace")
     parser.add_argument("--metrics")
     parser.add_argument("--report")
     parser.add_argument("--diff")
+    parser.add_argument("--timeseries")
     args = parser.parse_args()
-    if not (args.trace or args.metrics or args.report or args.diff):
-        fail("nothing to check (pass --trace, --metrics, --report or --diff)")
+    if not (args.trace or args.metrics or args.report or args.diff
+            or args.timeseries):
+        fail("nothing to check (pass --trace, --metrics, --report, --diff "
+             "or --timeseries)")
     if args.trace:
         check_trace(args.trace)
     if args.metrics:
@@ -233,6 +293,8 @@ def main() -> None:
         check_report(args.report)
     if args.diff:
         check_diff(args.diff)
+    if args.timeseries:
+        check_timeseries(args.timeseries)
 
 
 if __name__ == "__main__":
