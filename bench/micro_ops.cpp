@@ -159,7 +159,12 @@ BENCHMARK(BM_EnvelopePooledEncode)->Arg(64)->Arg(6400);
 // run one 100 ms sampler taking the same per-site log snapshot, so the
 // delta isolates the streaming path — an O(1) ring push/pop plus a
 // histogram increment per SM — and Arg(3) must not exceed Arg(2) by more
-// than 5 % on this config.
+// than 5 % on this config. Arg(4) = Arg(3) plus the critical-path
+// decomposition (LiveConfig::critpath): per-segment histogram folds and
+// the bounded blocked-on table on top of the same tracker. Its delta over
+// Arg(3) is the cost of provenance-on, pinned to <= 5 % on this config —
+// the "explain every operation" lane must stay cheap enough to leave on
+// in instrumented runs.
 void BM_ClusterExecute(benchmark::State& state) {
   dsm::ClusterConfig config;
   config.sites = 5;
@@ -177,12 +182,17 @@ void BM_ClusterExecute(benchmark::State& state) {
   live_config.sample_interval = 100 * kMillisecond;
   live_config.max_samples = 1 << 20;  // never truncate inside the loop
   obs::live::LiveTelemetry live(live_config);  // built once, outside timing
+  obs::live::LiveConfig critpath_config = live_config;
+  critpath_config.critpath = true;
+  obs::live::LiveTelemetry live_critpath(critpath_config);
   std::size_t ops = 0;
   for (auto _ : state) {
     sink.clear();
     config.trace_sink = state.range(0) == 0 ? nullptr : &sink;
     config.log_sample_interval = state.range(0) == 2 ? 100 * kMillisecond : 0;
-    config.live = state.range(0) == 3 ? &live : nullptr;
+    config.live = state.range(0) == 3   ? &live
+                  : state.range(0) == 4 ? &live_critpath
+                                        : nullptr;
     dsm::Cluster cluster(config);
     cluster.execute(schedule);
     ops += schedule.total_ops();
@@ -190,7 +200,7 @@ void BM_ClusterExecute(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(ops));
 }
-BENCHMARK(BM_ClusterExecute)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+BENCHMARK(BM_ClusterExecute)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 
 void BM_SimulatorThroughput(benchmark::State& state) {
   for (auto _ : state) {

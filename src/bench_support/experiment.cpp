@@ -119,7 +119,7 @@ std::string bench_usage(const char* argv0) {
   usage +=
       " [--quick] [--csv] [--trace-out FILE] [--metrics-out FILE]"
       " [--report-out FILE] [--json-out FILE] [--timeseries-out FILE]"
-      " [--arq gbn|sr] [--adaptive-rto]\n"
+      " [--critpath] [--arq gbn|sr] [--adaptive-rto]\n"
       "  --quick            shrink seeds/ops for a smoke run\n"
       "  --csv              also print tables as CSV\n"
       "  --trace-out FILE   write a Chrome/Perfetto trace-event JSON\n"
@@ -131,6 +131,11 @@ std::string bench_usage(const char* argv0) {
       "  --timeseries-out FILE  write the live sampler's causim.timeseries.v1\n"
       "                     stream for the first cell (summarize/diff with\n"
       "                     `causim-trace timeseries`)\n"
+      "  --critpath         fold the live critical-path decomposition (wire /\n"
+      "                     arq / dep_wait segment quantiles, top blocked-on\n"
+      "                     writes) into each --json-out cell as a `critpath`\n"
+      "                     block; off by default so baseline bench.v1 bytes\n"
+      "                     are unchanged\n"
       "  --arq gbn|sr       reliability-layer ARQ mode (go-back-N | selective\n"
       "                     repeat); only fault benches use it\n"
       "  --adaptive-rto     Jacobson/Karels adaptive RTO instead of the fixed\n"
@@ -166,6 +171,8 @@ bool try_parse_bench_args(int argc, char** argv, BenchOptions& options,
         error += a;
         return false;
       }
+    } else if (std::strcmp(argv[i], "--critpath") == 0) {
+      options.critpath = true;
     } else if (std::strcmp(argv[i], "--adaptive-rto") == 0) {
       options.adaptive_rto = true;
     } else {

@@ -112,6 +112,10 @@ struct BenchOptions {
   std::string report_out;   // analysis report JSON (causim.analysis.v1)
   std::string json_out;     // machine-readable results (causim.bench.v1)
   std::string timeseries_out;  // live sampler stream (causim.timeseries.v1)
+  /// `--critpath`: enable the live critical-path decomposition and embed a
+  /// `critpath` block in every --json-out cell (see obs::live). Off by
+  /// default so baseline bench.v1 artifacts stay byte-identical.
+  bool critpath = false;
   /// Reliability-layer ARQ knobs for fault benches (see net::ReliableConfig):
   /// `--arq gbn|sr` and `--adaptive-rto`. Benches without a fault stack
   /// accept but ignore them.

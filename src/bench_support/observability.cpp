@@ -44,7 +44,8 @@ Observability::Observability(const BenchOptions& options, std::string bench_name
       metrics_out_(options.metrics_out),
       report_out_(options.report_out),
       json_out_(options.json_out),
-      timeseries_out_(options.timeseries_out) {
+      timeseries_out_(options.timeseries_out),
+      critpath_(options.critpath) {
   if (!trace_out_.empty() || !report_out_.empty()) {
     sink_ = std::make_unique<obs::RingBufferSink>();
   }
@@ -103,6 +104,7 @@ ExperimentResult Observability::run_cell(const std::string& label,
     obs::live::LiveConfig lc;
     lc.sites = params.sites;
     lc.variables = params.variables;
+    lc.critpath = critpath_;
     if (want_timeseries) lc.sample_interval = 100 * kMillisecond;
     cell_live = std::make_unique<obs::live::LiveTelemetry>(lc);
     params.live = cell_live.get();
@@ -179,6 +181,35 @@ void Observability::append_cell(const std::string& label,
         << ",\"max\":" << num(v.max_us) << ",\"p50\":" << num(v.p50_us)
         << ",\"p90\":" << num(v.p90_us) << ",\"p99\":" << num(v.p99_us)
         << ",\"p999\":" << num(v.p999_us) << "}";
+    const obs::live::CritpathSummary cp = live->critpath_summary();
+    if (cp.enabled) {
+      const auto seg = [&](const char* name, const obs::live::CritpathSegment& s) {
+        out << ",\"" << name << "\":{\"count\":" << s.count
+            << ",\"total\":" << num(s.total_us) << ",\"mean\":" << num(s.mean_us)
+            << ",\"p50\":" << num(s.p50_us) << ",\"p90\":" << num(s.p90_us)
+            << ",\"p99\":" << num(s.p99_us) << ",\"max\":" << num(s.max_us) << "}";
+      };
+      out << ",\"critpath\":{\"ops\":" << cp.ops
+          << ",\"dep_segments\":" << cp.dep_segments
+          << ",\"dropped_first_tx\":" << cp.dropped_first_tx;
+      seg("wire_us", cp.wire);
+      seg("arq_us", cp.arq);
+      seg("dep_wait_us", cp.dep_wait);
+      out << ",\"blocked_on_writer_us\":[";
+      for (std::size_t i = 0; i < cp.blocked_on_writer_us.size(); ++i) {
+        out << (i == 0 ? "" : ",") << num(cp.blocked_on_writer_us[i]);
+      }
+      out << "],\"top_blockers\":[";
+      for (std::size_t i = 0; i < cp.top_blockers.size(); ++i) {
+        const obs::live::BlockedOnEntry& b = cp.top_blockers[i];
+        out << (i == 0 ? "" : ",") << "{\"writer\":" << b.writer
+            << ",\"value\":" << b.value
+            << ",\"ordinal\":" << (b.ordinal ? "true" : "false")
+            << ",\"segments\":" << b.segments << ",\"wait_us\":" << num(b.wait_us)
+            << ",\"error_us\":" << num(b.error_us) << "}";
+      }
+      out << "]}";
+    }
   }
   out << "}";
   cells_.push_back(out.str());

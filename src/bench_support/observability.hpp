@@ -86,6 +86,7 @@ class Observability {
   std::string report_out_;
   std::string json_out_;
   std::string timeseries_out_;
+  bool critpath_ = false;  // --critpath: per-cell critical-path block
   std::unique_ptr<obs::RingBufferSink> sink_;
   bool claimed_ = false;
   obs::MetricsRegistry registry_;

@@ -60,6 +60,25 @@ bool FullTrack::ready(const PendingUpdate& u) const {
   return true;
 }
 
+BlockingDep FullTrack::blocking_dep(const PendingUpdate& u) const {
+  const auto& p = static_cast<const Pending&>(u);
+  const SiteId j = p.env().sender;
+  // Mirror ready() clause by clause; the matrix counts writes *destined
+  // here*, so the blocker is an apply ordinal at this site, not a writer
+  // clock (is_ordinal): we wait for the (apply_[l]+1)-th write by l
+  // destined to this site.
+  if (p.matrix.at(j, self_) != apply_[j] + 1) {
+    return BlockingDep{j, apply_[j] + 1, /*is_ordinal=*/true};
+  }
+  for (SiteId l = 0; l < n_; ++l) {
+    if (l == j) continue;
+    if (p.matrix.at(l, self_) > apply_[l]) {
+      return BlockingDep{l, apply_[l] + 1, /*is_ordinal=*/true};
+    }
+  }
+  return {};
+}
+
 void FullTrack::apply(const PendingUpdate& u) {
   const auto& p = static_cast<const Pending&>(u);
   CAUSIM_CHECK(ready(u), "apply called with a false activation predicate");

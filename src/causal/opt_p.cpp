@@ -47,6 +47,19 @@ bool OptP::ready(const PendingUpdate& u) const {
   return true;
 }
 
+BlockingDep OptP::blocking_dep(const PendingUpdate& u) const {
+  const auto& p = static_cast<const Pending&>(u);
+  const SiteId j = p.env().sender;
+  // Under full replication every write reaches every site, so apply_[l] is
+  // l's writer clock and the next write needed from l is a real WriteId
+  // {l, apply_[l] + 1} (is_ordinal stays false).
+  if (p.vector[j] != apply_[j] + 1) return BlockingDep{j, apply_[j] + 1};
+  for (SiteId l = 0; l < n_; ++l) {
+    if (l != j && p.vector[l] > apply_[l]) return BlockingDep{l, apply_[l] + 1};
+  }
+  return {};
+}
+
 void OptP::apply(const PendingUpdate& u) {
   const auto& p = static_cast<const Pending&>(u);
   CAUSIM_CHECK(ready(u), "apply called with a false activation predicate");

@@ -68,6 +68,20 @@ bool OptTrack::ready(const PendingUpdate& u) const {
   return ok;
 }
 
+BlockingDep OptTrack::blocking_dep(const PendingUpdate& u) const {
+  const auto& p = static_cast<const Pending&>(u);
+  // The piggybacked log iterates in WriteId order (a std::map), so "first
+  // failing entry" is deterministic. The entry names the blocker directly:
+  // a write destined here whose clock this site has not applied yet.
+  BlockingDep dep;
+  p.piggyback.for_each([&](const WriteId& id, const DestSet& dests) {
+    if (!dep.valid() && dests.contains(self_) && apply_[id.writer] < id.clock) {
+      dep = BlockingDep{id.writer, id.clock};
+    }
+  });
+  return dep;
+}
+
 void OptTrack::apply(const PendingUpdate& u) {
   const auto& p = static_cast<const Pending&>(u);
   CAUSIM_CHECK(ready(u), "apply called with a false activation predicate");

@@ -37,6 +37,7 @@ class OptTrack final : public Protocol {
   std::unique_ptr<PendingUpdate> decode_sm(SmEnvelope env, DestSet dests,
                                            serial::ByteReader& meta) override;
   bool ready(const PendingUpdate& u) const override;
+  BlockingDep blocking_dep(const PendingUpdate& u) const override;
   void apply(const PendingUpdate& u) override;
 
   void remote_return_meta(VarId var, serial::ByteWriter& out) const override;

@@ -78,6 +78,19 @@ bool OptTrackCrp::ready(const PendingUpdate& u) const {
   return true;
 }
 
+BlockingDep OptTrackCrp::blocking_dep(const PendingUpdate& u) const {
+  const auto& p = static_cast<const Pending&>(u);
+  const SiteId w = p.env().write.writer;
+  // Program order first (full replication: apply_[w] is w's writer clock),
+  // then the first failing piggybacked dependency — std::map iteration is
+  // site-ordered, so the choice is deterministic.
+  if (p.env().write.clock != apply_[w] + 1) return BlockingDep{w, apply_[w] + 1};
+  for (const auto& [site, clock] : p.piggyback) {
+    if (apply_[site] < clock) return BlockingDep{site, clock};
+  }
+  return {};
+}
+
 void OptTrackCrp::apply(const PendingUpdate& u) {
   const auto& p = static_cast<const Pending&>(u);
   CAUSIM_CHECK(ready(u), "apply called with a false activation predicate");

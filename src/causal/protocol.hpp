@@ -88,6 +88,25 @@ class PendingUpdate {
   DestSet dests_;
 };
 
+/// Why an activation predicate is false right now: the identity of one
+/// dependency the predicate is waiting on (see Protocol::blocking_dep).
+/// `writer` is the site whose write must be applied first. When
+/// `is_ordinal` is false, `value` is that writer's clock — the blocker is
+/// literally WriteId{writer, value}. When true, `value` is a per-site
+/// apply ordinal: the predicate waits for the value-th write by `writer`
+/// destined to (and applied at) the blocked site — Full-Track's matrix
+/// counts per-destination deliveries, which under partial replication are
+/// not writer clocks. A default-constructed BlockingDep (writer ==
+/// kInvalidSite) means "not blocked" / "not reported".
+struct BlockingDep {
+  SiteId writer = kInvalidSite;
+  WriteClock value = 0;
+  bool is_ordinal = false;
+
+  bool valid() const { return writer != kInvalidSite; }
+  friend bool operator==(const BlockingDep&, const BlockingDep&) = default;
+};
+
 /// Tunables shared by all protocols; Opt-Track additionally honours the
 /// pruning toggles (used by the ablation bench — all on by default, as in
 /// the paper).
@@ -142,6 +161,18 @@ class Protocol {
   /// without violating causal order. Must be monotone (once true, stays
   /// true).
   virtual bool ready(const PendingUpdate& u) const = 0;
+
+  /// Explains a false activation predicate: the identity of the dependency
+  /// currently blocking `u` (the first failing clause of ready(), so
+  /// deterministic for a given protocol state). Must return an invalid
+  /// BlockingDep when ready(u) is true. Called only when the runtime has a
+  /// trace sink attached — provenance is free when tracing is off. The
+  /// reported blocker must be *progress-tight*: once the named write is
+  /// applied, re-querying yields a different blocker or ready() turns true.
+  virtual BlockingDep blocking_dep(const PendingUpdate& u) const {
+    (void)u;
+    return {};
+  }
 
   /// Applies `u`'s ordering effects (Apply counters, LastWriteOn). The
   /// runtime writes the value into the variable store.

@@ -256,7 +256,14 @@ void SiteRuntime::handle_sm(Envelope env) {
                                                                "must deliver intact bytes)");
     recycle_locked(std::move(env.meta));  // decode_sm copied what it needs
     const bool buffered = !protocol_->ready(*update);
-    pending_.push_back(QueuedUpdate{std::move(update), now_locked(), buffered});
+    QueuedUpdate queued{std::move(update), now_locked(), buffered, {}, 0};
+    if (buffered && trace_ != nullptr) {
+      // Provenance: capture *why* the predicate is false. Queried only with
+      // a sink attached, so a traceless run never pays for blocking_dep.
+      queued.blocker = protocol_->blocking_dep(*queued.update);
+      queued.blocker_since = queued.received;
+    }
+    pending_.push_back(std::move(queued));
     pending_hwm_ = std::max(pending_hwm_, pending_.size());
     if (buffered) {
       ++buffered_updates_;
@@ -265,6 +272,11 @@ void SiteRuntime::handle_sm(Envelope env) {
       e.peer = env.sender;
       e.a = env.var;
       e.b = pending_.size();
+      e.c = obs::pack_write_id(env.write);
+      const causal::BlockingDep& dep = pending_.back().blocker;
+      if (dep.valid()) {
+        e.d = obs::pack_blocking_dep(dep.writer, dep.value, dep.is_ordinal);
+      }
       trace_locked(e);
     }
     drain_pending_locked();
@@ -378,6 +390,10 @@ void SiteRuntime::drain_pending_locked() {
       const auto& env = queued.update->env();
       store_[env.var] = {env.value, env.write};
       if (recorder_ != nullptr) recorder_->record_apply(self_, env.var, env.write);
+      if (queued.blocker.valid()) {
+        // Close the final blocker segment: its end is this apply (d = 0).
+        trace_dep_satisfied_locked(queued, causal::BlockingDep{});
+      }
       {
         obs::TraceEvent e;
         e.type = obs::TraceEventType::kActivated;
@@ -386,13 +402,46 @@ void SiteRuntime::drain_pending_locked() {
         e.dur = waited;
         e.a = env.var;
         e.b = queued.was_buffered ? 1 : 0;
+        e.c = obs::pack_write_id(env.write);
         trace_locked(e);
       }
+      if (trace_ != nullptr) trace_dep_progress_locked();
       progress = true;
       break;  // iterator invalidated; rescan from the front
     }
   }
   drain_held_fetches_locked();
+}
+
+void SiteRuntime::trace_dep_satisfied_locked(const QueuedUpdate& queued,
+                                             const causal::BlockingDep& next) {
+  obs::TraceEvent e;
+  e.type = obs::TraceEventType::kDepSatisfied;
+  e.peer = queued.update->env().sender;
+  e.ts = queued.blocker_since;
+  e.dur = now_locked() - queued.blocker_since;
+  e.a = queued.update->env().var;
+  e.b = obs::pack_write_id(queued.update->env().write);
+  e.c = obs::pack_blocking_dep(queued.blocker.writer, queued.blocker.value,
+                               queued.blocker.is_ordinal);
+  if (next.valid()) {
+    e.d = obs::pack_blocking_dep(next.writer, next.value, next.is_ordinal);
+  }
+  trace_locked(e);
+}
+
+void SiteRuntime::trace_dep_progress_locked() {
+  for (QueuedUpdate& queued : pending_) {
+    if (!queued.blocker.valid()) continue;
+    const causal::BlockingDep dep = protocol_->blocking_dep(*queued.update);
+    // A now-ready update keeps its blocker: the final segment is closed by
+    // the apply itself (d = 0), not here — otherwise the tiling would leave
+    // an unattributed gap between "last blocker resolved" and the apply.
+    if (!dep.valid() || dep == queued.blocker) continue;
+    trace_dep_satisfied_locked(queued, dep);
+    queued.blocker = dep;
+    queued.blocker_since = now_locked();
+  }
 }
 
 void SiteRuntime::drain_held_fetches_locked() {
@@ -429,6 +478,9 @@ void SiteRuntime::send_envelope(const Envelope& env, SiteId to, bool record) {
     e.peer = to;
     e.a = env.var;
     e.b = sizes.header + sizes.meta;
+    // Provenance: SM sends carry the write's identity so the analyzer can
+    // join this send to its kBuffered/kActivated at the destination.
+    if (env.kind == MessageKind::kSM) e.c = obs::pack_write_id(env.write);
     trace_locked(e);
   }
   transport_.send(self_, to, frame.take());

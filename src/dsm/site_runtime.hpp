@@ -175,6 +175,12 @@ class SiteRuntime final : public net::PacketHandler, private causal::ProtocolObs
   /// Applies every pending update whose activation predicate holds,
   /// repeating until a fixpoint (applies can enable other applies).
   void drain_pending_locked();
+  /// After an apply changed protocol state: re-queries the blocking
+  /// dependency of every still-buffered update and emits a kDepSatisfied
+  /// segment for each one whose blocker moved on. Trace-only (no-op
+  /// without a sink); never called when tracing is off, so provenance
+  /// keeps the "tracing is free when disabled" bound.
+  void trace_dep_progress_locked();
   void send_envelope(const Envelope& env, SiteId to, bool record);
   void sample_meta_locked();
   /// Meta-data writer backed by a pooled buffer when a pool is attached.
@@ -208,7 +214,17 @@ class SiteRuntime final : public net::PacketHandler, private causal::ProtocolObs
     std::unique_ptr<causal::PendingUpdate> update;
     SimTime received = 0;
     bool was_buffered = false;  // activation predicate was false on arrival
+    /// Provenance (filled only while a trace sink is attached): the
+    /// dependency currently blocking this update and when it became the
+    /// blocker. Each blocker change emits one kDepSatisfied segment, so
+    /// the segments tile [received, apply) exactly.
+    causal::BlockingDep blocker;
+    SimTime blocker_since = 0;
   };
+
+  /// One closed blocker segment of a buffered update (see kDepSatisfied).
+  void trace_dep_satisfied_locked(const QueuedUpdate& queued,
+                                  const causal::BlockingDep& next);
 
   struct HeldFetch {
     Envelope request;

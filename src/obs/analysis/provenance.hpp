@@ -1,0 +1,178 @@
+// causim::obs::provenance — per-operation causal dependency DAGs and
+// critical-path decomposition of visibility latency, reconstructed offline
+// from the structured trace (the engine behind `causim-trace explain` and
+// `causim-trace critpath`).
+//
+// One *op* is one SM delivery: a write travelling from its origin site to
+// one destination replica. Its visibility latency t_apply - t_send is
+// decomposed into additive segments:
+//
+//   sched    — local schedule wait, op issue -> SM send (0 under the DES:
+//              the application subsystem sends inline);
+//   wire     — the first transmission's one-way delay (matched kWireDelay);
+//   arq      — everything else between send and receipt: retransmit and
+//              recovery time on a faulty wire (exactly 0 on a clean one);
+//   dep_wait — receipt -> apply, the time the activation predicate was
+//              false, tiled into per-blocker segments by the kDepSatisfied
+//              events so every microsecond is attributed to the specific
+//              predecessor write that was missing;
+//   apply    — the residual (0 under the DES's instantaneous applies).
+//
+// wire + arq = t_recv - t_send and dep_wait = t_apply - t_recv by
+// construction, so the segments sum to the measured visibility latency
+// exactly; `sum_mismatch` counts ops violating that (a malformed trace).
+//
+// The analyzer is deterministic: the same trace produces byte-identical
+// causim.provenance.v1 reports (map iteration is key-sorted, top-K ties
+// break on write id then destination). Traces that concatenate several
+// same-cell runs (multi-seed experiments reuse one sink) are split into
+// epochs at the points where the emission clock jumps backwards, so write
+// ids and apply ordinals never collide across runs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "obs/trace_event.hpp"
+
+namespace causim::obs::analysis {
+
+struct ProvenanceOptions {
+  /// Free-form label embedded in the report ("" keeps CLI/in-process
+  /// outputs of the same trace identical).
+  std::string label;
+  /// Ring-buffer drops (callers know; the analyzer cannot). A truncated
+  /// trace yields partial DAGs — the CLI refuses it without
+  /// --allow-dropped.
+  std::uint64_t dropped = 0;
+  /// Worst ops kept in the report with their full dependency chains.
+  std::size_t top_k = 10;
+  /// Depth cap when following a critical path through predecessor ops.
+  std::size_t max_chain = 16;
+};
+
+/// One closed blocker segment of an op's dependency wait (from one
+/// kDepSatisfied event).
+struct DepSegment {
+  /// The packed blocking dependency as traced (see pack_blocking_dep).
+  std::uint64_t blocker = 0;
+  /// The predecessor write the blocker resolved to (packed WriteId), 0
+  /// when the join failed (e.g. the predecessor activated outside the
+  /// trace window).
+  std::uint64_t blocker_wid = 0;
+  SimTime since = 0;
+  SimTime wait = 0;
+};
+
+/// One SM delivery (one write at one destination).
+struct OpRecord {
+  WriteId write;
+  SiteId origin = kInvalidSite;
+  SiteId dest = kInvalidSite;
+  VarId var = kInvalidVar;
+  std::uint32_t epoch = 0;  // run ordinal inside a concatenated trace
+  SimTime t_issue = -1;
+  SimTime t_send = -1;
+  SimTime t_recv = -1;
+  SimTime t_apply = -1;
+  SimTime sched = 0;
+  SimTime wire = 0;
+  SimTime arq = 0;
+  SimTime dep_wait = 0;
+  SimTime apply = 0;
+  bool buffered = false;
+  bool activated = false;
+  bool dropped_first_tx = false;  // first transmission lost to the fault layer
+  std::vector<DepSegment> segments;
+
+  SimTime visibility() const { return activated ? t_apply - t_send : 0; }
+};
+
+/// Aggregate over one segment kind.
+struct SegmentStats {
+  std::uint64_t count = 0;  // ops with a nonzero contribution
+  double total_us = 0.0;
+  double max_us = 0.0;
+
+  void record(SimTime v) {
+    if (v <= 0) return;
+    ++count;
+    total_us += static_cast<double>(v);
+    max_us = std::max(max_us, static_cast<double>(v));
+  }
+};
+
+/// Dependency-wait attribution to one blocking predecessor writer site.
+struct BlockedOnWriter {
+  std::uint64_t segments = 0;
+  double wait_us = 0.0;
+};
+
+/// Per-destination-site segment totals.
+struct SiteCritpath {
+  std::uint64_t activated = 0;
+  std::uint64_t buffered = 0;
+  double wire_us = 0.0;
+  double arq_us = 0.0;
+  double dep_wait_us = 0.0;
+  double visibility_us = 0.0;
+};
+
+struct ProvenanceReport {
+  std::string label;
+  std::size_t events = 0;
+  std::uint64_t dropped = 0;
+  SiteId sites = 0;
+  std::uint32_t epochs = 1;  // concatenated runs detected in the trace
+
+  // -- op census --
+  std::uint64_t sm_sends = 0;        // SM send events carrying a write id
+  std::uint64_t activated = 0;       // ops with a matched activation
+  std::uint64_t buffered = 0;        // ...that waited in the pending queue
+  std::uint64_t unmatched_sends = 0; // sends never activated in the trace
+  std::uint64_t unresolved = 0;      // buffered ops whose blocker chain is
+                                     // missing or does not tile dep_wait
+  std::uint64_t sum_mismatch = 0;    // segment sums != visibility latency
+  std::uint64_t dropped_first_tx = 0;
+
+  SegmentStats sched, wire, arq, dep_wait, apply;
+  SegmentStats visibility;
+
+  std::map<SiteId, SiteCritpath> per_site;             // keyed by destination
+  std::map<SiteId, BlockedOnWriter> blocked_on_writer; // keyed by blocking writer
+
+  /// Every reconstructed op, in send order (for explain / chain walks).
+  std::vector<OpRecord> ops;
+  /// Indices into `ops` of the top_k worst activated ops by visibility
+  /// latency (descending; ties by write id then destination).
+  std::vector<std::size_t> top_ops;
+
+  /// All deliveries of one write (every destination), send order.
+  std::vector<const OpRecord*> ops_of(WriteId w) const;
+  /// One delivery, or nullptr.
+  const OpRecord* find_op(WriteId w, SiteId dest) const;
+  /// The worst activated op (nullptr when nothing activated).
+  const OpRecord* worst_op() const;
+  /// Resolves a segment's predecessor record at the same destination.
+  const OpRecord* predecessor(const OpRecord& op, const DepSegment& s) const;
+
+  /// Deterministic report JSON (schema causim.provenance.v1).
+  void write_json(std::ostream& out) const;
+  /// Human-readable DAG + annotated critical path of one op (every
+  /// destination of `w`, or just `dest` when given). Returns false when
+  /// the write is not in the trace.
+  bool write_explain(std::ostream& out, WriteId w,
+                     std::optional<SiteId> dest = std::nullopt,
+                     std::size_t max_depth = 8) const;
+};
+
+ProvenanceReport analyze_provenance(const std::vector<TraceEvent>& events,
+                                    const ProvenanceOptions& options = {});
+
+}  // namespace causim::obs::analysis

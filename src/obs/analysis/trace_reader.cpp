@@ -13,6 +13,7 @@ constexpr TraceEventType kAllEventTypes[] = {
     TraceEventType::kLogPrune,   TraceEventType::kLogSample,
     TraceEventType::kDrop,       TraceEventType::kRetransmit,
     TraceEventType::kRttSample,  TraceEventType::kTimeSample,
+    TraceEventType::kDepSatisfied,
 };
 
 bool set_error(std::string* error, const std::string& message) {
@@ -72,6 +73,10 @@ std::optional<TraceDocument> read_chrome_trace(const Json& doc, std::string* err
                                    : kInvalidSite;
     e.a = static_cast<std::uint64_t>(args.at("a").number());
     e.b = static_cast<std::uint64_t>(args.at("b").number());
+    // Provenance args are written only when nonzero (and never by
+    // pre-provenance writers), so absence means 0.
+    if (args.contains("c")) e.c = static_cast<std::uint64_t>(args.at("c").number());
+    if (args.contains("d")) e.d = static_cast<std::uint64_t>(args.at("d").number());
     out.events.push_back(e);
   }
   if (error != nullptr) error->clear();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <ostream>
 
 #include "common/panic.hpp"
@@ -19,30 +20,43 @@ SimTime steady_ns() {
 
 }  // namespace
 
-/// Per-variable FIFO of outstanding send timestamps: a ring over a vector.
+/// One outstanding SM send awaiting its activation. `wire` and `dropped`
+/// are filled by the critpath instrument (first-hop kWireDelay / kDrop
+/// matching); the baseline visibility tracker only reads `t`.
+struct PendingSend {
+  SimTime t = 0;
+  SimTime wire = 0;
+  bool dropped = false;
+};
+
+/// Per-variable FIFO of outstanding sends: a ring over a vector.
 /// Push at tail, pop at head; grows (amortized, doubling) only while the
 /// number of in-flight same-variable writes exceeds every previous burst.
 struct PendingQueue {
-  std::vector<SimTime> slots;
+  std::vector<PendingSend> slots;
   std::size_t head = 0;
   std::size_t size = 0;
 
-  void push(SimTime t) {
+  /// Pushes and returns the ring index of the new element (the critpath
+  /// wire matcher patches it before anything else can touch the queue).
+  std::size_t push(SimTime t) {
     if (size == slots.size()) {
       // Full: re-linearize into a doubled buffer (rare; steady state never
       // allocates once the deepest in-flight burst has been seen).
-      std::vector<SimTime> grown;
+      std::vector<PendingSend> grown;
       grown.reserve(std::max<std::size_t>(8, slots.size() * 2));
       for (std::size_t i = 0; i < size; ++i) grown.push_back(slots[(head + i) % slots.size()]);
       grown.resize(grown.capacity());
       slots = std::move(grown);
       head = 0;
     }
-    slots[(head + size) % slots.size()] = t;
+    const std::size_t at = (head + size) % slots.size();
+    slots[at] = PendingSend{t, 0, false};
     ++size;
+    return at;
   }
 
-  bool pop(SimTime* out) {
+  bool pop(PendingSend* out) {
     if (size == 0) return false;
     *out = slots[head];
     head = (head + 1) % slots.size();
@@ -60,6 +74,73 @@ struct LiveTelemetry::Shard {
   std::mutex mutex;
   stats::Histogram histogram;
   std::vector<PendingQueue> queues;  // one per variable
+
+  /// Critpath wire matcher: the SM pushed last on this channel, still
+  /// awaiting its first kWireDelay / kDrop. Sound because the transport
+  /// emits the wire event synchronously after the send on the same channel
+  /// (exact under the DES; best-effort under thread interleaving).
+  bool awaiting_wire = false;
+  VarId awaiting_var = kInvalidVar;
+  std::size_t awaiting_slot = 0;
+};
+
+/// Critpath instrument state (LiveConfig::critpath). One global shard: the
+/// segment histograms see every site pair, the blocked-on table is
+/// cluster-wide, and contention stays off the baseline path.
+struct LiveTelemetry::Critpath {
+  explicit Critpath(const LiveConfig& config)
+      : wire(stats::Histogram::log_scale(config.latency_lo_us, config.latency_hi_us,
+                                         config.buckets_per_decade)),
+        arq(wire.empty_clone()),
+        dep_wait(wire.empty_clone()),
+        blocked_writer_us(config.sites, 0.0),
+        top_k(std::max<std::size_t>(1, config.critpath_top_k)) {}
+
+  struct TopEntry {
+    std::uint64_t segments = 0;
+    double wait_us = 0.0;
+    double error_us = 0.0;  // space-saving over-count bound
+  };
+
+  std::mutex mutex;
+  stats::Histogram wire;
+  stats::Histogram arq;
+  stats::Histogram dep_wait;
+  double wire_total_us = 0.0;
+  double arq_total_us = 0.0;
+  double dep_wait_total_us = 0.0;
+  std::uint64_t ops = 0;
+  std::uint64_t dep_segments = 0;
+  std::uint64_t dropped_first_tx = 0;
+  std::vector<double> blocked_writer_us;
+  /// Space-saving (Misra-Gries) table keyed by the packed blocking dep,
+  /// weighted by wait µs: bounded memory, deterministic eviction (min
+  /// weight, ties to the largest key so older/smaller ids survive).
+  std::map<std::uint64_t, TopEntry> top;
+  std::size_t top_k;
+
+  void record_blocked(std::uint64_t key, SimTime wait) {
+    const auto w = static_cast<double>(wait);
+    ++dep_segments;
+    const auto it = top.find(key);
+    if (it != top.end()) {
+      ++it->second.segments;
+      it->second.wait_us += w;
+      return;
+    }
+    if (top.size() < top_k) {
+      top.emplace(key, TopEntry{1, w, 0.0});
+      return;
+    }
+    auto victim = top.begin();
+    for (auto i = std::next(top.begin()); i != top.end(); ++i) {
+      if (i->second.wait_us <= victim->second.wait_us) victim = i;
+    }
+    const TopEntry evicted = victim->second;
+    top.erase(victim);
+    top.emplace(key, TopEntry{evicted.segments + 1, evicted.wait_us + w,
+                              evicted.wait_us});
+  }
 };
 
 LiveTelemetry::LiveTelemetry(const LiveConfig& config) : config_(config) {
@@ -70,6 +151,7 @@ LiveTelemetry::LiveTelemetry(const LiveConfig& config) : config_(config) {
   const std::size_t n = config_.sites;
   shards_.reserve(n * n);
   for (std::size_t i = 0; i < n * n; ++i) shards_.push_back(std::make_unique<Shard>(config_));
+  if (config_.critpath) critpath_ = std::make_unique<Critpath>(config_);
   samples_.reserve(config_.max_samples);
 }
 
@@ -101,7 +183,44 @@ void LiveTelemetry::on_send(const TraceEvent& event) {
   const SimTime t = use_event_ts_ ? event.ts : wall_now();
   Shard& s = shard(event.site, event.peer);
   std::lock_guard<std::mutex> lock(s.mutex);
-  s.queues[event.a].push(t);
+  const std::size_t at = s.queues[event.a].push(t);
+  if (critpath_ != nullptr) {
+    s.awaiting_wire = true;
+    s.awaiting_var = static_cast<VarId>(event.a);
+    s.awaiting_slot = at;
+  }
+}
+
+void LiveTelemetry::on_wire_delay(const TraceEvent& event) {
+  // kWireDelay: site = sender, peer = destination. The transport emits it
+  // synchronously after the kSend it serves, so a pending marker on this
+  // channel belongs to that send's SM.
+  if (event.site >= config_.sites || event.peer >= config_.sites) return;
+  Shard& s = shard(event.site, event.peer);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.awaiting_wire) return;
+  s.queues[s.awaiting_var].slots[s.awaiting_slot].wire = event.dur;
+  s.awaiting_wire = false;
+}
+
+void LiveTelemetry::on_first_tx_lost(const TraceEvent& event, bool dropped) {
+  // kDrop / kRetransmit: the awaiting SM's first transmission never made a
+  // clean hop — its whole transit will count as arq (wire stays 0).
+  if (event.site >= config_.sites || event.peer >= config_.sites) return;
+  Shard& s = shard(event.site, event.peer);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.awaiting_wire) return;
+  if (dropped) s.queues[s.awaiting_var].slots[s.awaiting_slot].dropped = true;
+  s.awaiting_wire = false;
+}
+
+void LiveTelemetry::on_dep_satisfied(const TraceEvent& event) {
+  const SiteId writer = static_cast<SiteId>((event.c >> 32) & 0xFFFFu);
+  std::lock_guard<std::mutex> lock(critpath_->mutex);
+  if (writer < config_.sites) {
+    critpath_->blocked_writer_us[writer] += static_cast<double>(event.dur);
+  }
+  critpath_->record_blocked(event.c, event.dur);
 }
 
 void LiveTelemetry::on_activated(const TraceEvent& event) {
@@ -115,17 +234,43 @@ void LiveTelemetry::on_activated(const TraceEvent& event) {
   const SimTime t_apply = use_event_ts_ ? event.ts : wall_now();
   Shard& s = shard(event.peer, event.site);
   double latency_us = 0.0;
+  PendingSend sent;
   {
     std::lock_guard<std::mutex> lock(s.mutex);
-    SimTime t_send = 0;
-    if (!s.queues[event.a].pop(&t_send)) {
+    if (!s.queues[event.a].pop(&sent)) {
       unmatched_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    latency_us = static_cast<double>(std::max<SimTime>(0, t_apply - t_send));
+    // The popped slot can be the one the wire matcher still points at
+    // (e.g. an unmatched first hop); invalidate so a later kWireDelay
+    // cannot patch a recycled slot.
+    if (s.awaiting_wire && s.awaiting_var == static_cast<VarId>(event.a) &&
+        s.queues[event.a].size == 0) {
+      s.awaiting_wire = false;
+    }
+    latency_us = static_cast<double>(std::max<SimTime>(0, t_apply - sent.t));
     s.histogram.record(latency_us);
   }
   matched_.fetch_add(1, std::memory_order_relaxed);
+  if (critpath_ != nullptr) {
+    // True apply instant: ts is the receipt, dur the buffered wait.
+    const SimTime t_recv = event.ts;
+    const SimTime applied = use_event_ts_ ? event.ts + event.dur : wall_now();
+    const SimTime transit = std::max<SimTime>(0, t_recv - sent.t);
+    const SimTime wire = std::min(std::max<SimTime>(0, sent.wire), transit);
+    const SimTime arq = transit - wire;
+    const SimTime dep_wait =
+        use_event_ts_ ? event.dur : std::max<SimTime>(0, applied - t_recv);
+    std::lock_guard<std::mutex> lock(critpath_->mutex);
+    ++critpath_->ops;
+    if (sent.dropped) ++critpath_->dropped_first_tx;
+    if (wire > 0) critpath_->wire.record(static_cast<double>(wire));
+    if (arq > 0) critpath_->arq.record(static_cast<double>(arq));
+    if (dep_wait > 0) critpath_->dep_wait.record(static_cast<double>(dep_wait));
+    critpath_->wire_total_us += static_cast<double>(wire);
+    critpath_->arq_total_us += static_cast<double>(arq);
+    critpath_->dep_wait_total_us += static_cast<double>(dep_wait);
+  }
   if (config_.keep_latency_samples) {
     std::lock_guard<std::mutex> lock(raw_mutex_);
     raw_latencies_.push_back(latency_us);
@@ -142,6 +287,18 @@ void LiveTelemetry::emit(const TraceEvent& event) {
       break;
     case TraceEventType::kActivated:
       on_activated(event);
+      break;
+    case TraceEventType::kWireDelay:
+      if (critpath_ != nullptr) on_wire_delay(event);
+      break;
+    case TraceEventType::kDrop:
+      if (critpath_ != nullptr) on_first_tx_lost(event, /*dropped=*/true);
+      break;
+    case TraceEventType::kRetransmit:
+      if (critpath_ != nullptr) on_first_tx_lost(event, /*dropped=*/false);
+      break;
+    case TraceEventType::kDepSatisfied:
+      if (critpath_ != nullptr) on_dep_satisfied(event);
       break;
     default:
       break;
@@ -198,6 +355,49 @@ VisibilitySummary LiveTelemetry::visibility_summary() const {
   return s;
 }
 
+CritpathSummary LiveTelemetry::critpath_summary() const {
+  CritpathSummary s;
+  if (critpath_ == nullptr) return s;
+  std::lock_guard<std::mutex> lock(critpath_->mutex);
+  s.enabled = true;
+  s.ops = critpath_->ops;
+  s.dep_segments = critpath_->dep_segments;
+  s.dropped_first_tx = critpath_->dropped_first_tx;
+  const auto digest = [](const stats::Histogram& h, double total) {
+    CritpathSegment seg;
+    seg.count = h.count();
+    seg.total_us = total;
+    seg.mean_us = h.mean();
+    seg.p50_us = h.p50();
+    seg.p90_us = h.p90();
+    seg.p99_us = h.p99();
+    seg.max_us = h.max();
+    return seg;
+  };
+  s.wire = digest(critpath_->wire, critpath_->wire_total_us);
+  s.arq = digest(critpath_->arq, critpath_->arq_total_us);
+  s.dep_wait = digest(critpath_->dep_wait, critpath_->dep_wait_total_us);
+  s.blocked_on_writer_us = critpath_->blocked_writer_us;
+  s.top_blockers.reserve(critpath_->top.size());
+  for (const auto& [key, entry] : critpath_->top) {
+    BlockedOnEntry row;
+    row.writer = static_cast<SiteId>((key >> 32) & 0xFFFFu);
+    row.value = static_cast<WriteClock>(key & 0xFFFFFFFFull);
+    row.ordinal = (key & kBlockingDepOrdinalBit) != 0;
+    row.segments = entry.segments;
+    row.wait_us = entry.wait_us;
+    row.error_us = entry.error_us;
+    s.top_blockers.push_back(row);
+  }
+  std::sort(s.top_blockers.begin(), s.top_blockers.end(),
+            [](const BlockedOnEntry& a, const BlockedOnEntry& b) {
+              if (a.wait_us != b.wait_us) return a.wait_us > b.wait_us;
+              if (a.writer != b.writer) return a.writer < b.writer;
+              return a.value < b.value;
+            });
+  return s;
+}
+
 std::vector<double> LiveTelemetry::latency_samples() const {
   std::lock_guard<std::mutex> lock(raw_mutex_);
   return raw_latencies_;
@@ -237,6 +437,16 @@ void LiveTelemetry::export_metrics(MetricsRegistry& registry) const {
   registry.counter("live.visibility.matched").add(matched());
   registry.counter("live.visibility.unmatched").add(unmatched());
   registry.counter("live.samples").add(samples_taken_.load(std::memory_order_relaxed));
+  if (critpath_ != nullptr) {
+    std::lock_guard<std::mutex> lock(critpath_->mutex);
+    registry.histogram("live.critpath.wire.us", critpath_->wire) += critpath_->wire;
+    registry.histogram("live.critpath.arq.us", critpath_->arq) += critpath_->arq;
+    registry.histogram("live.critpath.dep_wait.us", critpath_->dep_wait) +=
+        critpath_->dep_wait;
+    registry.counter("live.critpath.ops").add(critpath_->ops);
+    registry.counter("live.critpath.dep_segments").add(critpath_->dep_segments);
+    registry.counter("live.critpath.dropped_first_tx").add(critpath_->dropped_first_tx);
+  }
 }
 
 void replay_events(const std::vector<TraceEvent>& events, LiveTelemetry& into) {

@@ -76,6 +76,16 @@ struct LiveConfig {
   /// Keep every raw latency sample (tests compare streamed quantiles
   /// against the exact sorted-sample oracle). Unbounded — off in benches.
   bool keep_latency_samples = false;
+
+  /// Critical-path decomposition (PR 7): additionally fold every matched
+  /// SM's visibility latency into per-segment streaming histograms
+  /// (wire / arq / dep_wait, using the true apply instant ts + dur) and a
+  /// bounded top-K "blocked on" table fed by kDepSatisfied segments.
+  /// Memory stays O(sites² + top-K); off by default so the baseline
+  /// visibility tracker (and its bench.v1 bytes) are untouched.
+  bool critpath = false;
+  /// Capacity of the space-saving top-K blocked-on table.
+  std::size_t critpath_top_k = 8;
 };
 
 /// Cluster-wide gauges the engine snapshots into each time sample.
@@ -102,6 +112,45 @@ struct TimeSample {
   std::uint64_t log_bytes = 0;
   std::uint64_t reliable_frames = 0;
   std::uint64_t retransmits = 0;
+};
+
+/// One critical-path segment's streaming digest (LiveConfig::critpath).
+struct CritpathSegment {
+  std::uint64_t count = 0;  // ops with a nonzero contribution
+  double total_us = 0.0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// One row of the bounded blocked-on table: a specific blocking dependency
+/// and the total dependency-wait attributed to it. `ordinal` mirrors the
+/// pack_blocking_dep tag — true means `value` is a per-destination apply
+/// ordinal (Full-Track), false a writer clock (a concrete WriteId).
+/// `error_us` is the space-saving over-count bound (0 = exact).
+struct BlockedOnEntry {
+  SiteId writer = kInvalidSite;
+  WriteClock value = 0;
+  bool ordinal = false;
+  std::uint64_t segments = 0;
+  double wait_us = 0.0;
+  double error_us = 0.0;
+};
+
+/// Everything the critpath instrument learned (bench.v1 `critpath` block).
+struct CritpathSummary {
+  bool enabled = false;
+  std::uint64_t ops = 0;               // matched activations folded in
+  std::uint64_t dep_segments = 0;      // kDepSatisfied events observed
+  std::uint64_t dropped_first_tx = 0;  // ops whose first transmission was lost
+  CritpathSegment wire, arq, dep_wait;
+  /// Exact per-blocking-writer dependency-wait totals (µs), index = site.
+  std::vector<double> blocked_on_writer_us;
+  /// Top-K individual blockers by attributed wait, descending (ties by
+  /// packed id); bounded by LiveConfig::critpath_top_k.
+  std::vector<BlockedOnEntry> top_blockers;
 };
 
 /// The quantile digest a bench.v1 cell embeds.
@@ -167,6 +216,10 @@ class LiveTelemetry final : public TraceSink {
   const stats::Histogram& pair_histogram(SiteId origin, SiteId dest) const;
   VisibilitySummary visibility_summary() const;
 
+  /// Critpath digest; `enabled` is false when LiveConfig::critpath was off
+  /// (every other field is then zero).
+  CritpathSummary critpath_summary() const;
+
   /// Raw latencies in match order (only with keep_latency_samples).
   std::vector<double> latency_samples() const;
 
@@ -190,10 +243,17 @@ class LiveTelemetry final : public TraceSink {
   /// steady state after the first burst — no per-event allocation).
   struct Shard;
 
+  /// Critpath state (allocated only with LiveConfig::critpath): segment
+  /// histograms, per-writer wait totals, the space-saving table.
+  struct Critpath;
+
   Shard& shard(SiteId origin, SiteId dest);
   const Shard& shard(SiteId origin, SiteId dest) const;
   void on_send(const TraceEvent& event);
   void on_activated(const TraceEvent& event);
+  void on_wire_delay(const TraceEvent& event);
+  void on_first_tx_lost(const TraceEvent& event, bool dropped);
+  void on_dep_satisfied(const TraceEvent& event);
 
   LiveConfig config_;
   TraceSink* downstream_ = nullptr;
@@ -201,6 +261,7 @@ class LiveTelemetry final : public TraceSink {
   SimTime epoch_ns_ = 0;  // steady-clock construction instant
 
   std::vector<std::unique_ptr<Shard>> shards_;  // sites × sites
+  std::unique_ptr<Critpath> critpath_;          // null unless enabled
 
   std::atomic<std::uint64_t> ops_{0};
   std::atomic<std::uint64_t> sends_{0};

@@ -45,7 +45,12 @@ void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events
     out << ",\"pid\":" << pid_of(e) << ",\"tid\":0,\"args\":{";
     out << "\"kind\":\"" << causim::to_string(e.kind) << "\"";
     if (e.peer != kInvalidSite) out << ",\"peer\":" << e.peer;
-    out << ",\"a\":" << e.a << ",\"b\":" << e.b << "}}";
+    out << ",\"a\":" << e.a << ",\"b\":" << e.b;
+    // Provenance arguments are optional so pre-provenance traces (and the
+    // event types that never use them) keep their exact serialization.
+    if (e.c != 0) out << ",\"c\":" << e.c;
+    if (e.d != 0) out << ",\"d\":" << e.d;
+    out << "}}";
     first = false;
   }
   out << "]}\n";

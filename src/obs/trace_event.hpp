@@ -74,6 +74,17 @@ enum class TraceEventType : std::uint8_t {
   /// at the sample instant, b = the sampler's monotonically increasing
   /// sample ordinal. Emitted only when live telemetry is attached.
   kTimeSample,
+  /// Provenance span: one segment of a buffered SM's dependency wait. The
+  /// activation predicate named a specific blocking dependency (see
+  /// pack_blocking_dep); this event closes that segment when the blocker
+  /// resolved — either because the predicate moved on to the next blocker
+  /// or because the SM activated. ts = when this blocker became the
+  /// blocking dependency, dur = how long it blocked, peer = the SM's
+  /// sender, a = var, b = the SM's packed WriteId, c = the packed resolved
+  /// blocker, d = the packed next blocker (0 when the SM is about to
+  /// activate). Consecutive segments tile [receipt, apply), so their durs
+  /// sum to the matching kActivated's dur exactly.
+  kDepSatisfied,
 };
 
 inline const char* to_string(TraceEventType t) {
@@ -94,6 +105,7 @@ inline const char* to_string(TraceEventType t) {
     case TraceEventType::kRetransmit: return "retransmit";
     case TraceEventType::kRttSample: return "rtt_sample";
     case TraceEventType::kTimeSample: return "time_sample";
+    case TraceEventType::kDepSatisfied: return "dep_satisfied";
   }
   return "??";
 }
@@ -115,6 +127,43 @@ struct TraceEvent {
   /// Type-specific arguments (see the enum's comments).
   std::uint64_t a = 0;
   std::uint64_t b = 0;
+  /// Provenance arguments (PR 7): the packed WriteId of the event's SM and
+  /// the packed blocking dependency, where each event type uses them.
+  /// kSend (SM), kBuffered and kActivated carry c = pack_write_id(write);
+  /// kBuffered additionally carries d = the packed blocking dependency;
+  /// kDepSatisfied uses both (see the enum). 0 everywhere else, and 0 on
+  /// traces recorded before the fields existed — readers must treat 0 as
+  /// "not recorded".
+  std::uint64_t c = 0;
+  std::uint64_t d = 0;
 };
+
+/// WriteId <-> trace argument packing: (writer << 32) | clock. Writer ids
+/// are 16 bits and clocks 32, so the pack is lossless; 0 is never a valid
+/// packed id (a real write has clock >= 1), making it the "absent" marker.
+inline std::uint64_t pack_write_id(WriteId w) {
+  return (static_cast<std::uint64_t>(w.writer) << 32) | w.clock;
+}
+
+inline WriteId unpack_write_id(std::uint64_t packed) {
+  return WriteId{static_cast<SiteId>(packed >> 32),
+                 static_cast<WriteClock>(packed & 0xFFFFFFFFull)};
+}
+
+/// Blocking-dependency packing for kBuffered.d / kDepSatisfied.c|d. Same
+/// layout as pack_write_id plus a tag bit: bit 48 set means `value` is a
+/// per-site activation *ordinal* (the value-th SM from `writer` applied at
+/// the blocked site — Full-Track counts per-destination deliveries, not
+/// writer clocks), clear means `value` is the writer's clock, i.e. a real
+/// WriteId (Opt-P / Opt-Track / Opt-Track-CRP). Bit 48 rather than 63 so
+/// every packed value stays below 2^53 and survives the JSON double
+/// round-trip of the Chrome trace format losslessly.
+constexpr std::uint64_t kBlockingDepOrdinalBit = 1ull << 48;
+
+inline std::uint64_t pack_blocking_dep(SiteId writer, WriteClock value,
+                                       bool is_ordinal) {
+  return (is_ordinal ? kBlockingDepOrdinalBit : 0ull) |
+         (static_cast<std::uint64_t>(writer) << 32) | value;
+}
 
 }  // namespace causim::obs

@@ -2,7 +2,7 @@
 """Validate observability artifacts (CI quick-bench gate).
 
 Usage: check_trace.py [--trace FILE] [--metrics FILE] [--report FILE]
-                      [--diff FILE] [--timeseries FILE]
+                      [--diff FILE] [--timeseries FILE] [--provenance FILE]
 
 Fails (exit 1) when a given file is missing, empty, unparseable, or
 structurally wrong:
@@ -15,7 +15,14 @@ structurally wrong:
             the `causim` metadata reports zero ring-buffer drops (a
             truncated trace fails the gate); rtt_sample events (adaptive
             RTO) are instants with a peer, a positive sample and a
-            positive resulting RTO.
+            positive resulting RTO; provenance events are consistent:
+            every buffered event carrying a write id (c) also names its
+            blocking dependency (d), every dep_satisfied segment carries
+            a write id and a resolved blocker, and each buffered
+            activation's dep_satisfied chain tiles [receipt, apply)
+            exactly — contiguous segments starting at the activation's
+            ts, ending with the only open-ended (no next blocker)
+            segment, their durations summing to the activation's dur.
   metrics — registry JSON: the four sections exist, per-kind message
             counters are present and positive, every histogram's
             quantiles are ordered (p50 <= p90 <= p99), and when the
@@ -32,6 +39,12 @@ structurally wrong:
             non-empty samples with monotone timestamps and run ids,
             cumulative counters (ops / sends / applies) never decreasing
             within a run, and every run entry carrying a seed.
+  provenance — critical-path report (schema causim.provenance.v1): the
+            op census is self-consistent (activated + unmatched = sends,
+            every blocker chain resolved, no segment-sum mismatches),
+            the segment shares tile the visibility total, per-site
+            totals sum to the grid totals, and every top op's segments
+            sum to its visibility latency exactly.
 A metrics file ending in .csv is checked as long-form CSV instead.
 """
 
@@ -69,6 +82,7 @@ def check_trace(path: str) -> None:
     if not real:
         fail(f"{path}: only metadata events")
     seqs = {}  # (pid, peer, name) -> last seq
+    chains = {}  # (pid, write id) -> [(ts, dur, has_next_blocker)]
     for e in real:
         for field in ("name", "ph", "ts", "pid"):
             if field not in e:
@@ -106,6 +120,53 @@ def check_trace(path: str) -> None:
             if key in seqs and ordinal <= seqs[key]:
                 fail(f"{path}: time_sample ordinal went backwards: {e}")
             seqs[key] = ordinal
+        if e["name"] == "buffered":
+            # Provenance fields (optional — pre-provenance traces omit
+            # them): an SM entering the pending queue names both itself
+            # (c = packed write id) and the specific dependency blocking
+            # it (d = packed blocker).
+            args = e.get("args", {})
+            if args.get("c", 0) and not args.get("d", 0):
+                fail(f"{path}: buffered with a write id but no blocking "
+                     f"dependency: {e}")
+        if e["name"] == "dep_satisfied":
+            # One closed segment of a buffered SM's dependency wait:
+            # b = the SM's write id, c = the blocker that resolved,
+            # d = the next blocker (absent on the final segment).
+            args = e.get("args", {})
+            if args.get("peer") is None:
+                fail(f"{path}: dep_satisfied without a peer: {e}")
+            if args.get("b", 0) <= 0 or args.get("c", 0) <= 0:
+                fail(f"{path}: dep_satisfied without write id / blocker: {e}")
+            chains.setdefault((e["pid"], args["b"]), []).append(
+                (e["ts"], e.get("dur", 0), args.get("d", 0) != 0))
+        if e["name"] == "activated":
+            args = e.get("args", {})
+            wid = args.get("c", 0)
+            if wid and args.get("b", 0) == 1:
+                # A buffered activation: its dep_satisfied chain must
+                # tile [receipt, apply) exactly — contiguous, starting
+                # at the receipt instant, every segment but the last
+                # naming the next blocker, durations summing to the
+                # buffering delay.
+                chain = chains.pop((e["pid"], wid), [])
+                if not chain:
+                    fail(f"{path}: buffered activation without a "
+                         f"dep_satisfied chain: {e}")
+                cursor = e["ts"]
+                for i, (ts, dur, has_next) in enumerate(chain):
+                    if ts != cursor:
+                        fail(f"{path}: dep_satisfied chain for write "
+                             f"{wid} not contiguous at {ts} (expected "
+                             f"{cursor})")
+                    cursor += dur
+                    if has_next != (i + 1 < len(chain)):
+                        fail(f"{path}: dep_satisfied chain for write "
+                             f"{wid} mislinked at segment {i}")
+                if cursor != e["ts"] + e.get("dur", 0):
+                    fail(f"{path}: dep_satisfied chain for write {wid} "
+                         f"sums to {cursor - e['ts']}, activation waited "
+                         f"{e.get('dur', 0)}")
         if e["name"] == "rtt_sample":
             # Adaptive-RTO estimator input: an instant on the data
             # sender's track, a = round-trip sample (µs), b = the RTO the
@@ -119,6 +180,9 @@ def check_trace(path: str) -> None:
                 fail(f"{path}: rtt_sample without a positive sample: {e}")
             if args.get("b", 0) <= 0:
                 fail(f"{path}: rtt_sample without a positive RTO: {e}")
+    if chains:
+        fail(f"{path}: {len(chains)} dep_satisfied chain(s) without a "
+             f"matching buffered activation: {sorted(chains)[:3]}")
     names = {e["name"] for e in real}
     for required in ("op_issue", "op_complete", "send"):
         if required not in names:
@@ -270,6 +334,71 @@ def check_timeseries(path: str) -> None:
           f"{len(runs)} run(s))")
 
 
+def check_provenance(path: str) -> None:
+    doc = load_json(path)
+    if doc.get("schema") != "causim.provenance.v1":
+        fail(f"{path}: not a provenance report: schema={doc.get('schema')!r}")
+    if doc.get("events", 0) <= 0:
+        fail(f"{path}: no events analyzed")
+    ops = doc.get("ops")
+    if not isinstance(ops, dict):
+        fail(f"{path}: missing 'ops' census")
+    for field in ("sm_sends", "activated", "buffered", "unmatched_sends",
+                  "unresolved", "sum_mismatch", "dropped_first_tx"):
+        if field not in ops:
+            fail(f"{path}: ops census missing '{field}'")
+    if ops["activated"] + ops["unmatched_sends"] != ops["sm_sends"]:
+        fail(f"{path}: op census does not balance: {ops}")
+    if ops["buffered"] > ops["activated"]:
+        fail(f"{path}: buffered > activated: {ops}")
+    if ops["unresolved"] != 0:
+        fail(f"{path}: {ops['unresolved']} blocker chain(s) unresolved")
+    if ops["sum_mismatch"] != 0:
+        fail(f"{path}: {ops['sum_mismatch']} op(s) whose segments do not "
+             f"sum to their visibility latency")
+    seg = doc.get("segments", {})
+    for field in ("sched_us", "wire_us", "arq_us", "dep_wait_us", "apply_us",
+                  "visibility_us", "share"):
+        if field not in seg:
+            fail(f"{path}: segments missing '{field}'")
+    vis = seg["visibility_us"]["total"]
+    parts = sum(seg[f]["total"]
+                for f in ("wire_us", "arq_us", "dep_wait_us", "apply_us"))
+    if abs(parts - vis) > 1e-6 * max(1.0, vis):
+        fail(f"{path}: segment totals {parts} do not tile the visibility "
+             f"total {vis}")
+    if vis > 0:
+        share = sum(seg["share"][f]
+                    for f in ("wire", "arq", "dep_wait", "apply"))
+        if abs(share - 1.0) > 1e-9:
+            fail(f"{path}: segment shares sum to {share}, expected 1")
+    per_site = doc.get("per_site", {})
+    if sum(s.get("activated", 0) for s in per_site.values()) != ops["activated"]:
+        fail(f"{path}: per-site activations do not sum to {ops['activated']}")
+    site_vis = sum(s.get("visibility_us", 0) for s in per_site.values())
+    if abs(site_vis - vis) > 1e-6 * max(1.0, vis):
+        fail(f"{path}: per-site visibility {site_vis} != total {vis}")
+    dep_total = seg["dep_wait_us"]["total"]
+    per_writer = doc.get("blocked_on", {}).get("per_writer", {})
+    blocked = sum(w.get("wait_us", 0) for w in per_writer.values())
+    if abs(blocked - dep_total) > 1e-6 * max(1.0, dep_total):
+        fail(f"{path}: blocked-on attribution {blocked} != dependency-wait "
+             f"total {dep_total}")
+    for op in doc.get("top_ops", []):
+        parts = (op["wire_us"] + op["arq_us"] + op["dep_wait_us"]
+                 + op["apply_us"])
+        if parts != op["visibility_us"]:
+            fail(f"{path}: top op segments sum to {parts}, visibility is "
+                 f"{op['visibility_us']}: {op}")
+        chain_wait = sum(s["wait_us"] for s in op.get("chain", []))
+        if op["chain"] and chain_wait != op["dep_wait_us"]:
+            fail(f"{path}: top op chain waits sum to {chain_wait}, dep_wait "
+                 f"is {op['dep_wait_us']}: {op}")
+    print(f"check_trace: {path}: OK ({ops['activated']} ops, "
+          f"{ops['buffered']} buffered, {len(per_site)} site(s), "
+          f"{len(doc.get('top_ops', []))} top op(s))")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace")
@@ -277,11 +406,12 @@ def main() -> None:
     parser.add_argument("--report")
     parser.add_argument("--diff")
     parser.add_argument("--timeseries")
+    parser.add_argument("--provenance")
     args = parser.parse_args()
     if not (args.trace or args.metrics or args.report or args.diff
-            or args.timeseries):
-        fail("nothing to check (pass --trace, --metrics, --report, --diff "
-             "or --timeseries)")
+            or args.timeseries or args.provenance):
+        fail("nothing to check (pass --trace, --metrics, --report, --diff, "
+             "--timeseries or --provenance)")
     if args.trace:
         check_trace(args.trace)
     if args.metrics:
@@ -295,6 +425,8 @@ def main() -> None:
         check_diff(args.diff)
     if args.timeseries:
         check_timeseries(args.timeseries)
+    if args.provenance:
+        check_provenance(args.provenance)
 
 
 if __name__ == "__main__":
