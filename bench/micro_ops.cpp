@@ -8,6 +8,7 @@
 #include "causal/ks_log.hpp"
 #include "dsm/cluster.hpp"
 #include "dsm/envelope.hpp"
+#include "dsm/thread_cluster.hpp"
 #include "obs/live/live_telemetry.hpp"
 #include "obs/trace_sink.hpp"
 #include "serial/buffer_pool.hpp"
@@ -201,6 +202,40 @@ void BM_ClusterExecute(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(ops));
 }
 BENCHMARK(BM_ClusterExecute)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+// Pooled-executor scaling curve: the same whole-cluster run over real
+// threads with n sites multiplexed on W workers (0 = hardware
+// concurrency). Sweeping sites x workers shows where the shared ready
+// queue saturates and how the per-site serialization gates cap speed-up;
+// items processed are schedule ops, so ops/s is directly comparable
+// across the curve.
+void BM_ClusterExecutePooled(benchmark::State& state) {
+  dsm::ClusterConfig config;
+  config.sites = static_cast<SiteId>(state.range(0));
+  config.variables = 40;
+  config.replication = 2;
+  config.record_history = false;
+  config.executor = engine::ExecutorKind::kPooled;
+  config.workers = static_cast<unsigned>(state.range(1));
+  workload::WorkloadParams wl;
+  wl.variables = config.variables;
+  wl.ops_per_site = 40;
+  const workload::Schedule schedule = workload::generate_schedule(config.sites, wl);
+  dsm::ThreadCluster::Options options;
+  options.time_scale = 0.0;
+  options.max_wire_delay_us = 0;
+  std::size_t ops = 0;
+  for (auto _ : state) {
+    dsm::ThreadCluster cluster(config, options);
+    cluster.execute(schedule);
+    ops += schedule.total_ops();
+    benchmark::DoNotOptimize(cluster.aggregate_message_stats());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_ClusterExecutePooled)
+    ->ArgsProduct({{8, 32, 128}, {1, 4, 0 /* 0 = hardware concurrency */}})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SimulatorThroughput(benchmark::State& state) {
   for (auto _ : state) {

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/panic.hpp"
+#include "dsm/thread_cluster.hpp"
 #include "obs/live/live_telemetry.hpp"
 
 namespace causim::bench_support {
@@ -54,6 +55,9 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
     config.fault_plan = params.fault_plan;
     config.reliable_channel = params.reliable_channel;
     config.reliable_config = params.reliable_config;
+    config.executor = params.executor;
+    config.workers = params.workers;
+    config.batch = params.batch;
     config.live = params.live;
     if (params.live != nullptr) params.live->begin_run(seed);
 
@@ -67,35 +71,59 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
     wl.seed = seed;
 
     const workload::Schedule schedule = workload::generate_schedule(params.sites, wl);
-    dsm::Cluster cluster(config);
-    cluster.execute(schedule);
 
-    result.stats += cluster.aggregate_message_stats();
-    result.log_entries += cluster.aggregate_log_entries();
-    result.log_bytes += cluster.aggregate_log_bytes();
-    result.fetch_latency_us += cluster.aggregate_fetch_latency();
-    result.apply_delay_us += cluster.aggregate_apply_delay();
-    if (cluster.injector() != nullptr) result.drops += cluster.injector()->drops();
-    if (cluster.reliable() != nullptr) {
-      result.retransmits += cluster.reliable()->retransmits();
-      result.dup_suppressed += cluster.reliable()->dup_suppressed();
-      result.reliable_frames += cluster.reliable()->frames_sent();
-      result.reliable_packets += cluster.reliable()->packets_sent();
-      result.rtt_samples += cluster.reliable()->rtt_samples();
+    // Both cluster flavours expose the same stack/accessor surface, so one
+    // collector serves the DES lane and the pooled thread lane.
+    const auto collect = [&](auto& cluster) {
+      cluster.execute(schedule);
+      engine::NodeStack& stack = cluster.stack();
+      result.stats += stack.aggregate_message_stats();
+      result.log_entries += stack.aggregate_log_entries();
+      result.log_bytes += stack.aggregate_log_bytes();
+      result.fetch_latency_us += stack.aggregate_fetch_latency();
+      result.apply_delay_us += stack.aggregate_apply_delay();
+      if (cluster.injector() != nullptr) result.drops += cluster.injector()->drops();
+      if (cluster.reliable() != nullptr) {
+        result.retransmits += cluster.reliable()->retransmits();
+        result.dup_suppressed += cluster.reliable()->dup_suppressed();
+        result.reliable_frames += cluster.reliable()->frames_sent();
+        result.reliable_packets += cluster.reliable()->packets_sent();
+        result.rtt_samples += cluster.reliable()->rtt_samples();
+      }
+      result.wire_frames += stack.wire().packets_sent();
+      if (stack.batching() != nullptr) {
+        result.batch_frames += stack.batching()->frames_sent();
+        result.batch_messages += stack.batching()->messages_batched();
+      }
+      if (params.metrics != nullptr) cluster.export_metrics(*params.metrics);
+
+      if (params.check) {
+        const checker::CheckResult check = cluster.check();
+        if (!check.ok()) {
+          result.check_ok = false;
+          result.violations.insert(result.violations.end(),
+                                   check.violations.begin(),
+                                   check.violations.end());
+        }
+      }
+    };
+
+    if (params.executor == engine::ExecutorKind::kPooled) {
+      // Throughput lane: real threads at full speed, no artificial wire
+      // jitter — the numbers measure the executor and the wire path, not
+      // injected sleeps.
+      dsm::ThreadCluster::Options topt;
+      topt.time_scale = 0.0;
+      topt.max_wire_delay_us = 0;
+      dsm::ThreadCluster cluster(config, topt);
+      collect(cluster);
+    } else {
+      dsm::Cluster cluster(config);
+      collect(cluster);
     }
     result.recorded_writes += schedule.recorded_writes();
     result.recorded_reads += schedule.recorded_reads();
     ++result.runs;
-    if (params.metrics != nullptr) cluster.export_metrics(*params.metrics);
-
-    if (params.check) {
-      const checker::CheckResult check = cluster.check();
-      if (!check.ok()) {
-        result.check_ok = false;
-        result.violations.insert(result.violations.end(), check.violations.begin(),
-                                 check.violations.end());
-      }
-    }
   }
   return result;
 }
@@ -119,7 +147,8 @@ std::string bench_usage(const char* argv0) {
   usage +=
       " [--quick] [--csv] [--trace-out FILE] [--metrics-out FILE]"
       " [--report-out FILE] [--json-out FILE] [--timeseries-out FILE]"
-      " [--critpath] [--arq gbn|sr] [--adaptive-rto]\n"
+      " [--critpath] [--arq gbn|sr] [--adaptive-rto]"
+      " [--executor per-site|pooled] [--workers N] [--batch N]\n"
       "  --quick            shrink seeds/ops for a smoke run\n"
       "  --csv              also print tables as CSV\n"
       "  --trace-out FILE   write a Chrome/Perfetto trace-event JSON\n"
@@ -140,6 +169,16 @@ std::string bench_usage(const char* argv0) {
       "                     repeat); only fault benches use it\n"
       "  --adaptive-rto     Jacobson/Karels adaptive RTO instead of the fixed\n"
       "                     initial timeout\n"
+      "  --executor KIND    per-site (default: the discrete-event lane, one\n"
+      "                     logical thread per site) or pooled (real threads,\n"
+      "                     N sites multiplexed over a fixed worker pool —\n"
+      "                     the throughput lane; benches without a pooled\n"
+      "                     section accept but ignore it)\n"
+      "  --workers N        worker threads for --executor pooled (default:\n"
+      "                     hardware concurrency); rejected with per-site\n"
+      "  --batch N          coalesce each channel's messages into batch\n"
+      "                     frames, flushing every N messages (also on byte\n"
+      "                     and delay thresholds); N >= 1\n"
       "  (value flags also accept --flag=VALUE)\n";
   return usage;
 }
@@ -175,11 +214,51 @@ bool try_parse_bench_args(int argc, char** argv, BenchOptions& options,
       options.critpath = true;
     } else if (std::strcmp(argv[i], "--adaptive-rto") == 0) {
       options.adaptive_rto = true;
+    } else if (const char* e = flag_value(argv[i], "--executor", argc, argv, i)) {
+      if (std::strcmp(e, "per-site") == 0) {
+        options.executor = engine::ExecutorKind::kPerSite;
+      } else if (std::strcmp(e, "pooled") == 0) {
+        options.executor = engine::ExecutorKind::kPooled;
+      } else {
+        error = "--executor expects per-site or pooled, got: ";
+        error += e;
+        return false;
+      }
+    } else if (const char* w = flag_value(argv[i], "--workers", argc, argv, i)) {
+      char* end = nullptr;
+      options.workers = std::strtol(w, &end, 10);
+      if (end == w || *end != '\0') {
+        error = "--workers expects an integer, got: ";
+        error += w;
+        return false;
+      }
+      options.workers_set = true;
+    } else if (const char* b = flag_value(argv[i], "--batch", argc, argv, i)) {
+      char* end = nullptr;
+      options.batch = std::strtol(b, &end, 10);
+      if (end == b || *end != '\0' || options.batch < 1) {
+        error = "--batch expects a flush threshold >= 1 messages, got: ";
+        error += b;
+        return false;
+      }
     } else {
       error = "unknown or malformed flag: ";
       error += argv[i];
       return false;
     }
+  }
+  // Flag order must not matter, so cross-flag rules run after the loop.
+  if (options.workers_set && options.workers < 1) {
+    error = "--workers must be >= 1 (got " + std::to_string(options.workers) +
+            "); omit it to use one worker per hardware thread";
+    return false;
+  }
+  if (options.workers_set &&
+      options.executor != engine::ExecutorKind::kPooled) {
+    error =
+        "--workers only applies to the pooled executor (the per-site default "
+        "always runs one thread per site); add --executor pooled";
+    return false;
   }
   return true;
 }
@@ -198,6 +277,15 @@ BenchOptions parse_bench_args(int argc, char** argv) {
 void apply_arq_options(net::ReliableConfig& config, const BenchOptions& options) {
   config.arq = options.arq;
   config.adaptive_rto = options.adaptive_rto;
+}
+
+void apply_executor_options(ExperimentParams& params, const BenchOptions& options) {
+  params.executor = options.executor;
+  params.workers = options.workers_set ? static_cast<unsigned>(options.workers) : 0;
+  if (options.batch > 0) {
+    params.batch.enabled = true;
+    params.batch.max_messages = static_cast<std::uint32_t>(options.batch);
+  }
 }
 
 void apply_quick(ExperimentParams& params, const BenchOptions& options) {

@@ -10,6 +10,7 @@
 
 #include "causal/protocol.hpp"
 #include "dsm/cluster.hpp"
+#include "engine/config.hpp"
 #include "stats/histogram.hpp"
 #include "stats/message_stats.hpp"
 #include "workload/schedule.hpp"
@@ -64,6 +65,15 @@ struct ExperimentParams {
   faults::FaultPlan fault_plan;
   bool reliable_channel = false;
   net::ReliableConfig reliable_config;
+  /// Executor lane. kPerSite runs the discrete-event dsm::Cluster (the
+  /// paper-faithful default, byte-identical to the pre-executor harness);
+  /// kPooled runs dsm::ThreadCluster with engine::PooledExecutor — the
+  /// real-thread throughput lane (`--executor pooled`).
+  engine::ExecutorKind executor = engine::ExecutorKind::kPerSite;
+  /// Worker threads for the pooled lane (0 = hardware concurrency).
+  unsigned workers = 0;
+  /// Per-channel message coalescing at the transport edge (`--batch N`).
+  net::BatchConfig batch;
 };
 
 /// The paper's partial-replication factor: p = 0.3·n, at least 1.
@@ -89,6 +99,11 @@ struct ExperimentResult {
   std::uint64_t reliable_frames = 0;  // wire frames incl. acks/retransmits
   std::uint64_t reliable_packets = 0;  // app-level packets through the layer
   std::uint64_t rtt_samples = 0;  // adaptive-RTO estimator inputs, all channels
+
+  // -- coalescing activity (all zero without --batch) --
+  std::uint64_t wire_frames = 0;     // frames the bottom transport carried
+  std::uint64_t batch_frames = 0;    // coalesced frames the batcher shipped
+  std::uint64_t batch_messages = 0;  // app messages inside those frames
 
   // -- derived, per-run means --
   double mean_total_overhead_bytes() const;  // header+meta per run
@@ -121,10 +136,21 @@ struct BenchOptions {
   /// accept but ignore them.
   net::ArqMode arq = net::ArqMode::kGoBackN;
   bool adaptive_rto = false;
+  /// `--executor per-site|pooled` selects the experiment lane; `--workers N`
+  /// sizes the pooled worker pool (pooled only — the parser rejects it with
+  /// per-site); `--batch N` enables per-channel coalescing with an N-message
+  /// flush threshold.
+  engine::ExecutorKind executor = engine::ExecutorKind::kPerSite;
+  long workers = 0;
+  bool workers_set = false;
+  long batch = 0;
 };
 
 /// Copies the CLI's ARQ knobs into a reliable-channel config.
 void apply_arq_options(net::ReliableConfig& config, const BenchOptions& options);
+
+/// Copies the CLI's executor/workers/batch knobs into experiment params.
+void apply_executor_options(ExperimentParams& params, const BenchOptions& options);
 
 /// The flag reference printed on parse errors (argv0 names the binary).
 std::string bench_usage(const char* argv0);

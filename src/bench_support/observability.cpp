@@ -143,6 +143,20 @@ void Observability::append_cell(const std::string& label,
   out << ",\"causal_fetch\":" << (params.causal_fetch ? "true" : "false");
   out << ",\"reliable\":"
       << (params.reliable_channel || params.fault_plan.any() ? "true" : "false");
+  // Executor/coalescing block only for non-default lanes, so every
+  // pre-existing bench.v1 artifact stays byte-identical.
+  if (params.executor == engine::ExecutorKind::kPooled || params.batch.enabled) {
+    out << ",\"executor\":\"" << to_string(params.executor) << "\"";
+    if (params.executor == engine::ExecutorKind::kPooled) {
+      out << ",\"workers\":" << params.workers;  // 0 = hardware concurrency
+    }
+    out << ",\"wire_frames\":" << result.wire_frames;
+    if (params.batch.enabled) {
+      out << ",\"batch\":{\"max_messages\":" << params.batch.max_messages
+          << ",\"frames\":" << result.batch_frames
+          << ",\"messages\":" << result.batch_messages << "}";
+    }
+  }
   out << ",\"runs\":" << result.runs;
   out << ",\"recorded_writes\":" << result.recorded_writes;
   out << ",\"recorded_reads\":" << result.recorded_reads;

@@ -1,5 +1,7 @@
 #include "dsm/thread_cluster.hpp"
 
+#include "engine/pooled_executor.hpp"
+
 namespace causim::dsm {
 
 ThreadCluster::ThreadCluster(const ClusterConfig& config)
@@ -17,9 +19,17 @@ ThreadCluster::ThreadCluster(const ClusterConfig& config, Options options)
   // The ThreadTimerDriver supplies real-time RTOs and injected delays.
   wiring.make_timer = [] { return std::make_unique<net::ThreadTimerDriver>(); };
   stack_ = std::make_unique<engine::NodeStack>(config_, std::move(wiring));
-  engine::ThreadExecutor::Options xopt;
-  xopt.time_scale = options.time_scale;
-  executor_ = std::make_unique<engine::ThreadExecutor>(*stack_, *transport_, xopt);
+  if (config_.executor == engine::ExecutorKind::kPooled) {
+    engine::PooledExecutor::Options popt;
+    popt.workers = config_.workers;
+    executor_ =
+        std::make_unique<engine::PooledExecutor>(*stack_, *transport_, popt);
+  } else {
+    engine::ThreadExecutor::Options xopt;
+    xopt.time_scale = options.time_scale;
+    executor_ =
+        std::make_unique<engine::ThreadExecutor>(*stack_, *transport_, xopt);
+  }
   driver_ = std::make_unique<engine::ScheduleDriver>(*stack_, *executor_);
 }
 

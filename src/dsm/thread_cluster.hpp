@@ -3,12 +3,15 @@
 //
 // The cluster supplies the substrate-specific edges (ThreadTransport and
 // its ThreadTimerDriver) and delegates assembly to engine::NodeStack and
-// schedule execution to engine::ScheduleDriver + ThreadExecutor: one
-// application thread per site, blocking on RemoteFetch exactly as §II-B
-// prescribes. Message counts and sizes are schedule-determined and must
-// match the discrete-event run bit for bit where contents are
-// interleaving-independent (counts, Full-Track/optP clock sizes); the test
-// suite asserts the cross-transport equivalences that hold.
+// schedule execution to engine::ScheduleDriver plus the executor the
+// config selects: ThreadExecutor (the default — one application thread
+// per site, blocking on RemoteFetch exactly as §II-B prescribes) or
+// PooledExecutor (EngineConfig::executor = kPooled — N sites multiplexed
+// over a fixed worker pool, the throughput lane). Message counts and
+// sizes are schedule-determined and must match the discrete-event run bit
+// for bit where contents are interleaving-independent (counts,
+// Full-Track/optP clock sizes); the test suite asserts the
+// cross-transport and cross-executor equivalences that hold.
 #pragma once
 
 #include <memory>
@@ -65,7 +68,8 @@ class ThreadCluster {
   Options options_;
   std::unique_ptr<net::ThreadTransport> transport_;
   std::unique_ptr<engine::NodeStack> stack_;
-  std::unique_ptr<engine::ThreadExecutor> executor_;
+  /// ThreadExecutor or PooledExecutor, per ClusterConfig::executor.
+  std::unique_ptr<engine::Executor> executor_;
   std::unique_ptr<engine::ScheduleDriver> driver_;
 };
 

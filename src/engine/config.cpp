@@ -66,6 +66,35 @@ std::vector<std::string> validate(const EngineConfig& config) {
        << " variables); construct the LiveTelemetry from the same shape";
     reject(os.str());
   }
+  if (config.executor == ExecutorKind::kPerSite && config.workers != 0) {
+    std::ostringstream os;
+    os << "workers (" << config.workers << ") is only meaningful with "
+       << "executor=pooled; the per-site executor always runs one thread per "
+       << "site — set executor to ExecutorKind::kPooled or workers to 0";
+    reject(os.str());
+  }
+  if (config.batch.enabled) {
+    const net::BatchConfig& b = config.batch;
+    if (b.max_messages < 1) {
+      reject("batch.max_messages must be >= 1 (a frame needs at least one "
+             "message to flush on)");
+    }
+    if (b.max_bytes < net::BatchCoalescer::kFrameHeaderBytes +
+                          net::BatchCoalescer::kPerMessageBytes) {
+      std::ostringstream os;
+      os << "batch.max_bytes (" << b.max_bytes << ") is below the frame "
+         << "framing overhead ("
+         << net::BatchCoalescer::kFrameHeaderBytes +
+                net::BatchCoalescer::kPerMessageBytes
+         << " bytes) — every append would flush a degenerate batch of one";
+      reject(os.str());
+    }
+    if (b.max_delay < 1) {
+      reject("batch.max_delay must be >= 1us (the flush timer bounds how "
+             "long a lone message waits; 0 would flush-on-send and defeat "
+             "coalescing)");
+    }
+  }
   if (config.fault_plan.any() || config.reliable_channel) {
     const net::ReliableConfig& r = config.reliable_config;
     if (r.rto_initial <= 0) {

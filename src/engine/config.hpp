@@ -16,6 +16,7 @@
 #include "common/ids.hpp"
 #include "dsm/placement.hpp"
 #include "faults/fault_plan.hpp"
+#include "net/batching_transport.hpp"
 #include "net/reliable_channel.hpp"
 #include "sim/latency.hpp"
 
@@ -28,6 +29,27 @@ class LiveTelemetry;
 }  // namespace causim::obs::live
 
 namespace causim::engine {
+
+/// Which schedule-execution substrate a thread-backed cluster runs.
+enum class ExecutorKind : std::uint8_t {
+  /// One application thread per site (ThreadExecutor) — the paper's
+  /// one-process-per-site testbed, and the byte-identical default. The
+  /// discrete-event Cluster always uses SimExecutor and ignores this
+  /// field.
+  kPerSite = 0,
+  /// N sites multiplexed over a fixed pool of `workers` worker threads
+  /// (PooledExecutor): per-site serialized invokers on a shared ready
+  /// queue, the PaRiS/Okapi "many partitions per server" regime.
+  kPooled,
+};
+
+inline const char* to_string(ExecutorKind kind) {
+  switch (kind) {
+    case ExecutorKind::kPerSite: return "per-site";
+    case ExecutorKind::kPooled: return "pooled";
+  }
+  return "??";
+}
 
 struct EngineConfig {
   SiteId sites = 5;                                  // n
@@ -80,6 +102,18 @@ struct EngineConfig {
   /// timing does not.
   bool reliable_channel = false;
   net::ReliableConfig reliable_config;
+  /// Thread-path execution substrate (see ExecutorKind). The default
+  /// keeps ThreadCluster runs byte-identical to the pre-pool engine.
+  ExecutorKind executor = ExecutorKind::kPerSite;
+  /// Worker threads for ExecutorKind::kPooled; 0 = one per hardware
+  /// thread. Must stay 0 with the per-site executor (validated) — a
+  /// silently ignored worker count would misreport every scaling sweep.
+  unsigned workers = 0;
+  /// Per-channel message coalescing at the transport edge (see
+  /// net::BatchConfig). Off by default; enabling it interposes a
+  /// BatchingTransport above the reliability layer, so one wire frame
+  /// carries a length-prefixed batch of protocol messages.
+  net::BatchConfig batch;
   /// Online telemetry (obs::live): when set, the stack interposes it in
   /// front of trace_sink (events flow through it and are forwarded), the
   /// visibility tracker runs, and — if its sample_interval is non-zero —

@@ -43,6 +43,20 @@ NodeStack::NodeStack(const EngineConfig& config, Wiring wiring)
     reliable_->set_buffer_pool(&pool_);
     edge_ = reliable_.get();
   }
+  // The coalescing layer sits *above* the reliability layer: one reliable
+  // DATA frame then carries a whole batch, amortizing the ACK and
+  // retransmission machinery — batching below it would coalesce ACKs
+  // instead of protocol messages.
+  if (config_.batch.enabled) {
+    CAUSIM_CHECK(wiring.make_timer != nullptr,
+                 "batching needs a flush timer but the wiring has no timer "
+                 "factory");
+    if (timer_ == nullptr) timer_ = wiring.make_timer();
+    batching_ =
+        std::make_unique<net::BatchingTransport>(*edge_, *timer_, config_.batch);
+    batching_->set_buffer_pool(&pool_);
+    edge_ = batching_.get();
+  }
   // Live telemetry interposes in front of the user's sink: site/transport
   // events flow through the online tracker and are forwarded unchanged.
   // Under the DES the wiring has a clock and event timestamps are already
@@ -110,6 +124,19 @@ void NodeStack::verify_quiescent() const {
                      << reliable_->packets_sent() << " sent, "
                      << reliable_->packets_delivered() << " delivered");
   }
+  if (batching_ != nullptr) {
+    // Message-level conservation above the coalescing boundary: nothing
+    // still buffered in a pending frame, every batched message unpacked
+    // and handed up exactly once.
+    CAUSIM_CHECK(batching_->quiescent(),
+                 "batching layer did not drain: "
+                     << batching_->buffered_messages() << " buffered, "
+                     << batching_->packets_sent() << " sent, "
+                     << batching_->packets_delivered() << " delivered");
+    CAUSIM_CHECK(batching_->malformed() == 0,
+                 "batching layer dropped " << batching_->malformed()
+                                           << " malformed frames");
+  }
   for (SiteId s = 0; s < config_.sites; ++s) {
     CAUSIM_CHECK(runtimes_[s]->pending_updates() == 0,
                  "site " << s << " finished with unapplied updates");
@@ -159,6 +186,7 @@ std::uint64_t NodeStack::total_applies() const {
 void NodeStack::export_metrics(obs::MetricsRegistry& registry) const {
   for (const auto& r : runtimes_) r->export_metrics(registry);
   if (reliable_ != nullptr) reliable_->export_metrics(registry);
+  if (batching_ != nullptr) batching_->export_metrics(registry);
   if (injector_ != nullptr) injector_->export_metrics(registry);
 }
 

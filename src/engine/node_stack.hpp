@@ -3,7 +3,8 @@
 // Both execution substrates (the discrete-event dsm::Cluster and the
 // real-thread dsm::ThreadCluster) need exactly the same tower per run:
 //
-//   wire -> [FaultInjector] -> [ReliableTransport] -> SiteRuntime x n
+//   wire -> [FaultInjector] -> [ReliableTransport] -> [BatchingTransport]
+//        -> SiteRuntime x n
 //
 // plus placement, the history recorder, the shared frame pool, and the
 // observability wiring (trace sinks down the stack, metrics folds up).
@@ -24,6 +25,7 @@
 #include "dsm/site_runtime.hpp"
 #include "engine/config.hpp"
 #include "faults/fault_injector.hpp"
+#include "net/batching_transport.hpp"
 #include "net/reliable_channel.hpp"
 #include "net/timer.hpp"
 #include "net/transport.hpp"
@@ -66,6 +68,10 @@ class NodeStack {
   const faults::FaultInjector* injector() const { return injector_.get(); }
   net::ReliableTransport* reliable() { return reliable_.get(); }
   const net::ReliableTransport* reliable() const { return reliable_.get(); }
+  /// Non-null when EngineConfig::batch.enabled wired the coalescing layer
+  /// in (the topmost transport decorator — sites send through it).
+  net::BatchingTransport* batching() { return batching_.get(); }
+  const net::BatchingTransport* batching() const { return batching_.get(); }
   net::TimerDriver* timer() { return timer_.get(); }
 
   /// The shared frame pool every layer encodes into / recycles through.
@@ -117,6 +123,7 @@ class NodeStack {
   std::unique_ptr<net::TimerDriver> timer_;
   std::unique_ptr<faults::FaultInjector> injector_;
   std::unique_ptr<net::ReliableTransport> reliable_;
+  std::unique_ptr<net::BatchingTransport> batching_;
   net::Transport* edge_ = nullptr;
   serial::BufferPool pool_;
   checker::HistoryRecorder history_;

@@ -142,12 +142,15 @@ void ThreadExecutor::play(ScheduleDriver& driver, const workload::Schedule& sche
 
 void ThreadExecutor::drain() {
   // All senders are done; wait for the network to drain. Shutdown order
-  // with the fault stack up: (1) the reliability layer reaches app-level
+  // with the fault stack up: (0) the batching layer flushes every pending
+  // frame — the sites stopped sending, so after this the layers below
+  // hold every message, (1) the reliability layer reaches app-level
   // quiescence (every packet delivered exactly once and acked —
   // retransmission timers still live to get it there), (2) the timer
   // stops, discarding pending callbacks (all droppable now: stale
-  // retransmits, delayed duplicates) so nothing races the transport
-  // teardown, (3) the wire drains.
+  // retransmits, delayed duplicates, empty batch flushes) so nothing
+  // races the transport teardown, (3) the wire drains.
+  if (stack_.batching() != nullptr) stack_.batching()->flush_all();
   if (stack_.reliable() != nullptr) stack_.reliable()->wait_quiescent();
   if (stack_.timer() != nullptr) stack_.timer()->stop();
   transport_.quiesce();

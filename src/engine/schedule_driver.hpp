@@ -43,6 +43,12 @@ class Executor {
   virtual void play(ScheduleDriver& driver, const workload::Schedule& schedule) = 0;
   virtual void drain() = 0;
   virtual void finish() = 0;
+
+  /// Emergency teardown for destruction mid-run (an exception unwound past
+  /// execute(), or a deliberate mid-run stop): no background thread may
+  /// outlive the stack. Idempotent; a no-op for substrates with nothing to
+  /// tear down (SimExecutor) and after a completed finish().
+  virtual void abort() {}
 };
 
 class ScheduleDriver {
@@ -122,10 +128,9 @@ class ThreadExecutor final : public Executor {
   void drain() override;
   void finish() override;
 
-  /// Emergency teardown for destruction mid-run (an exception unwound past
-  /// execute()): stops the timer and the transport so no background thread
-  /// outlives the stack. Idempotent; a completed finish() makes it a no-op.
-  void abort();
+  /// Stops the timer and the transport so no background thread outlives
+  /// the stack (see Executor::abort).
+  void abort() override;
 
  private:
   void start_live_sampler();

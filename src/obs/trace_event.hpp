@@ -85,6 +85,11 @@ enum class TraceEventType : std::uint8_t {
   /// activate). Consecutive segments tile [receipt, apply), so their durs
   /// sum to the matching kActivated's dur exactly.
   kDepSatisfied,
+  /// The batching layer shipped one coalesced frame (site = sender,
+  /// peer = destination, a = batched message count, b = frame bytes).
+  /// Emitted only with EngineConfig::batch.enabled — the coalescing
+  /// transport edge, see net::BatchingTransport.
+  kBatchFlush,
 };
 
 inline const char* to_string(TraceEventType t) {
@@ -106,6 +111,7 @@ inline const char* to_string(TraceEventType t) {
     case TraceEventType::kRttSample: return "rtt_sample";
     case TraceEventType::kTimeSample: return "time_sample";
     case TraceEventType::kDepSatisfied: return "dep_satisfied";
+    case TraceEventType::kBatchFlush: return "batch_flush";
   }
   return "??";
 }

@@ -2,6 +2,7 @@
 // the CLI flag parser.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -89,6 +90,96 @@ TEST(BenchSupport, ParseArgsRejectsBadArqMode) {
   EXPECT_NE(error.find("gbn"), std::string::npos) << "error should name the choices";
 }
 
+TEST(BenchSupport, ParseArgsAcceptsPooledExecutorFlags) {
+  const char* argv[] = {"bench", "--executor", "pooled", "--workers=4",
+                        "--batch", "8"};
+  BenchOptions o;
+  std::string error;
+  ASSERT_TRUE(try_parse_bench_args(6, const_cast<char**>(argv), o, error)) << error;
+  EXPECT_EQ(o.executor, engine::ExecutorKind::kPooled);
+  EXPECT_EQ(o.workers, 4);
+  EXPECT_TRUE(o.workers_set);
+  EXPECT_EQ(o.batch, 8);
+
+  ExperimentParams params;
+  apply_executor_options(params, o);
+  EXPECT_EQ(params.executor, engine::ExecutorKind::kPooled);
+  EXPECT_EQ(params.workers, 4u);
+  EXPECT_TRUE(params.batch.enabled);
+  EXPECT_EQ(params.batch.max_messages, 8u);
+}
+
+TEST(BenchSupport, ParseArgsPooledWithoutWorkersUsesHardwareCount) {
+  const char* argv[] = {"bench", "--executor=pooled"};
+  BenchOptions o;
+  std::string error;
+  ASSERT_TRUE(try_parse_bench_args(2, const_cast<char**>(argv), o, error)) << error;
+  EXPECT_EQ(o.executor, engine::ExecutorKind::kPooled);
+  EXPECT_FALSE(o.workers_set);
+
+  ExperimentParams params;
+  apply_executor_options(params, o);
+  EXPECT_EQ(params.workers, 0u);  // 0 = one worker per hardware thread
+  EXPECT_FALSE(params.batch.enabled);  // coalescing stays opt-in
+}
+
+TEST(BenchSupport, ParseArgsRejectsBogusExecutor) {
+  const char* argv[] = {"bench", "--executor=fibers"};
+  BenchOptions o;
+  std::string error;
+  EXPECT_FALSE(try_parse_bench_args(2, const_cast<char**>(argv), o, error));
+  EXPECT_NE(error.find("fibers"), std::string::npos);
+  EXPECT_NE(error.find("pooled"), std::string::npos)
+      << "error should name the choices";
+}
+
+TEST(BenchSupport, ParseArgsRejectsDegenerateWorkerCounts) {
+  for (const char* bad : {"--workers=0", "--workers=-1"}) {
+    const char* argv[] = {"bench", "--executor=pooled", bad};
+    BenchOptions o;
+    std::string error;
+    EXPECT_FALSE(try_parse_bench_args(3, const_cast<char**>(argv), o, error))
+        << bad;
+    EXPECT_NE(error.find(">= 1"), std::string::npos) << error;
+  }
+  const char* argv[] = {"bench", "--executor=pooled", "--workers=nope"};
+  BenchOptions o;
+  std::string error;
+  EXPECT_FALSE(try_parse_bench_args(3, const_cast<char**>(argv), o, error));
+  EXPECT_NE(error.find("nope"), std::string::npos);
+}
+
+TEST(BenchSupport, ParseArgsRejectsWorkersWithPerSiteExecutor) {
+  // --workers silently ignored would be worse than an error: the user asked
+  // for a pool they are not getting. Flag order must not matter.
+  const char* implicit[] = {"bench", "--workers", "4"};
+  BenchOptions o;
+  std::string error;
+  EXPECT_FALSE(try_parse_bench_args(3, const_cast<char**>(implicit), o, error));
+  EXPECT_NE(error.find("--executor pooled"), std::string::npos)
+      << "error must say how to fix it: " << error;
+
+  const char* explicit_per_site[] = {"bench", "--workers=4",
+                                     "--executor=per-site"};
+  BenchOptions o2;
+  EXPECT_FALSE(
+      try_parse_bench_args(3, const_cast<char**>(explicit_per_site), o2, error));
+  EXPECT_NE(error.find("--executor pooled"), std::string::npos) << error;
+
+  // And the reversed order: --executor pooled after --workers is fine.
+  const char* ok[] = {"bench", "--workers", "4", "--executor", "pooled"};
+  BenchOptions o3;
+  EXPECT_TRUE(try_parse_bench_args(5, const_cast<char**>(ok), o3, error)) << error;
+}
+
+TEST(BenchSupport, ParseArgsRejectsDegenerateBatchThreshold) {
+  const char* argv[] = {"bench", "--batch=0"};
+  BenchOptions o;
+  std::string error;
+  EXPECT_FALSE(try_parse_bench_args(2, const_cast<char**>(argv), o, error));
+  EXPECT_NE(error.find("--batch"), std::string::npos);
+}
+
 TEST(BenchSupport, ParseArgsRejectsPositionalArguments) {
   const char* argv[] = {"bench", "quick"};
   BenchOptions o;
@@ -107,7 +198,8 @@ TEST(BenchSupport, ParseArgsRejectsValueFlagMissingItsValue) {
 TEST(BenchSupport, BenchUsageNamesEveryFlag) {
   const std::string usage = bench_usage("bench");
   for (const char* flag : {"--quick", "--csv", "--trace-out", "--metrics-out",
-                           "--report-out", "--arq", "--adaptive-rto"}) {
+                           "--report-out", "--arq", "--adaptive-rto",
+                           "--executor", "--workers", "--batch"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

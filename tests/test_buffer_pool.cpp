@@ -11,6 +11,7 @@
 #include <new>
 
 #include "dsm/envelope.hpp"
+#include "net/batching_transport.hpp"
 #include "net/reliable_channel.hpp"
 #include "net/sim_transport.hpp"
 #include "net/timer.hpp"
@@ -167,6 +168,116 @@ TEST(BufferPool, ReliableStackSteadyStateDrawsNothingNewFromThePool) {
          "send-side recycle regressed";
   EXPECT_EQ(sink1.delivered, 250u);
   EXPECT_EQ(reliable.retransmits(), 0u);  // clean wire: pure steady state
+}
+
+TEST(BufferPool, CoalescingRoundTripIsAllocationFreeOnceWarm) {
+  // The batching edge promises the same per-message bound the plain
+  // encode path holds: once the pool is warm, appending a pooled frame,
+  // flushing the batch, decoding it and copying every sub-message back
+  // out of the pool touches the heap zero times.
+  BufferPool pool;
+  net::BatchConfig config;
+  config.enabled = true;
+  config.max_messages = 8;
+  net::BatchCoalescer coalescer(config);
+  coalescer.set_buffer_pool(&pool);
+
+  dsm::Envelope env;
+  env.kind = MessageKind::kSM;
+  env.sender = 3;
+  env.var = 17;
+  env.value.id = 42;
+  env.value.payload_bytes = 64;
+  env.write.writer = 3;
+  env.write.clock = 9;
+  env.meta.assign(96, 0x5C);
+
+  const auto round = [&] {
+    std::optional<net::BatchCoalescer::Frame> frame;
+    for (int i = 0; i < 8; ++i) {
+      ByteWriter w(ClockWidth::k8Bytes, pool.acquire());
+      env.encode_into(w);
+      auto flushed = coalescer.append(w.take());
+      if (flushed.has_value()) frame = std::move(flushed);
+    }
+    EXPECT_TRUE(frame.has_value());  // the 8th append trips max_messages
+    if (!frame.has_value()) return;
+    // Receive side: every sub-message is a pooled copy, recycled like
+    // SiteRuntime recycles what it is handed; the frame itself recycles
+    // too.
+    net::BatchCoalescer::try_decode(
+        frame->bytes, [&pool](const std::uint8_t* data, std::size_t len) {
+          pool.release(pool.copy(data, len));
+        });
+    pool.release(std::move(frame->bytes));
+  };
+
+  for (int i = 0; i < 8; ++i) round();  // warm-up
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < 500; ++i) round();
+  g_counting.store(false);
+
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "steady-state coalescing must not touch the heap";
+}
+
+TEST(BufferPool, BatchedReliableStackMissesStayFlatAcrossLongRun) {
+  // The full tower the coalescing lane ships: batching above the reliable
+  // layer over a simulated wire, everything sharing one pool. After
+  // warm-up the pool serves the whole working set — batch frames, DATA
+  // frames, ACKs, sub-message copies — so the miss counter goes flat no
+  // matter how many more rounds run.
+  sim::Simulator simulator;
+  sim::UniformLatency latency(1000, 5000);
+  net::SimTransport wire(simulator, latency, 2, 1);
+  net::SimTimerDriver timer(simulator);
+  net::ReliableTransport reliable(wire, timer);
+  net::BatchConfig config;
+  config.enabled = true;
+  config.max_messages = 10;
+  config.max_delay = kMillisecond;
+  net::BatchingTransport batching(reliable, timer, config);
+  BufferPool pool;
+  reliable.set_buffer_pool(&pool);
+  batching.set_buffer_pool(&pool);
+
+  struct Recycler final : net::PacketHandler {
+    BufferPool* pool = nullptr;
+    std::uint64_t delivered = 0;
+    void on_packet(net::Packet packet) override {
+      ++delivered;
+      pool->release(std::move(packet.bytes));
+    }
+  };
+  Recycler sink0, sink1;
+  sink0.pool = sink1.pool = &pool;
+  batching.attach(0, &sink0);
+  batching.attach(1, &sink1);
+
+  const auto round = [&] {
+    for (int i = 0; i < 50; ++i) {
+      Bytes payload = pool.acquire();
+      payload.assign(64, static_cast<std::uint8_t>(i));
+      batching.send(0, 1, std::move(payload));
+    }
+    simulator.run();  // drains threshold flushes AND the 1 ms flush timer
+  };
+
+  round();  // warm-up
+  round();
+  const std::uint64_t warm_misses = pool.misses();
+  EXPECT_GT(warm_misses, 0u);
+  for (int i = 0; i < 4; ++i) round();
+  EXPECT_EQ(pool.misses(), warm_misses)
+      << "steady-state coalescing path drew new buffers from the heap";
+  EXPECT_EQ(sink1.delivered, 300u);
+  EXPECT_TRUE(batching.quiescent());
+  EXPECT_EQ(batching.malformed(), 0u);
+  EXPECT_GT(batching.frames_sent(), 0u);
+  // 50 messages per round at a 10-message threshold: real coalescing.
+  EXPECT_LT(batching.frames_sent(), batching.messages_batched());
 }
 
 }  // namespace

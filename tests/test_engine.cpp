@@ -6,12 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "bench_support/experiment.hpp"
 #include "dsm/cluster.hpp"
 #include "dsm/thread_cluster.hpp"
 #include "engine/config.hpp"
+#include "sim/rng.hpp"
 #include "workload/schedule.hpp"
 
 namespace causim::engine {
@@ -122,6 +124,41 @@ TEST(EngineConfigValidation, IgnoresReliableConfigWhileLayerIsDown) {
   // never built, so its knobs are irrelevant and must not reject.
   EngineConfig c;
   c.reliable_config.rto_backoff = 0.5;
+  EXPECT_TRUE(validate(c).empty());
+}
+
+TEST(EngineConfigValidation, RejectsWorkersWithPerSiteExecutor) {
+  EngineConfig c;
+  c.workers = 4;  // executor stays the kPerSite default
+  const auto errors = validate(c);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_TRUE(mentions(errors, "executor"));
+
+  c.executor = ExecutorKind::kPooled;
+  EXPECT_TRUE(validate(c).empty());
+}
+
+TEST(EngineConfigValidation, RejectsDegenerateBatchThresholds) {
+  EngineConfig c;
+  c.batch.enabled = true;
+  EXPECT_TRUE(validate(c).empty()) << "defaults must validate";
+
+  c.batch.max_messages = 0;
+  EXPECT_TRUE(mentions(validate(c), "batch.max_messages"));
+  c.batch.max_messages = 16;
+
+  c.batch.max_bytes = 4;  // below the frame header + one length prefix
+  EXPECT_TRUE(mentions(validate(c), "batch.max_bytes"));
+  c.batch.max_bytes = 16 * 1024;
+
+  c.batch.max_delay = 0;
+  EXPECT_TRUE(mentions(validate(c), "batch.max_delay"));
+  c.batch.max_delay = kMillisecond;
+  EXPECT_TRUE(validate(c).empty());
+
+  // Disabled batching skips the threshold checks entirely.
+  c.batch.enabled = false;
+  c.batch.max_messages = 0;
   EXPECT_TRUE(validate(c).empty());
 }
 
@@ -253,6 +290,109 @@ INSTANTIATE_TEST_SUITE_P(
       for (auto& ch : name) {
         if (ch == '-') ch = '_';
       }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+
+/// Single-writer schedule: site s is the only writer of the variables
+/// congruent to s (mod n). Causal delivery then totally orders each
+/// variable's writes by its owner's program order, so the FINAL STORE
+/// STATE — not just the traffic — is interleaving-independent and must
+/// match across executors exactly.
+workload::Schedule single_writer_schedule(SiteId n, VarId variables,
+                                          std::size_t ops, std::uint64_t seed) {
+  sim::Pcg32 rng(seed);
+  workload::Schedule schedule;
+  schedule.per_site.resize(n);
+  const VarId owned = variables / n;
+  for (SiteId s = 0; s < n; ++s) {
+    SimTime at = 0;
+    for (std::size_t k = 0; k < ops; ++k) {
+      workload::Op op;
+      at += static_cast<SimTime>(rng.uniform_int(1, 20)) * kMillisecond;
+      op.at = at;
+      if (k % 2 == 0) {
+        op.kind = workload::Op::Kind::kWrite;
+        op.var = static_cast<VarId>(
+            s + n * static_cast<VarId>(rng.uniform_int(0, owned - 1)));
+      } else {
+        op.kind = workload::Op::Kind::kRead;
+        op.var = static_cast<VarId>(rng.uniform_int(0, variables - 1));
+      }
+      schedule.per_site[s].push_back(op);
+    }
+  }
+  return schedule;
+}
+
+/// The pooled executor against the per-site ThreadExecutor, across every
+/// protocol and the worker-count regimes that exercise distinct pool
+/// shapes: W=1 (fully serialized pool), W=0 (hardware concurrency) and
+/// W>n (more workers than sites — some never find work).
+class PooledExecutorEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<causal::ProtocolKind, unsigned>> {};
+
+TEST_P(PooledExecutorEquivalence, MatchesPerSiteExecutor) {
+  const auto [kind, workers] = GetParam();
+  const SiteId n = 6;
+  const VarId variables = 12;
+  const std::uint64_t seed = 41;
+  const auto schedule = single_writer_schedule(n, variables, 60, seed);
+
+  auto config = config_for(kind, n, seed);
+  dsm::ThreadCluster per_site(config);
+  per_site.execute(schedule);
+
+  config.executor = ExecutorKind::kPooled;
+  config.workers = workers;
+  dsm::ThreadCluster pooled(config);
+  pooled.execute(schedule);
+
+  // Per-kind counts and header/payload bytes are schedule+placement
+  // determined; meta bytes only for the fixed-size clocks (the log-carrying
+  // protocols piggyback interleaving-dependent bytes).
+  const auto a = per_site.aggregate_message_stats();
+  const auto b = pooled.aggregate_message_stats();
+  for (const MessageKind mk : kAllMessageKinds) {
+    EXPECT_EQ(a.of(mk).count, b.of(mk).count) << to_string(kind);
+    EXPECT_EQ(a.of(mk).header_bytes, b.of(mk).header_bytes) << to_string(kind);
+    EXPECT_EQ(a.of(mk).payload_bytes, b.of(mk).payload_bytes) << to_string(kind);
+  }
+  if (kind == causal::ProtocolKind::kFullTrack ||
+      kind == causal::ProtocolKind::kOptP) {
+    EXPECT_EQ(a.total().meta_bytes, b.total().meta_bytes) << to_string(kind);
+  }
+
+  // Single-writer final stores must agree replica by replica.
+  for (VarId v = 0; v < variables; ++v) {
+    for (SiteId s = 0; s < n; ++s) {
+      if (!per_site.placement().replicated_at(v, s)) continue;
+      const auto [value_a, write_a] = per_site.site(s).local_value(v);
+      const auto [value_b, write_b] = pooled.site(s).local_value(v);
+      EXPECT_EQ(value_a.id, value_b.id) << "var " << v << " at site " << s;
+      EXPECT_EQ(write_a, write_b) << "var " << v << " at site " << s;
+    }
+  }
+  EXPECT_TRUE(pooled.check().ok()) << to_string(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolsByWorkers, PooledExecutorEquivalence,
+    ::testing::Combine(::testing::Values(causal::ProtocolKind::kFullTrack,
+                                         causal::ProtocolKind::kOptTrack,
+                                         causal::ProtocolKind::kOptTrackCrp,
+                                         causal::ProtocolKind::kOptP),
+                       ::testing::Values(1u, 0u /* hardware */, 9u /* > n */)),
+    [](const ::testing::TestParamInfo<std::tuple<causal::ProtocolKind, unsigned>>&
+           param_info) {
+      std::string name = to_string(std::get<0>(param_info.param));
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      const unsigned w = std::get<1>(param_info.param);
+      name += w == 0 ? "_Whw" : "_W" + std::to_string(w);
       return name;
     });
 
