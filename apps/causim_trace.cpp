@@ -9,7 +9,8 @@
 //   causim-trace explain trace.json [--op W:C[:DEST] | --worst]
 //                                   [--depth N] [--allow-dropped] [--out FILE]
 //   causim-trace critpath trace.json [b.json] [--out FILE] [--label NAME]
-//                                    [--top K] [--allow-dropped]
+//                                    [--top K] [--cells C0,C1,...]
+//                                    [--allow-dropped]
 //
 // `analyze` re-reads a `--trace-out` file and emits the same
 // causim.analysis.v1 report that `--report-out` produces in-process (with
@@ -27,6 +28,7 @@
 // Exit codes: 0 success, 1 invalid/refused input (malformed JSON, wrong
 // schema, truncated trace without --allow-dropped, unknown op), 2 bad
 // command line, 3 unreadable input file.
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -35,6 +37,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/analysis/analysis.hpp"
 #include "obs/analysis/provenance.hpp"
@@ -64,7 +67,7 @@ int usage(std::ostream& out, int code) {
          "  causim-trace explain <trace.json> [--op WRITER:CLOCK[:DEST] |"
          " --worst] [--depth N] [--allow-dropped] [--out FILE]\n"
          "  causim-trace critpath <trace.json> [<b.json>] [--out FILE]"
-         " [--label NAME] [--top K] [--allow-dropped]\n"
+         " [--label NAME] [--top K] [--cells C0,C1,...] [--allow-dropped]\n"
          "  causim-trace --version\n"
          "\n"
          "exit codes: 0 ok, 1 invalid or refused input, 2 bad arguments,"
@@ -350,6 +353,24 @@ int run_timeseries(int argc, char** argv) {
   return ok ? kExitOk : kExitInvalid;
 }
 
+/// Parses the `--cells` site->cell map: a comma-separated cell index per
+/// site ("0,0,1,1" = sites 0-1 in cell 0, sites 2-3 in cell 1), matching
+/// the run's topo::Topology. Splits the critpath wire/visibility
+/// aggregates by link scope (LAN vs WAN).
+bool parse_cells(const char* text, std::vector<std::uint16_t>* cell_of) {
+  cell_of->clear();
+  const char* p = text;
+  while (true) {
+    char* end = nullptr;
+    const unsigned long cell = std::strtoul(p, &end, 10);
+    if (end == p || cell > 0xFFFFu) return false;
+    cell_of->push_back(static_cast<std::uint16_t>(cell));
+    if (*end == '\0') return true;
+    if (*end != ',') return false;
+    p = end + 1;
+  }
+}
+
 /// Parses "WRITER:CLOCK" or "WRITER:CLOCK:DEST".
 bool parse_op(const char* text, WriteId* w, std::optional<SiteId>* dest) {
   char* end = nullptr;
@@ -454,6 +475,7 @@ int run_critpath(int argc, char** argv) {
   std::string label;
   bool allow_dropped = false;
   std::size_t top_k = 10;
+  std::vector<std::uint16_t> cell_of;
   for (int i = 2; i < argc; ++i) {
     if (const char* out = flag_value(argv, argc, i, "--out")) {
       out_path = out;
@@ -461,6 +483,13 @@ int run_critpath(int argc, char** argv) {
       label = l;
     } else if (const char* t = flag_value(argv, argc, i, "--top")) {
       top_k = static_cast<std::size_t>(std::strtoull(t, nullptr, 10));
+    } else if (const char* c = flag_value(argv, argc, i, "--cells")) {
+      if (!parse_cells(c, &cell_of)) {
+        std::cerr << "error: --cells expects a comma-separated cell index per"
+                     " site (e.g. 0,0,1,1), got "
+                  << c << "\n";
+        return usage(std::cerr, kExitUsage);
+      }
     } else if (std::strcmp(argv[i], "--allow-dropped") == 0) {
       allow_dropped = true;
     } else if (argv[i][0] == '-') {
@@ -484,6 +513,7 @@ int run_critpath(int argc, char** argv) {
     options.label = label;
     options.dropped = trace->dropped;
     options.top_k = top_k;
+    options.cell_of = cell_of;
     const obs::analysis::ProvenanceReport report =
         obs::analysis::analyze_provenance(trace->events, options);
     if (n_paths == 1) {

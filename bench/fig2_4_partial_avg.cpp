@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
         params.write_rate = write_rates[wi];
         params.replication = bench_support::partial_replication_factor(n);
         bench_support::apply_quick(params, options);
+        bench_support::apply_topology_options(params, options);
         const std::string label = std::string(to_string(params.protocol)) + " n=" +
                                   std::to_string(n) +
                                   " w=" + stats::Table::num(write_rates[wi], 1);

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
       params.write_rate = w;
       params.replication = 0;  // full replication
       bench_support::apply_quick(params, options);
+      bench_support::apply_topology_options(params, options);
 
       const std::string cell =
           " n=" + std::to_string(n) + " w=" + stats::Table::num(w, 1);

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
       params.write_rate = write_rates[wi];
       params.replication = 0;
       bench_support::apply_quick(params, options);
+      bench_support::apply_topology_options(params, options);
 
       const std::string cell = " n=" + std::to_string(n) +
                                " w=" + stats::Table::num(write_rates[wi], 1);

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
           params.replication = bench_support::partial_replication_factor(n);
         }
         bench_support::apply_quick(params, options);
+        bench_support::apply_topology_options(params, options);
         const std::string label = std::string(to_string(params.protocol)) +
                                   (mode == 0 ? " full" : " partial") +
                                   " n=" + std::to_string(n) +

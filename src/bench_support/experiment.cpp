@@ -58,6 +58,8 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
     config.executor = params.executor;
     config.workers = params.workers;
     config.batch = params.batch;
+    config.topology = params.topology;
+    config.gateway = params.gateway;
     config.live = params.live;
     if (params.live != nullptr) params.live->begin_run(seed);
 
@@ -68,6 +70,8 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
     wl.payload_lo = params.payload_lo;
     wl.payload_hi = params.payload_hi;
     wl.zipf_s = params.zipf_s;
+    wl.gap_lo = params.gap_lo;
+    wl.gap_hi = params.gap_hi;
     wl.seed = seed;
 
     const workload::Schedule schedule = workload::generate_schedule(params.sites, wl);
@@ -94,6 +98,17 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
       if (stack.batching() != nullptr) {
         result.batch_frames += stack.batching()->frames_sent();
         result.batch_messages += stack.batching()->messages_batched();
+      }
+      if (stack.gateway() != nullptr) {
+        const net::GatewayMailbox& gw = *stack.gateway();
+        result.lan_messages += gw.lan_messages();
+        result.wan_messages += gw.wan_messages();
+        result.lan_bytes += gw.lan_bytes();
+        result.wan_bytes += gw.wan_bytes();
+        result.wan_frames += gw.wan_frames();
+        result.gateway_frames += gw.mailbox_frames();
+        result.gateway_frame_messages += gw.mailbox_messages();
+        result.gateway_enroute += gw.enroute_messages();
       }
       if (params.metrics != nullptr) cluster.export_metrics(*params.metrics);
 
@@ -139,6 +154,69 @@ const char* flag_value(const char* arg, const char* name, int argc, char** argv,
   if (arg[len] == '\0' && i + 1 < argc) return argv[++i];
   return nullptr;
 }
+
+/// Parses `--topology cells=K:wan-rtt=US[:loss=P]` into the options,
+/// rejecting unknown keys, malformed numbers and missing mandatory keys
+/// with one actionable message each.
+bool parse_topology_spec(const char* spec, BenchOptions& options,
+                         std::string& error) {
+  bool have_cells = false;
+  bool have_rtt = false;
+  const char* p = spec;
+  while (*p != '\0') {
+    const char* colon = std::strchr(p, ':');
+    const std::size_t part_len = colon != nullptr
+                                     ? static_cast<std::size_t>(colon - p)
+                                     : std::strlen(p);
+    const std::string part(p, part_len);
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= part.size()) {
+      error = "--topology parts must be key=value (cells=K, wan-rtt=US, "
+              "loss=P), got: " + (part.empty() ? std::string("<empty>") : part);
+      return false;
+    }
+    const std::string key = part.substr(0, eq);
+    const std::string value = part.substr(eq + 1);
+    char* end = nullptr;
+    if (key == "cells") {
+      options.topo_cells = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || options.topo_cells < 1) {
+        error = "--topology cells expects an integer >= 1, got: " + value;
+        return false;
+      }
+      have_cells = true;
+    } else if (key == "wan-rtt") {
+      options.topo_wan_rtt_us = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || options.topo_wan_rtt_us < 2) {
+        error = "--topology wan-rtt expects a round-trip time >= 2 "
+                "microseconds (the one-way delay is rtt/2), got: " + value;
+        return false;
+      }
+      have_rtt = true;
+    } else if (key == "loss") {
+      options.topo_wan_loss = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || options.topo_wan_loss < 0.0 ||
+          options.topo_wan_loss >= 1.0) {
+        error = "--topology loss expects a drop rate in [0, 1), got: " + value;
+        return false;
+      }
+    } else {
+      error = "--topology has no key '" + key +
+              "' (known: cells, wan-rtt, loss)";
+      return false;
+    }
+    p += part_len;
+    if (*p == ':') ++p;
+  }
+  if (!have_cells || !have_rtt) {
+    error = "--topology needs both cells=K and wan-rtt=US (loss=P is "
+            "optional), got: ";
+    error += spec;
+    return false;
+  }
+  options.topology_set = true;
+  return true;
+}
 }  // namespace
 
 std::string bench_usage(const char* argv0) {
@@ -148,7 +226,8 @@ std::string bench_usage(const char* argv0) {
       " [--quick] [--csv] [--trace-out FILE] [--metrics-out FILE]"
       " [--report-out FILE] [--json-out FILE] [--timeseries-out FILE]"
       " [--critpath] [--arq gbn|sr] [--adaptive-rto]"
-      " [--executor per-site|pooled] [--workers N] [--batch N]\n"
+      " [--executor per-site|pooled] [--workers N] [--batch N]"
+      " [--topology cells=K:wan-rtt=US[:loss=P]] [--gateway on|off]\n"
       "  --quick            shrink seeds/ops for a smoke run\n"
       "  --csv              also print tables as CSV\n"
       "  --trace-out FILE   write a Chrome/Perfetto trace-event JSON\n"
@@ -179,6 +258,16 @@ std::string bench_usage(const char* argv0) {
       "  --batch N          coalesce each channel's messages into batch\n"
       "                     frames, flushing every N messages (also on byte\n"
       "                     and delay thresholds); N >= 1\n"
+      "  --topology SPEC    two-level datacenter topology: SPEC is\n"
+      "                     cells=K:wan-rtt=US[:loss=P] — K contiguous cells\n"
+      "                     over the sites, a fixed US/2 one-way WAN delay\n"
+      "                     between cells (intra-cell links keep the LAN\n"
+      "                     default), optional WAN drop rate P in [0, 1);\n"
+      "                     benches without a geo section accept but ignore it\n"
+      "  --gateway on|off   cross-DC gateway mailboxes: on coalesces\n"
+      "                     cross-cell messages through per-cell gateways,\n"
+      "                     off keeps direct WAN sends (the A/B baseline);\n"
+      "                     on requires a --topology with cells >= 2\n"
       "  (value flags also accept --flag=VALUE)\n";
   return usage;
 }
@@ -233,6 +322,19 @@ bool try_parse_bench_args(int argc, char** argv, BenchOptions& options,
         return false;
       }
       options.workers_set = true;
+    } else if (const char* tp = flag_value(argv[i], "--topology", argc, argv, i)) {
+      if (!parse_topology_spec(tp, options, error)) return false;
+    } else if (const char* g = flag_value(argv[i], "--gateway", argc, argv, i)) {
+      if (std::strcmp(g, "on") == 0) {
+        options.gateway_on = true;
+      } else if (std::strcmp(g, "off") == 0) {
+        options.gateway_on = false;
+      } else {
+        error = "--gateway expects on or off, got: ";
+        error += g;
+        return false;
+      }
+      options.gateway_set = true;
     } else if (const char* b = flag_value(argv[i], "--batch", argc, argv, i)) {
       char* end = nullptr;
       options.batch = std::strtol(b, &end, 10);
@@ -258,6 +360,14 @@ bool try_parse_bench_args(int argc, char** argv, BenchOptions& options,
     error =
         "--workers only applies to the pooled executor (the per-site default "
         "always runs one thread per site); add --executor pooled";
+    return false;
+  }
+  if (options.gateway_set && options.gateway_on &&
+      (!options.topology_set || options.topo_cells < 2)) {
+    error =
+        "--gateway on needs a multi-cell topology to route through (cross-DC "
+        "mailboxes sit between cells); add --topology cells=K:wan-rtt=US "
+        "with K >= 2";
     return false;
   }
   return true;
@@ -286,6 +396,20 @@ void apply_executor_options(ExperimentParams& params, const BenchOptions& option
     params.batch.enabled = true;
     params.batch.max_messages = static_cast<std::uint32_t>(options.batch);
   }
+}
+
+void apply_topology_options(ExperimentParams& params, const BenchOptions& options) {
+  if (!options.topology_set) return;
+  topo::LinkProfile intra;  // the LAN default (1–5 ms)
+  topo::LinkProfile inter;
+  // A fixed one-way WAN delay of rtt/2: deterministic geo latency the
+  // paper-style uniform LAN jitter rides inside each cell.
+  inter.latency_lo = options.topo_wan_rtt_us / 2;
+  inter.latency_hi = options.topo_wan_rtt_us / 2;
+  inter.faults.drop_rate = options.topo_wan_loss;
+  params.topology = topo::Topology::blocks(
+      params.sites, static_cast<std::size_t>(options.topo_cells), intra, inter);
+  params.gateway.enabled = options.gateway_set && options.gateway_on;
 }
 
 void apply_quick(ExperimentParams& params, const BenchOptions& options) {

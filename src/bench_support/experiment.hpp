@@ -37,6 +37,12 @@ struct ExperimentParams {
   std::uint32_t payload_lo = 0;
   std::uint32_t payload_hi = 0;
   double zipf_s = 0.0;
+  /// Operation inter-arrival gap range (µs); the defaults are the paper's
+  /// 5–2005 ms think time (workload::WorkloadParams). Geo benches shrink
+  /// the gap to model a loaded datacenter — under the paper's think time a
+  /// cross-DC coalescing window would never see two messages.
+  SimTime gap_lo = 5 * kMillisecond;
+  SimTime gap_hi = 2005 * kMillisecond;
   /// Benches default to 8-byte clock entries, approximating the JDK object
   /// footprint of the paper's testbed (DESIGN.md §1); the library default
   /// elsewhere is 4 bytes.
@@ -74,6 +80,12 @@ struct ExperimentParams {
   unsigned workers = 0;
   /// Per-channel message coalescing at the transport edge (`--batch N`).
   net::BatchConfig batch;
+  /// Two-level datacenter topology (`--topology cells=K:wan-rtt=US`); the
+  /// empty default keeps the flat cluster and byte-identical runs.
+  topo::Topology topology;
+  /// Cross-DC gateway mailbox coalescing (`--gateway on|off`; needs a
+  /// multi-cell topology when enabled).
+  net::GatewayConfig gateway;
 };
 
 /// The paper's partial-replication factor: p = 0.3·n, at least 1.
@@ -104,6 +116,19 @@ struct ExperimentResult {
   std::uint64_t wire_frames = 0;     // frames the bottom transport carried
   std::uint64_t batch_frames = 0;    // coalesced frames the batcher shipped
   std::uint64_t batch_messages = 0;  // app messages inside those frames
+
+  // -- topology / gateway activity (all zero without a multi-cell topology) --
+  std::uint64_t lan_messages = 0;  // app messages with same-cell endpoints
+  std::uint64_t wan_messages = 0;  // app messages crossing cells
+  std::uint64_t lan_bytes = 0;
+  std::uint64_t wan_bytes = 0;
+  /// Frames the gateway layer put on cross-cell channels — mailbox frames
+  /// with the gateway on, direct cross-cell sends with it off. The A/B
+  /// denominator of bench/ext_geo.
+  std::uint64_t wan_frames = 0;
+  std::uint64_t gateway_frames = 0;          // mailbox frames shipped
+  std::uint64_t gateway_frame_messages = 0;  // app messages inside them
+  std::uint64_t gateway_enroute = 0;         // sender -> own-gateway relays
 
   // -- derived, per-run means --
   double mean_total_overhead_bytes() const;  // header+meta per run
@@ -144,6 +169,16 @@ struct BenchOptions {
   long workers = 0;
   bool workers_set = false;
   long batch = 0;
+  /// `--topology cells=K:wan-rtt=US[:loss=P]` splits the sites into K
+  /// contiguous cells with a fixed RTT/2 one-way WAN delay (and optional
+  /// WAN loss rate) between them; `--gateway on|off` toggles cross-DC
+  /// mailbox coalescing (on requires a multi-cell --topology).
+  bool topology_set = false;
+  long topo_cells = 0;
+  long topo_wan_rtt_us = 0;
+  double topo_wan_loss = 0.0;
+  bool gateway_set = false;
+  bool gateway_on = false;
 };
 
 /// Copies the CLI's ARQ knobs into a reliable-channel config.
@@ -151,6 +186,13 @@ void apply_arq_options(net::ReliableConfig& config, const BenchOptions& options)
 
 /// Copies the CLI's executor/workers/batch knobs into experiment params.
 void apply_executor_options(ExperimentParams& params, const BenchOptions& options);
+
+/// Builds the --topology/--gateway knobs into experiment params: K
+/// contiguous cells over params.sites (so set sites first), default
+/// intra-cell profile, a fixed wan-rtt/2 one-way inter-cell delay plus the
+/// optional loss rate, and gateway coalescing per --gateway. No-op without
+/// --topology.
+void apply_topology_options(ExperimentParams& params, const BenchOptions& options);
 
 /// The flag reference printed on parse errors (argv0 names the binary).
 std::string bench_usage(const char* argv0);

@@ -90,8 +90,12 @@ SimTime Observability::log_sample_interval() const {
 
 ExperimentResult Observability::run_cell(const std::string& label,
                                          ExperimentParams params) {
-  params.trace_sink = claim_trace_sink();  // first cell only
-  params.log_sample_interval = log_sample_interval();
+  // A caller-supplied sink wins (ext_geo's LAN/WAN visibility splitter);
+  // otherwise the first cell claims the shared --trace-out sink.
+  if (params.trace_sink == nullptr) {
+    params.trace_sink = claim_trace_sink();  // first cell only
+    params.log_sample_interval = log_sample_interval();
+  }
   params.metrics = metrics();
 
   // Live telemetry: the visibility tracker runs for every cell when
@@ -156,6 +160,20 @@ void Observability::append_cell(const std::string& label,
           << ",\"frames\":" << result.batch_frames
           << ",\"messages\":" << result.batch_messages << "}";
     }
+  }
+  // Topology block only for geo lanes, same byte-identical rule: flat
+  // benches emit exactly the pre-topology document.
+  if (params.topology.enabled()) {
+    out << ",\"topology\":{\"cells\":" << params.topology.cell_count()
+        << ",\"gateway\":\"" << (params.gateway.enabled ? "on" : "off") << "\""
+        << ",\"lan_messages\":" << result.lan_messages
+        << ",\"wan_messages\":" << result.wan_messages
+        << ",\"lan_bytes\":" << result.lan_bytes
+        << ",\"wan_bytes\":" << result.wan_bytes
+        << ",\"wan_frames\":" << result.wan_frames
+        << ",\"gateway_frames\":" << result.gateway_frames
+        << ",\"gateway_frame_messages\":" << result.gateway_frame_messages
+        << ",\"gateway_enroute\":" << result.gateway_enroute << "}";
   }
   out << ",\"runs\":" << result.runs;
   out << ",\"recorded_writes\":" << result.recorded_writes;

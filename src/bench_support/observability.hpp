@@ -65,7 +65,10 @@ class Observability {
   /// subscriber (visibility tracker for every cell; the 100 ms time-series
   /// sampler for the first cell only), times the run, and appends the
   /// cell's bench.v1 record under `label`. Returns run_experiment's result
-  /// unchanged, so table-building code keeps working as before.
+  /// unchanged, so table-building code keeps working as before. A trace
+  /// sink already set in `params` is kept (ext_geo wires a per-cell
+  /// visibility splitter this way) and that cell does not claim the
+  /// shared --trace-out sink.
   ExperimentResult run_cell(const std::string& label, ExperimentParams params);
 
   /// Writes the requested files; returns false (after printing the reason

@@ -16,9 +16,17 @@ const ClusterConfig& validated(const ClusterConfig& config) {
 Cluster::Cluster(const ClusterConfig& config)
     : config_(validated(config)),
       latency_(config_.latency_lo, config_.latency_hi) {
+  // Latency selection: a topology's per-scope composite wins (validation
+  // rejects topology + latency_model both set), then an explicit custom
+  // model, then the flat uniform range.
+  if (config_.topology.enabled()) {
+    scoped_latency_ = config_.topology.make_latency_model(config_.sites);
+  }
   const sim::LatencyModel& model =
-      config_.latency_model ? *config_.latency_model
-                            : static_cast<const sim::LatencyModel&>(latency_);
+      scoped_latency_ ? *scoped_latency_
+      : config_.latency_model
+          ? *config_.latency_model
+          : static_cast<const sim::LatencyModel&>(latency_);
   transport_ = std::make_unique<net::SimTransport>(simulator_, model, config_.sites,
                                                    config_.seed);
   engine::NodeStack::Wiring wiring;

@@ -86,6 +86,9 @@ class Cluster {
   ClusterConfig config_;
   sim::Simulator simulator_;
   sim::UniformLatency latency_;
+  /// The per-scope composite when the config carries a topology (owned
+  /// here — the transport keeps a reference for the run's lifetime).
+  std::shared_ptr<const sim::LatencyModel> scoped_latency_;
   std::unique_ptr<net::SimTransport> transport_;
   std::unique_ptr<engine::NodeStack> stack_;
   std::unique_ptr<engine::SimExecutor> executor_;

@@ -7,6 +7,43 @@
 
 namespace causim::engine {
 
+namespace {
+
+/// Shared by the global reliable_config and every per-scope LinkProfile
+/// override — the ARQ invariants are the same wherever the config lives.
+void validate_reliable(const net::ReliableConfig& r, const std::string& where,
+                       std::vector<std::string>& errors) {
+  if (r.rto_initial <= 0) {
+    errors.push_back(where + ".rto_initial must be positive (it is the first "
+                             "retransmission timeout)");
+  }
+  if (r.rto_max < r.rto_initial) {
+    std::ostringstream os;
+    os << where << ".rto_max (" << r.rto_max << "us) is below rto_initial ("
+       << r.rto_initial << "us)";
+    errors.push_back(os.str());
+  }
+  if (r.rto_backoff < 1.0) {
+    errors.push_back(where + ".rto_backoff must be >= 1.0 (a shrinking RTO "
+                             "floods the wire with retransmissions)");
+  }
+  if (r.adaptive_rto) {
+    if (r.rto_min <= 0) {
+      errors.push_back(where + ".rto_min must be positive with adaptive_rto "
+                               "(it is the estimator's lower clamp, RFC 6298 "
+                               "style)");
+    }
+    if (r.rto_max < r.rto_min) {
+      std::ostringstream os;
+      os << where << ".rto_max (" << r.rto_max << "us) is below rto_min ("
+         << r.rto_min << "us)";
+      errors.push_back(os.str());
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<std::string> validate(const EngineConfig& config) {
   std::vector<std::string> errors;
   const auto reject = [&errors](const std::string& message) {
@@ -95,33 +132,63 @@ std::vector<std::string> validate(const EngineConfig& config) {
              "coalescing)");
     }
   }
-  if (config.fault_plan.any() || config.reliable_channel) {
-    const net::ReliableConfig& r = config.reliable_config;
-    if (r.rto_initial <= 0) {
-      reject("reliable_config.rto_initial must be positive (it is the first "
-             "retransmission timeout)");
+  if (config.fault_plan.any() || config.reliable_channel ||
+      config.topology.any_faults() || config.topology.any_reliable_override()) {
+    validate_reliable(config.reliable_config, "reliable_config", errors);
+  }
+  if (config.topology.enabled()) {
+    for (const std::string& e : config.topology.validate(config.sites)) {
+      reject("topology: " + e);
     }
-    if (r.rto_max < r.rto_initial) {
+    if (config.latency_model != nullptr) {
+      reject("topology and latency_model are mutually exclusive: the "
+             "topology's per-scope profiles become the latency model; drop "
+             "one of them");
+    }
+    const auto check_profile_reliable = [&errors](
+                                            const topo::LinkProfile& p,
+                                            const std::string& scope) {
+      if (p.reliable.has_value()) {
+        validate_reliable(*p.reliable, "topology " + scope + " reliable",
+                          errors);
+      }
+    };
+    check_profile_reliable(config.topology.intra, "intra");
+    check_profile_reliable(config.topology.inter, "inter");
+    for (const auto& [pair, p] : config.topology.pair_overrides) {
+      std::ostringstream scope;
+      scope << "pair (" << pair.first << " -> " << pair.second << ")";
+      check_profile_reliable(p, scope.str());
+    }
+  }
+  if (config.gateway.enabled) {
+    if (!config.topology.multi_cell()) {
       std::ostringstream os;
-      os << "reliable_config.rto_max (" << r.rto_max << "us) is below "
-         << "rto_initial (" << r.rto_initial << "us)";
+      os << "gateway.enabled requires a multi-cell topology (have "
+         << config.topology.cell_count()
+         << " cell(s)); group the sites into >= 2 cells or disable the "
+         << "gateway";
       reject(os.str());
     }
-    if (r.rto_backoff < 1.0) {
-      reject("reliable_config.rto_backoff must be >= 1.0 (a shrinking RTO "
-             "floods the wire with retransmissions)");
+    const net::GatewayConfig& g = config.gateway;
+    if (g.max_messages < 1) {
+      reject("gateway.max_messages must be >= 1 (a mailbox needs at least "
+             "one message to flush on)");
     }
-    if (r.adaptive_rto) {
-      if (r.rto_min <= 0) {
-        reject("reliable_config.rto_min must be positive with adaptive_rto "
-               "(it is the estimator's lower clamp, RFC 6298 style)");
-      }
-      if (r.rto_max < r.rto_min) {
-        std::ostringstream os;
-        os << "reliable_config.rto_max (" << r.rto_max << "us) is below "
-           << "rto_min (" << r.rto_min << "us)";
-        reject(os.str());
-      }
+    if (g.max_bytes < net::GatewayCoalescer::kFrameHeaderBytes +
+                          net::GatewayCoalescer::kPerMessageBytes) {
+      std::ostringstream os;
+      os << "gateway.max_bytes (" << g.max_bytes << ") is below the mailbox "
+         << "framing overhead ("
+         << net::GatewayCoalescer::kFrameHeaderBytes +
+                net::GatewayCoalescer::kPerMessageBytes
+         << " bytes) — every append would flush a degenerate mailbox of one";
+      reject(os.str());
+    }
+    if (g.max_delay < 1) {
+      reject("gateway.max_delay must be >= 1us (the flush timer bounds how "
+             "long a lone cross-DC message waits; 0 would flush-on-send and "
+             "defeat coalescing)");
     }
   }
   return errors;

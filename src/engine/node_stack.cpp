@@ -26,20 +26,39 @@ NodeStack::NodeStack(const EngineConfig& config, Wiring wiring)
   // active fault implies the reliability layer (the protocols assume the
   // reliable FIFO channels of §II-B); with neither configured the sites
   // talk to the wire directly and nothing below observes a difference.
+  // A topology's per-scope faults compile into per-channel overrides of
+  // the base plan once, here, so the injector and the "is anything faulty"
+  // decision see the same effective plan.
   edge_ = wire_;
-  const bool faulty = config_.fault_plan.any();
-  if (faulty || config_.reliable_channel) {
+  const faults::FaultPlan effective_plan =
+      config_.topology.compile_fault_plan(config_.fault_plan, config_.sites);
+  const bool faulty = effective_plan.any();
+  if (faulty || config_.reliable_channel ||
+      config_.topology.any_reliable_override()) {
     CAUSIM_CHECK(wiring.make_timer != nullptr,
                  "this config needs a timer-driven layer but the wiring has no "
                  "timer factory");
     timer_ = wiring.make_timer();
     if (faulty) {
       injector_ = std::make_unique<faults::FaultInjector>(
-          *edge_, *timer_, config_.fault_plan, config_.seed);
+          *edge_, *timer_, effective_plan, config_.seed);
       edge_ = injector_.get();
     }
-    reliable_ = std::make_unique<net::ReliableTransport>(*edge_, *timer_,
-                                                         config_.reliable_config);
+    if (config_.topology.any_reliable_override()) {
+      // Per-channel ARQ: each directed channel inherits its scope profile's
+      // override, falling back to the global config — so a WAN scope can
+      // run a different retransmission policy than the LAN links.
+      const topo::Topology& topology = config_.topology;
+      const net::ReliableConfig base = config_.reliable_config;
+      reliable_ = std::make_unique<net::ReliableTransport>(
+          *edge_, *timer_, [&topology, &base](SiteId from, SiteId to) {
+            if (from == to) return base;
+            return topology.profile(from, to).reliable.value_or(base);
+          });
+    } else {
+      reliable_ = std::make_unique<net::ReliableTransport>(
+          *edge_, *timer_, config_.reliable_config);
+    }
     reliable_->set_buffer_pool(&pool_);
     edge_ = reliable_.get();
   }
@@ -56,6 +75,22 @@ NodeStack::NodeStack(const EngineConfig& config, Wiring wiring)
         std::make_unique<net::BatchingTransport>(*edge_, *timer_, config_.batch);
     batching_->set_buffer_pool(&pool_);
     edge_ = batching_.get();
+  }
+  // The cross-DC gateway layer tops the tower for any multi-cell topology:
+  // above batching, so an intra-cell enroute hop is itself coalesced, and
+  // above reliability, so mailbox frames ride the reliable WAN channels.
+  // With gateway.enabled off it is a counting pass-through (the LAN/WAN
+  // scope split of msg.{lan,wan}.* still wants the layer).
+  if (config_.topology.multi_cell()) {
+    CAUSIM_CHECK(wiring.make_timer != nullptr,
+                 "the gateway layer needs a flush timer but the wiring has no "
+                 "timer factory");
+    if (timer_ == nullptr) timer_ = wiring.make_timer();
+    gateway_ = std::make_unique<net::GatewayMailbox>(
+        *edge_, *timer_, config_.gateway,
+        config_.topology.routing(config_.sites));
+    gateway_->set_buffer_pool(&pool_);
+    edge_ = gateway_.get();
   }
   // Live telemetry interposes in front of the user's sink: site/transport
   // events flow through the online tracker and are forwarded unchanged.
@@ -137,6 +172,18 @@ void NodeStack::verify_quiescent() const {
                  "batching layer dropped " << batching_->malformed()
                                            << " malformed frames");
   }
+  if (gateway_ != nullptr) {
+    // Message-level conservation above the mailbox boundary: no mailbox
+    // still holds messages, every accepted message fanned out exactly once.
+    CAUSIM_CHECK(gateway_->quiescent(),
+                 "gateway layer did not drain: "
+                     << gateway_->buffered_messages() << " buffered, "
+                     << gateway_->packets_sent() << " sent, "
+                     << gateway_->packets_delivered() << " delivered");
+    CAUSIM_CHECK(gateway_->malformed() == 0,
+                 "gateway layer dropped " << gateway_->malformed()
+                                          << " malformed frames");
+  }
   for (SiteId s = 0; s < config_.sites; ++s) {
     CAUSIM_CHECK(runtimes_[s]->pending_updates() == 0,
                  "site " << s << " finished with unapplied updates");
@@ -187,6 +234,7 @@ void NodeStack::export_metrics(obs::MetricsRegistry& registry) const {
   for (const auto& r : runtimes_) r->export_metrics(registry);
   if (reliable_ != nullptr) reliable_->export_metrics(registry);
   if (batching_ != nullptr) batching_->export_metrics(registry);
+  if (gateway_ != nullptr) gateway_->export_metrics(registry);
   if (injector_ != nullptr) injector_->export_metrics(registry);
 }
 

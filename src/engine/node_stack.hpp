@@ -4,7 +4,7 @@
 // real-thread dsm::ThreadCluster) need exactly the same tower per run:
 //
 //   wire -> [FaultInjector] -> [ReliableTransport] -> [BatchingTransport]
-//        -> SiteRuntime x n
+//        -> [GatewayMailbox] -> SiteRuntime x n
 //
 // plus placement, the history recorder, the shared frame pool, and the
 // observability wiring (trace sinks down the stack, metrics folds up).
@@ -26,6 +26,7 @@
 #include "engine/config.hpp"
 #include "faults/fault_injector.hpp"
 #include "net/batching_transport.hpp"
+#include "net/gateway_mailbox.hpp"
 #include "net/reliable_channel.hpp"
 #include "net/timer.hpp"
 #include "net/transport.hpp"
@@ -72,6 +73,10 @@ class NodeStack {
   /// in (the topmost transport decorator — sites send through it).
   net::BatchingTransport* batching() { return batching_.get(); }
   const net::BatchingTransport* batching() const { return batching_.get(); }
+  /// Non-null when a multi-cell topology wired the cross-DC gateway layer
+  /// in (above batching — the topmost transport decorator then).
+  net::GatewayMailbox* gateway() { return gateway_.get(); }
+  const net::GatewayMailbox* gateway() const { return gateway_.get(); }
   net::TimerDriver* timer() { return timer_.get(); }
 
   /// The shared frame pool every layer encodes into / recycles through.
@@ -124,6 +129,7 @@ class NodeStack {
   std::unique_ptr<faults::FaultInjector> injector_;
   std::unique_ptr<net::ReliableTransport> reliable_;
   std::unique_ptr<net::BatchingTransport> batching_;
+  std::unique_ptr<net::GatewayMailbox> gateway_;
   net::Transport* edge_ = nullptr;
   serial::BufferPool pool_;
   checker::HistoryRecorder history_;

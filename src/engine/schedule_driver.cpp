@@ -150,8 +150,19 @@ void ThreadExecutor::drain() {
   // stops, discarding pending callbacks (all droppable now: stale
   // retransmits, delayed duplicates, empty batch flushes) so nothing
   // races the transport teardown, (3) the wire drains.
-  if (stack_.batching() != nullptr) stack_.batching()->flush_all();
-  if (stack_.reliable() != nullptr) stack_.reliable()->wait_quiescent();
+  //
+  // With the cross-DC gateway up, steps 0–1 loop: a mailbox can be
+  // *refilled* mid-drain — an enroute frame still in flight lands at its
+  // gateway after the flush, and an FM fanned out of a mailbox triggers an
+  // RM reply that enters a fresh one. Each pass strictly moves messages
+  // down the stack and the senders have stopped, so the loop terminates
+  // once the last reply made it through.
+  do {
+    if (stack_.gateway() != nullptr) stack_.gateway()->flush_all();
+    if (stack_.batching() != nullptr) stack_.batching()->flush_all();
+    if (stack_.reliable() != nullptr) stack_.reliable()->wait_quiescent();
+    if (stack_.gateway() != nullptr) transport_.quiesce();
+  } while (stack_.gateway() != nullptr && !stack_.gateway()->quiescent());
   if (stack_.timer() != nullptr) stack_.timer()->stop();
   transport_.quiesce();
 }

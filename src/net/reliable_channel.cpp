@@ -269,12 +269,23 @@ ReliableChannel::Ingest ReliableChannel::on_frame(const serial::Bytes& frame,
 
 ReliableTransport::ReliableTransport(Transport& inner, TimerDriver& timer,
                                      ReliableConfig config)
+    : ReliableTransport(inner, timer,
+                        [&config](SiteId, SiteId) { return config; }) {}
+
+ReliableTransport::ReliableTransport(Transport& inner, TimerDriver& timer,
+                                     const ConfigFn& config_of)
     : inner_(inner),
       timer_(timer),
-      config_(config),
       n_(inner.size()),
-      chans_(static_cast<std::size_t>(n_) * n_, Chan{ReliableChannel(config), false}),
       handlers_(n_, nullptr) {
+  CAUSIM_CHECK(config_of != nullptr,
+               "ReliableTransport needs a per-channel config function");
+  chans_.reserve(static_cast<std::size_t>(n_) * n_);
+  for (SiteId from = 0; from < n_; ++from) {
+    for (SiteId to = 0; to < n_; ++to) {
+      chans_.push_back(Chan{ReliableChannel(config_of(from, to)), false});
+    }
+  }
   for (SiteId s = 0; s < n_; ++s) inner_.attach(s, this);
 }
 
@@ -311,7 +322,7 @@ void ReliableTransport::arm_locked(std::size_t idx, SiteId from, SiteId to,
   if (chan.timer_armed || !chan.channel.timer_needed()) return;
   chan.timer_armed = true;
   SimTime delay = chan.channel.rto();
-  if (config_.adaptive_rto) {
+  if (chan.channel.config().adaptive_rto) {
     // Fire at the earliest per-frame deadline; a firing that finds nothing
     // aged out simply rearms, so progress pushes the real timeout forward.
     const SimTime deadline = chan.channel.next_deadline();

@@ -34,6 +34,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <vector>
@@ -186,6 +187,10 @@ class ReliableChannel {
 
   // ---- introspection ----
 
+  /// The knobs this channel was built with (per-channel configs differ
+  /// under a topology with per-scope ARQ overrides).
+  const ReliableConfig& config() const { return config_; }
+
   std::uint64_t next_seq() const { return next_seq_; }
   std::uint64_t unacked() const { return static_cast<std::uint64_t>(unacked_.size()); }
   std::uint64_t next_expected() const { return next_expected_; }
@@ -260,9 +265,19 @@ class ReliableChannel {
 /// faults between the runtimes and the wire.
 class ReliableTransport final : public Transport, public PacketHandler {
  public:
+  /// Per-channel ARQ configuration: maps a directed (from, to) channel to
+  /// its knobs. Lets a topology give WAN links a different retransmission
+  /// policy than LAN links (topo::LinkProfile::reliable).
+  using ConfigFn = std::function<ReliableConfig(SiteId from, SiteId to)>;
+
   /// Attaches itself as the inner transport's handler for every site, so
   /// construct the stack bottom-up and attach the real handlers here.
   ReliableTransport(Transport& inner, TimerDriver& timer, ReliableConfig config = {});
+
+  /// Same, with every directed channel configured independently. The
+  /// uniform ctor delegates here, so both build byte-identical stacks for
+  /// a constant ConfigFn.
+  ReliableTransport(Transport& inner, TimerDriver& timer, const ConfigFn& config_of);
 
   void attach(SiteId site, PacketHandler* handler) override;
   void send(SiteId from, SiteId to, serial::Bytes bytes) override;
@@ -322,7 +337,6 @@ class ReliableTransport final : public Transport, public PacketHandler {
 
   Transport& inner_;
   TimerDriver& timer_;
-  const ReliableConfig config_;
   const SiteId n_;
 
   mutable std::mutex mutex_;

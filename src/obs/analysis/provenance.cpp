@@ -94,6 +94,7 @@ ProvenanceReport analyze_provenance(const std::vector<TraceEvent>& events,
   report.label = options.label;
   report.events = events.size();
   report.dropped = options.dropped;
+  report.scope_split = !options.cell_of.empty();
 
   EpochState epoch;
   std::uint32_t epoch_id = 0;
@@ -255,6 +256,13 @@ ProvenanceReport analyze_provenance(const std::vector<TraceEvent>& events,
     report.dep_wait.record(op.dep_wait);
     report.apply.record(op.apply);
     report.visibility.record(op.visibility());
+    if (report.scope_split && op.origin < options.cell_of.size() &&
+        op.dest < options.cell_of.size()) {
+      const bool wan = options.cell_of[op.origin] != options.cell_of[op.dest];
+      (wan ? report.wire_wan : report.wire_lan).record(op.wire);
+      (wan ? report.visibility_wan : report.visibility_lan)
+          .record(op.visibility());
+    }
     SiteCritpath& site = report.per_site[op.dest];
     ++site.activated;
     if (op.buffered) ++site.buffered;
@@ -349,7 +357,20 @@ void ProvenanceReport::write_json(std::ostream& out) const {
   out << ",\n    \"share\": {\"wire\": " << num(share(wire.total_us))
       << ", \"arq\": " << num(share(arq.total_us))
       << ", \"dep_wait\": " << num(share(dep_wait.total_us))
-      << ", \"apply\": " << num(share(apply.total_us)) << "}\n  },\n";
+      << ", \"apply\": " << num(share(apply.total_us)) << "}";
+  // Link-scope split only with a cell map, so reports of flat runs stay
+  // byte-identical to the pre-topology schema.
+  if (scope_split) {
+    out << ",\n    \"wire_lan_us\": ";
+    write_stats(out, wire_lan);
+    out << ",\n    \"wire_wan_us\": ";
+    write_stats(out, wire_wan);
+    out << ",\n    \"visibility_lan_us\": ";
+    write_stats(out, visibility_lan);
+    out << ",\n    \"visibility_wan_us\": ";
+    write_stats(out, visibility_wan);
+  }
+  out << "\n  },\n";
 
   out << "  \"per_site\": {";
   bool first = true;

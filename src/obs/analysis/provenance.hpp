@@ -55,6 +55,12 @@ struct ProvenanceOptions {
   std::size_t top_k = 10;
   /// Depth cap when following a critical path through predecessor ops.
   std::size_t max_chain = 16;
+  /// Site -> cell map of the run's two-level topology (causim::topo;
+  /// `causim-trace critpath --cells 0,0,1,1`). Non-empty splits the wire
+  /// and visibility aggregates by link scope — LAN for same-cell
+  /// origin/destination pairs, WAN otherwise; empty (the default) keeps
+  /// the report byte-identical to the pre-topology schema.
+  std::vector<std::uint16_t> cell_of;
 };
 
 /// One closed blocker segment of an op's dependency wait (from one
@@ -143,6 +149,13 @@ struct ProvenanceReport {
 
   SegmentStats sched, wire, arq, dep_wait, apply;
   SegmentStats visibility;
+
+  /// Link-scope split (ProvenanceOptions::cell_of non-empty): the wire and
+  /// visibility aggregates of same-cell vs cross-cell deliveries. Ops whose
+  /// endpoints fall outside the map are counted in neither bucket.
+  bool scope_split = false;
+  SegmentStats wire_lan, wire_wan;
+  SegmentStats visibility_lan, visibility_wan;
 
   std::map<SiteId, SiteCritpath> per_site;             // keyed by destination
   std::map<SiteId, BlockedOnWriter> blocked_on_writer; // keyed by blocking writer

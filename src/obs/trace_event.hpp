@@ -90,6 +90,12 @@ enum class TraceEventType : std::uint8_t {
   /// Emitted only with EngineConfig::batch.enabled — the coalescing
   /// transport edge, see net::BatchingTransport.
   kBatchFlush,
+  /// The cross-DC gateway layer shipped one mailbox frame over a WAN link
+  /// (site = origin gateway, peer = destination gateway, a = coalesced
+  /// message count, b = frame bytes, c = origin cell index, d = destination
+  /// cell index). Emitted only with a multi-cell topology and
+  /// EngineConfig::gateway.enabled — see net::GatewayMailbox.
+  kGatewayForward,
 };
 
 inline const char* to_string(TraceEventType t) {
@@ -112,6 +118,7 @@ inline const char* to_string(TraceEventType t) {
     case TraceEventType::kTimeSample: return "time_sample";
     case TraceEventType::kDepSatisfied: return "dep_satisfied";
     case TraceEventType::kBatchFlush: return "batch_flush";
+    case TraceEventType::kGatewayForward: return "gateway_forward";
   }
   return "??";
 }

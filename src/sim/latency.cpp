@@ -15,6 +15,25 @@ GeoLatency::GeoLatency(std::vector<std::vector<SimTime>> base, double jitter)
   }
 }
 
+ScopedLatency::ScopedLatency(
+    ScopeFn scope_of, std::vector<std::shared_ptr<const LatencyModel>> models)
+    : scope_of_(std::move(scope_of)), models_(std::move(models)) {
+  CAUSIM_CHECK(scope_of_ != nullptr, "ScopedLatency needs a scope function");
+  CAUSIM_CHECK(!models_.empty(), "ScopedLatency needs at least one scope model");
+  for (const auto& m : models_) {
+    CAUSIM_CHECK(m != nullptr, "ScopedLatency scope model is null");
+  }
+}
+
+const LatencyModel& ScopedLatency::model(SiteId from, SiteId to) const {
+  const std::size_t scope = scope_of_(from, to);
+  CAUSIM_CHECK(scope < models_.size(),
+               "scope function returned " << scope << " for (" << from << ", "
+                                          << to << ") but only "
+                                          << models_.size() << " models exist");
+  return *models_[scope];
+}
+
 SimTime GeoLatency::sample(Pcg32& rng, SiteId from, SiteId to) const {
   CAUSIM_CHECK(from < base_.size() && to < base_.size(),
                "site out of range for latency matrix");

@@ -7,6 +7,7 @@
 // geo_replication example).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -77,6 +78,39 @@ class BandwidthLatency final : public LatencyModel {
  private:
   const LatencyModel& base_;
   double bytes_per_second_;
+};
+
+/// Topology-aware composite: routes each (from, to) pair to one of a fixed
+/// set of scope models (e.g. intra-cell vs inter-cell link profiles, built
+/// by topo::Topology). The scope function must be pure — the same pair
+/// always maps to the same model index — so a run stays a deterministic
+/// function of (schedule, seed). A single-scope composite makes exactly
+/// the sample calls its one model would make directly, which is what keeps
+/// a one-cell topology byte-identical to the flat config.
+class ScopedLatency final : public LatencyModel {
+ public:
+  using ScopeFn = std::function<std::size_t(SiteId from, SiteId to)>;
+
+  /// `scope_of(from, to)` must return an index below `models.size()`;
+  /// every model pointer must be non-null.
+  ScopedLatency(ScopeFn scope_of,
+                std::vector<std::shared_ptr<const LatencyModel>> models);
+
+  SimTime sample(Pcg32& rng, SiteId from, SiteId to) const override {
+    return model(from, to).sample(rng, from, to);
+  }
+  SimTime sample_for(Pcg32& rng, SiteId from, SiteId to,
+                     std::size_t bytes) const override {
+    return model(from, to).sample_for(rng, from, to, bytes);
+  }
+
+  std::size_t scopes() const { return models_.size(); }
+
+ private:
+  const LatencyModel& model(SiteId from, SiteId to) const;
+
+  ScopeFn scope_of_;
+  std::vector<std::shared_ptr<const LatencyModel>> models_;
 };
 
 /// Per-pair base delay from a distance matrix plus multiplicative jitter.

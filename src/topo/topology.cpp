@@ -1,0 +1,276 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/panic.hpp"
+
+namespace causim::topo {
+
+namespace {
+
+/// One scope's latency model: uniform propagation plus optional per-byte
+/// serialization. Makes exactly one uniform_int draw per sample — the same
+/// RNG trace as sim::UniformLatency — so a one-cell topology whose intra
+/// profile matches the flat latency range reproduces the flat run byte for
+/// byte (bandwidth 0 keeps sample_for == sample, again like the flat
+/// default).
+class ProfileLatency final : public sim::LatencyModel {
+ public:
+  ProfileLatency(SimTime lo, SimTime hi, double bytes_per_second)
+      : lo_(lo), hi_(hi), bytes_per_second_(bytes_per_second) {}
+
+  SimTime sample(sim::Pcg32& rng, SiteId, SiteId) const override {
+    return rng.uniform_int(lo_, hi_);
+  }
+
+  SimTime sample_for(sim::Pcg32& rng, SiteId from, SiteId to,
+                     std::size_t bytes) const override {
+    const SimTime propagation = sample(rng, from, to);
+    if (bytes_per_second_ <= 0.0) return propagation;
+    const double transmission = static_cast<double>(bytes) /
+                                bytes_per_second_ *
+                                static_cast<double>(kSecond);
+    return propagation + static_cast<SimTime>(transmission);
+  }
+
+ private:
+  SimTime lo_;
+  SimTime hi_;
+  double bytes_per_second_;
+};
+
+std::string cell_label(const Cell& cell, std::size_t index) {
+  std::ostringstream os;
+  os << "cell " << index;
+  if (!cell.name.empty()) os << " (" << cell.name << ")";
+  return os.str();
+}
+
+void validate_profile(const LinkProfile& p, const char* scope,
+                      std::vector<std::string>& errors) {
+  if (p.latency_lo > p.latency_hi) {
+    std::ostringstream os;
+    os << scope << " profile: latency_lo (" << p.latency_lo
+       << "us) exceeds latency_hi (" << p.latency_hi << "us); swap the bounds";
+    errors.push_back(os.str());
+  }
+  if (p.latency_lo < 0) {
+    std::ostringstream os;
+    os << scope << " profile: latency_lo (" << p.latency_lo
+       << "us) is negative";
+    errors.push_back(os.str());
+  }
+  if (p.bandwidth_bytes_per_sec < 0.0) {
+    std::ostringstream os;
+    os << scope << " profile: bandwidth_bytes_per_sec ("
+       << p.bandwidth_bytes_per_sec << ") is negative; use 0 for an "
+       << "infinite-bandwidth link";
+    errors.push_back(os.str());
+  }
+  const auto bad_rate = [](double r) { return r < 0.0 || r > 1.0; };
+  if (bad_rate(p.faults.drop_rate) || bad_rate(p.faults.dup_rate)) {
+    std::ostringstream os;
+    os << scope << " profile: fault rates must be in [0, 1] (drop "
+       << p.faults.drop_rate << ", dup " << p.faults.dup_rate << ")";
+    errors.push_back(os.str());
+  }
+}
+
+}  // namespace
+
+const LinkProfile& Topology::profile(SiteId from, SiteId to) const {
+  const std::size_t cf = cell_of(from);
+  const std::size_t ct = cell_of(to);
+  if (cf == ct) return intra;
+  const auto it = pair_overrides.find({cf, ct});
+  return it == pair_overrides.end() ? inter : it->second;
+}
+
+std::size_t Topology::cell_of(SiteId site) const {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const auto& sites = cells[c].sites;
+    if (std::find(sites.begin(), sites.end(), site) != sites.end()) return c;
+  }
+  CAUSIM_CHECK(false, "site " << site << " belongs to no cell");
+  return 0;
+}
+
+SiteId Topology::gateway_of(std::size_t cell) const {
+  CAUSIM_CHECK(cell < cells.size(), "cell " << cell << " out of range");
+  const Cell& c = cells[cell];
+  return c.gateway == kInvalidSite ? c.sites.front() : c.gateway;
+}
+
+std::vector<std::string> Topology::validate(SiteId sites) const {
+  std::vector<std::string> errors;
+  if (!enabled()) return errors;
+
+  std::vector<int> owner(sites, -1);
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const Cell& cell = cells[c];
+    if (cell.sites.empty()) {
+      errors.push_back(cell_label(cell, c) +
+                       " has no sites; every cell needs at least one");
+      continue;
+    }
+    for (const SiteId s : cell.sites) {
+      if (s >= sites) {
+        std::ostringstream os;
+        os << cell_label(cell, c) << " names site " << s
+           << " but the cluster has only " << sites << " sites";
+        errors.push_back(os.str());
+        continue;
+      }
+      if (owner[s] >= 0) {
+        std::ostringstream os;
+        os << "site " << s << " appears in both cell " << owner[s] << " and "
+           << cell_label(cell, c) << "; cells must be disjoint";
+        errors.push_back(os.str());
+        continue;
+      }
+      owner[s] = static_cast<int>(c);
+    }
+    if (cell.gateway != kInvalidSite &&
+        std::find(cell.sites.begin(), cell.sites.end(), cell.gateway) ==
+            cell.sites.end()) {
+      std::ostringstream os;
+      os << cell_label(cell, c) << " designates gateway site " << cell.gateway
+         << " which is not one of its members";
+      errors.push_back(os.str());
+    }
+  }
+  for (SiteId s = 0; s < sites; ++s) {
+    if (owner[s] < 0) {
+      std::ostringstream os;
+      os << "site " << s << " belongs to no cell; the cells must partition "
+         << "all " << sites << " sites";
+      errors.push_back(os.str());
+    }
+  }
+  validate_profile(intra, "intra-cell", errors);
+  validate_profile(inter, "inter-cell", errors);
+  for (const auto& [pair, p] : pair_overrides) {
+    if (pair.first >= cells.size() || pair.second >= cells.size()) {
+      std::ostringstream os;
+      os << "pair override (" << pair.first << ", " << pair.second
+         << ") names a cell index out of range (have " << cells.size()
+         << " cells)";
+      errors.push_back(os.str());
+    }
+    if (pair.first == pair.second) {
+      std::ostringstream os;
+      os << "pair override (" << pair.first << ", " << pair.second
+         << ") targets a same-cell pair; tune the intra profile instead";
+      errors.push_back(os.str());
+    }
+    std::ostringstream scope;
+    scope << "pair (" << pair.first << " -> " << pair.second << ")";
+    validate_profile(p, scope.str().c_str(), errors);
+  }
+  return errors;
+}
+
+net::CellRouting Topology::routing(SiteId sites) const {
+  net::CellRouting r;
+  r.cell_of.assign(sites, 0);
+  r.gateways.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    for (const SiteId s : cells[c].sites) {
+      CAUSIM_CHECK(s < sites, "routing from an unvalidated topology");
+      r.cell_of[s] = static_cast<std::uint16_t>(c);
+    }
+    r.gateways.push_back(gateway_of(c));
+  }
+  return r;
+}
+
+std::shared_ptr<const sim::LatencyModel> Topology::make_latency_model(
+    SiteId sites) const {
+  CAUSIM_CHECK(enabled(), "make_latency_model on a flat (empty) topology");
+  // One model per distinct scope: index 0 = intra, 1 = inter, then one per
+  // pair override, with a K×K routing matrix resolved once up front so the
+  // per-sample scope function is two table lookups.
+  std::vector<std::shared_ptr<const sim::LatencyModel>> models;
+  const auto add = [&models](const LinkProfile& p) {
+    models.push_back(std::make_shared<ProfileLatency>(
+        p.latency_lo, p.latency_hi, p.bandwidth_bytes_per_sec));
+    return models.size() - 1;
+  };
+  add(intra);
+  add(inter);
+  const std::size_t k = cells.size();
+  auto scope_matrix = std::make_shared<std::vector<std::size_t>>(k * k, 1);
+  for (std::size_t c = 0; c < k; ++c) (*scope_matrix)[c * k + c] = 0;
+  for (const auto& [pair, p] : pair_overrides) {
+    (*scope_matrix)[pair.first * k + pair.second] = add(p);
+  }
+  auto cell_of_table =
+      std::make_shared<std::vector<std::uint16_t>>(routing(sites).cell_of);
+  sim::ScopedLatency::ScopeFn scope_of =
+      [scope_matrix, cell_of_table, k](SiteId from, SiteId to) {
+        return (*scope_matrix)[(*cell_of_table)[from] * k +
+                               (*cell_of_table)[to]];
+      };
+  return std::make_shared<sim::ScopedLatency>(std::move(scope_of),
+                                              std::move(models));
+}
+
+faults::FaultPlan Topology::compile_fault_plan(const faults::FaultPlan& base,
+                                               SiteId sites) const {
+  if (!enabled() || !any_faults()) return base;
+  faults::FaultPlan plan = base;
+  for (SiteId from = 0; from < sites; ++from) {
+    for (SiteId to = 0; to < sites; ++to) {
+      if (from == to) continue;
+      const LinkProfile& p = profile(from, to);
+      if (!p.faults.any()) continue;
+      // Explicit per-channel overrides in the base plan outrank the scope.
+      if (base.channel_overrides.count({from, to}) != 0) continue;
+      plan.channel_overrides[{from, to}] = p.faults;
+    }
+  }
+  return plan;
+}
+
+bool Topology::any_faults() const {
+  if (!enabled()) return false;
+  if (intra.faults.any() || inter.faults.any()) return true;
+  for (const auto& [pair, p] : pair_overrides) {
+    if (p.faults.any()) return true;
+  }
+  return false;
+}
+
+bool Topology::any_reliable_override() const {
+  if (!enabled()) return false;
+  if (intra.reliable.has_value() || inter.reliable.has_value()) return true;
+  for (const auto& [pair, p] : pair_overrides) {
+    if (p.reliable.has_value()) return true;
+  }
+  return false;
+}
+
+Topology Topology::blocks(SiteId sites, std::size_t cell_count,
+                          LinkProfile intra_profile, LinkProfile inter_profile) {
+  CAUSIM_CHECK(cell_count >= 1, "blocks() needs at least one cell");
+  CAUSIM_CHECK(sites >= cell_count,
+               "blocks(): " << sites << " sites cannot fill " << cell_count
+                            << " non-empty cells");
+  Topology topo;
+  topo.intra = intra_profile;
+  topo.inter = inter_profile;
+  const std::size_t quot = sites / cell_count;
+  const std::size_t rem = sites % cell_count;
+  SiteId next = 0;
+  for (std::size_t c = 0; c < cell_count; ++c) {
+    Cell cell;
+    cell.name = "dc" + std::to_string(c);
+    const std::size_t span = quot + (c < rem ? 1 : 0);
+    for (std::size_t i = 0; i < span; ++i) cell.sites.push_back(next++);
+    topo.cells.push_back(std::move(cell));
+  }
+  return topo;
+}
+
+}  // namespace causim::topo

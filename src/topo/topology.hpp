@@ -1,0 +1,137 @@
+// causim::topo — two-level datacenter topology: sites grouped into named
+// cells (DCs) with per-scope link profiles.
+//
+// The paper's testbed is flat: every site pair is one hop over the same
+// latency model, one fault plan, one ARQ config. The regime the protocols
+// actually matter in is geo-replication (PaRiS / Okapi), where visibility
+// latency and metadata cost are dominated by WAN round-trips and
+// asymmetric replica placement. A Topology replaces the single
+// cluster-wide knob set with a scope table:
+//
+//   * every site belongs to exactly one cell;
+//   * a (from, to) pair resolves to a LinkProfile — intra-cell for
+//     same-cell pairs, inter-cell (or a per-cell-pair override) otherwise;
+//   * a profile carries the scope's latency model parameters (uniform
+//     range + optional bandwidth), channel faults, and an optional
+//     ReliableConfig for the ARQ layer on those links;
+//   * each cell designates a gateway site — the endpoint of the cross-DC
+//     mailbox layer (net::GatewayMailbox).
+//
+// The empty topology (no cells) is the flat default: nothing anywhere in
+// the stack changes and runs stay byte-identical to the pre-topology
+// engine. A one-cell topology is validated and *also* byte-identical to
+// the flat config when its intra profile matches the flat latency range
+// (pinned by tests/test_engine.cpp): the composite latency model makes
+// exactly the same RNG calls, no gateway layer is built, and the fault /
+// reliability assembly degenerates to the global knobs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "faults/fault_plan.hpp"
+#include "net/gateway_mailbox.hpp"
+#include "net/reliable_channel.hpp"
+#include "sim/latency.hpp"
+
+namespace causim::topo {
+
+/// Link parameters for one scope (intra-cell, inter-cell, or one directed
+/// cell pair). Validated by engine::validate via Topology::validate.
+struct LinkProfile {
+  /// Uniform one-way propagation delay range (µs) for links in this scope.
+  SimTime latency_lo = 1 * kMillisecond;
+  SimTime latency_hi = 5 * kMillisecond;
+  /// Link bandwidth (bytes/s) adding per-byte serialization delay on top
+  /// of propagation; 0 = infinite (propagation only — and byte-identical
+  /// sampling to a plain uniform model).
+  double bandwidth_bytes_per_sec = 0.0;
+  /// Channel faults applied to every link in this scope (compiled into the
+  /// run's FaultPlan as per-channel overrides; explicit overrides in the
+  /// base plan win). Any active fault implies the reliability sublayer,
+  /// exactly like EngineConfig::fault_plan.
+  faults::ChannelFaults faults;
+  /// ARQ knobs for links in this scope; nullopt inherits the global
+  /// EngineConfig::reliable_config (so a WAN scope can run, say, selective
+  /// repeat with a longer RTO while LAN links keep the default).
+  std::optional<net::ReliableConfig> reliable;
+};
+
+/// One datacenter: a named, non-empty, disjoint group of sites.
+struct Cell {
+  std::string name;
+  std::vector<SiteId> sites;
+  /// Gateway site for the cross-DC mailbox layer; kInvalidSite (the
+  /// default) designates the cell's first site. Must be a member.
+  SiteId gateway = kInvalidSite;
+};
+
+struct Topology {
+  /// Empty = flat (the byte-identical default); otherwise the cells must
+  /// partition [0, sites).
+  std::vector<Cell> cells;
+  /// Profile for same-cell links.
+  LinkProfile intra;
+  /// Profile for cross-cell links without a pair override.
+  LinkProfile inter;
+  /// Per-directed-cell-pair overrides, keyed by (from_cell, to_cell)
+  /// indices — asymmetric profiles are deliberate (an uplink can be slower
+  /// than its downlink).
+  std::map<std::pair<std::size_t, std::size_t>, LinkProfile> pair_overrides;
+
+  bool enabled() const { return !cells.empty(); }
+  std::size_t cell_count() const { return cells.size(); }
+  /// True when the gateway/scope machinery has anything to do.
+  bool multi_cell() const { return cells.size() >= 2; }
+
+  /// The profile governing the directed link from → to. Callers must hold
+  /// a validated topology (every site placed).
+  const LinkProfile& profile(SiteId from, SiteId to) const;
+  /// Cell index of `site`; panics when the site is in no cell.
+  std::size_t cell_of(SiteId site) const;
+  /// The designated gateway of `cell` (first site when unset).
+  SiteId gateway_of(std::size_t cell) const;
+
+  /// Every structural invariant the stack assembly relies on, one
+  /// actionable message per violation (empty = valid). `sites` is the
+  /// cluster size the cells must partition.
+  std::vector<std::string> validate(SiteId sites) const;
+
+  /// Precomputed routing tables for the transport hot path (validated
+  /// topology only).
+  net::CellRouting routing(SiteId sites) const;
+
+  /// The per-scope composite latency model (sim::ScopedLatency over one
+  /// model per distinct profile). Shares nothing with this Topology — safe
+  /// to outlive it.
+  std::shared_ptr<const sim::LatencyModel> make_latency_model(SiteId sites) const;
+
+  /// Compiles the per-scope channel faults into `base` as per-channel
+  /// overrides for every directed cross product the scope covers. Explicit
+  /// overrides already in `base` take precedence; the default_faults and
+  /// pause windows of `base` are kept as-is.
+  faults::FaultPlan compile_fault_plan(const faults::FaultPlan& base,
+                                       SiteId sites) const;
+
+  /// True when any scope profile injects faults (the reliability layer
+  /// must come up even if the base plan is empty).
+  bool any_faults() const;
+  /// True when any scope profile overrides the ARQ config (the reliability
+  /// layer needs per-channel configs instead of the global one).
+  bool any_reliable_override() const;
+
+  /// n sites split into `cell_count` contiguous, near-equal blocks named
+  /// "dc0".."dcK-1" (the first `sites % cell_count` cells get the extra
+  /// site), every cell's first site as gateway. The canonical symmetric
+  /// builder used by the --topology flag and ext_geo.
+  static Topology blocks(SiteId sites, std::size_t cell_count,
+                         LinkProfile intra_profile, LinkProfile inter_profile);
+};
+
+}  // namespace causim::topo

@@ -180,6 +180,111 @@ TEST(BenchSupport, ParseArgsRejectsDegenerateBatchThreshold) {
   EXPECT_NE(error.find("--batch"), std::string::npos);
 }
 
+TEST(BenchSupport, ParseArgsAcceptsTopologyAndGatewayFlags) {
+  const char* argv[] = {"bench", "--topology=cells=3:wan-rtt=80000:loss=0.05",
+                        "--gateway", "on"};
+  BenchOptions o;
+  std::string error;
+  ASSERT_TRUE(try_parse_bench_args(4, const_cast<char**>(argv), o, error)) << error;
+  EXPECT_TRUE(o.topology_set);
+  EXPECT_EQ(o.topo_cells, 3);
+  EXPECT_EQ(o.topo_wan_rtt_us, 80000);
+  EXPECT_DOUBLE_EQ(o.topo_wan_loss, 0.05);
+  EXPECT_TRUE(o.gateway_set);
+  EXPECT_TRUE(o.gateway_on);
+
+  // loss is optional and key order inside the spec must not matter.
+  const char* reordered[] = {"bench", "--topology", "wan-rtt=40000:cells=2"};
+  BenchOptions o2;
+  ASSERT_TRUE(try_parse_bench_args(3, const_cast<char**>(reordered), o2, error))
+      << error;
+  EXPECT_EQ(o2.topo_cells, 2);
+  EXPECT_EQ(o2.topo_wan_rtt_us, 40000);
+  EXPECT_DOUBLE_EQ(o2.topo_wan_loss, 0.0);
+  EXPECT_FALSE(o2.gateway_set);
+}
+
+TEST(BenchSupport, ParseArgsRejectsMalformedTopologySpecs) {
+  const struct {
+    const char* spec;
+    const char* needle;
+  } cases[] = {
+      {"--topology=cells=2", "needs both cells=K and wan-rtt=US"},
+      {"--topology=wan-rtt=80000", "needs both cells=K and wan-rtt=US"},
+      {"--topology=cells=0:wan-rtt=80000", "cells expects an integer >= 1"},
+      {"--topology=cells=x:wan-rtt=80000", "cells expects an integer >= 1"},
+      {"--topology=cells=2:wan-rtt=1", "round-trip time >= 2"},
+      {"--topology=cells=2:wan-rtt=80000:loss=1.0", "drop rate in [0, 1)"},
+      {"--topology=cells=2:wan-rtt=80000:hops=3", "has no key 'hops'"},
+      {"--topology=cells", "key=value"},
+  };
+  for (const auto& c : cases) {
+    const char* argv[] = {"bench", c.spec};
+    BenchOptions o;
+    std::string error;
+    EXPECT_FALSE(try_parse_bench_args(2, const_cast<char**>(argv), o, error))
+        << c.spec;
+    EXPECT_NE(error.find(c.needle), std::string::npos)
+        << c.spec << " -> " << error;
+  }
+}
+
+TEST(BenchSupport, ParseArgsRejectsBogusGatewayValue) {
+  const char* argv[] = {"bench", "--gateway=maybe"};
+  BenchOptions o;
+  std::string error;
+  EXPECT_FALSE(try_parse_bench_args(2, const_cast<char**>(argv), o, error));
+  EXPECT_NE(error.find("on or off"), std::string::npos);
+}
+
+TEST(BenchSupport, ParseArgsRejectsGatewayOnWithoutMultiCellTopology) {
+  // Flag order must not matter: the cross-flag rule fires whether
+  // --gateway comes before or after --topology, and a one-cell topology
+  // is as useless to the gateway as no topology at all.
+  const char* no_topo[] = {"bench", "--gateway=on"};
+  BenchOptions o;
+  std::string error;
+  EXPECT_FALSE(try_parse_bench_args(2, const_cast<char**>(no_topo), o, error));
+  EXPECT_NE(error.find("--topology cells=K:wan-rtt=US"), std::string::npos);
+
+  const char* one_cell[] = {"bench", "--gateway=on",
+                            "--topology=cells=1:wan-rtt=80000"};
+  BenchOptions o2;
+  EXPECT_FALSE(try_parse_bench_args(3, const_cast<char**>(one_cell), o2, error));
+  EXPECT_NE(error.find("K >= 2"), std::string::npos);
+
+  // --gateway off never needs a topology.
+  const char* off[] = {"bench", "--gateway=off"};
+  BenchOptions o3;
+  EXPECT_TRUE(try_parse_bench_args(2, const_cast<char**>(off), o3, error))
+      << error;
+}
+
+TEST(BenchSupport, ApplyTopologyOptionsBuildsBlocksAndWanProfile) {
+  const char* argv[] = {"bench", "--topology=cells=2:wan-rtt=80000:loss=0.1",
+                        "--gateway=on"};
+  BenchOptions o;
+  std::string error;
+  ASSERT_TRUE(try_parse_bench_args(3, const_cast<char**>(argv), o, error)) << error;
+
+  ExperimentParams params;
+  params.sites = 8;
+  apply_topology_options(params, o);
+  ASSERT_TRUE(params.topology.enabled());
+  EXPECT_EQ(params.topology.cell_count(), 2u);
+  // Fixed one-way WAN delay of rtt/2 with the requested loss.
+  EXPECT_EQ(params.topology.inter.latency_lo, 40000);
+  EXPECT_EQ(params.topology.inter.latency_hi, 40000);
+  EXPECT_DOUBLE_EQ(params.topology.inter.faults.drop_rate, 0.1);
+  EXPECT_TRUE(params.gateway.enabled);
+
+  // Without --topology the params stay flat (byte-identical default).
+  ExperimentParams untouched;
+  apply_topology_options(untouched, BenchOptions{});
+  EXPECT_FALSE(untouched.topology.enabled());
+  EXPECT_FALSE(untouched.gateway.enabled);
+}
+
 TEST(BenchSupport, ParseArgsRejectsPositionalArguments) {
   const char* argv[] = {"bench", "quick"};
   BenchOptions o;
@@ -199,7 +304,8 @@ TEST(BenchSupport, BenchUsageNamesEveryFlag) {
   const std::string usage = bench_usage("bench");
   for (const char* flag : {"--quick", "--csv", "--trace-out", "--metrics-out",
                            "--report-out", "--arq", "--adaptive-rto",
-                           "--executor", "--workers", "--batch"}) {
+                           "--executor", "--workers", "--batch", "--topology",
+                           "--gateway"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

@@ -5,6 +5,7 @@
 // interleaving-independent must agree exactly.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -13,7 +14,9 @@
 #include "dsm/cluster.hpp"
 #include "dsm/thread_cluster.hpp"
 #include "engine/config.hpp"
+#include "sim/latency.hpp"
 #include "sim/rng.hpp"
+#include "topo/topology.hpp"
 #include "workload/schedule.hpp"
 
 namespace causim::engine {
@@ -240,6 +243,187 @@ TEST(NodeStackAssembly, ThreadClusterSharesTheSameAssembly) {
   EXPECT_TRUE(cluster.check().ok());
   EXPECT_GT(cluster.stack().buffer_pool().reuses(), 0u);
 }
+
+// ---------------------------------------------------------------------------
+
+topo::Topology block_topology(SiteId sites, std::size_t cells) {
+  topo::LinkProfile intra;
+  topo::LinkProfile inter;
+  inter.latency_lo = 40 * kMillisecond;
+  inter.latency_hi = 45 * kMillisecond;
+  return topo::Topology::blocks(sites, cells, intra, inter);
+}
+
+TEST(EngineConfigValidation, RejectsGatewayWithoutMultiCellTopology) {
+  EngineConfig c;
+  c.gateway.enabled = true;
+  EXPECT_TRUE(mentions(validate(c), "requires a multi-cell topology"));
+  // A one-cell topology is still all-LAN: nothing to coalesce.
+  c.topology = block_topology(c.sites, 1);
+  EXPECT_TRUE(mentions(validate(c), "requires a multi-cell topology"));
+  c.topology = block_topology(c.sites, 2);
+  EXPECT_TRUE(validate(c).empty());
+}
+
+TEST(EngineConfigValidation, RejectsTopologyPlusCustomLatencyModel) {
+  EngineConfig c;
+  c.topology = block_topology(c.sites, 2);
+  c.latency_model = std::make_shared<sim::UniformLatency>(1000, 2000);
+  EXPECT_TRUE(mentions(validate(c), "mutually exclusive"));
+}
+
+TEST(EngineConfigValidation, RejectsCellsThatDoNotPartitionTheSites) {
+  EngineConfig c;
+  c.sites = 4;
+  c.topology.cells = {topo::Cell{"dc0", {0, 1}, 0},
+                      topo::Cell{"dc1", {2}, 2}};  // site 3 unowned
+  EXPECT_TRUE(mentions(validate(c), "belongs to no cell"));
+
+  c.topology.cells = {topo::Cell{"dc0", {0, 1, 2}, 0},
+                      topo::Cell{"dc1", {2, 3}, 2}};  // site 2 twice
+  EXPECT_TRUE(mentions(validate(c), "cells must be disjoint"));
+}
+
+TEST(EngineConfigValidation, RejectsDegenerateGatewayThresholds) {
+  EngineConfig c;
+  c.topology = block_topology(c.sites, 2);
+  c.gateway.enabled = true;
+  c.gateway.max_messages = 0;
+  EXPECT_TRUE(mentions(validate(c), "max_messages must be >= 1"));
+
+  c.gateway.max_messages = 16;
+  c.gateway.max_delay = 0;
+  EXPECT_TRUE(mentions(validate(c), "max_delay must be >= 1us"));
+}
+
+TEST(EngineConfigValidation, RejectsBadTopologyProfiles) {
+  EngineConfig c;
+  c.topology = block_topology(c.sites, 2);
+  c.topology.inter.latency_lo = 10 * kMillisecond;
+  c.topology.inter.latency_hi = 1 * kMillisecond;
+  EXPECT_TRUE(mentions(validate(c), "swap the bounds"));
+
+  c = EngineConfig{};
+  c.topology = block_topology(c.sites, 2);
+  c.topology.intra.faults.drop_rate = 1.5;
+  EXPECT_TRUE(mentions(validate(c), "fault rates must be in [0, 1]"));
+}
+
+TEST(NodeStackAssembly, GatewayLayerToppedOnlyOnMultiCellTopologies) {
+  auto config = config_for(causal::ProtocolKind::kOptTrack, 6, 7);
+  EXPECT_EQ(dsm::Cluster(config).stack().gateway(), nullptr);
+
+  // A multi-cell topology always raises the layer; with coalescing off it
+  // is a counting pass-through (LAN/WAN accounting, no mailbox frames).
+  config.topology = block_topology(6, 2);
+  dsm::Cluster passthrough(config);
+  ASSERT_NE(passthrough.stack().gateway(), nullptr);
+  EXPECT_FALSE(passthrough.stack().gateway()->coalescing());
+  passthrough.execute(schedule_for(6, 7));
+  EXPECT_TRUE(passthrough.check().ok());
+  EXPECT_EQ(passthrough.stack().gateway()->mailbox_frames(), 0u);
+  EXPECT_GT(passthrough.stack().gateway()->wan_messages(), 0u);
+
+  config.gateway.enabled = true;
+  dsm::Cluster with(config);
+  ASSERT_NE(with.stack().gateway(), nullptr);
+  EXPECT_TRUE(with.stack().gateway()->coalescing());
+  with.execute(schedule_for(6, 7));
+  EXPECT_TRUE(with.check().ok());
+  EXPECT_GT(with.stack().gateway()->mailbox_frames(), 0u);
+}
+
+TEST(NodeStackAssembly, TopologyFaultProfilesRaiseTheFaultStack) {
+  auto config = config_for(causal::ProtocolKind::kOptTrack, 6, 7);
+  config.topology = block_topology(6, 2);
+  config.topology.inter.faults.drop_rate = 0.1;
+  dsm::Cluster cluster(config);
+  EXPECT_NE(cluster.injector(), nullptr);
+  EXPECT_NE(cluster.reliable(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+
+struct TrafficFingerprint {
+  std::uint64_t messages;
+  std::uint64_t header;
+  std::uint64_t meta;
+  std::uint64_t payload;
+  std::uint64_t events;
+  std::size_t history;
+
+  bool operator==(const TrafficFingerprint&) const = default;
+};
+
+TrafficFingerprint run_fingerprint(dsm::ClusterConfig config) {
+  dsm::Cluster cluster(config);
+  cluster.execute(schedule_for(config.sites, config.seed));
+  const auto total = cluster.aggregate_message_stats().total();
+  return TrafficFingerprint{total.count,
+                            total.header_bytes,
+                            total.meta_bytes,
+                            total.payload_bytes,
+                            cluster.simulator().executed(),
+                            cluster.history().size()};
+}
+
+class TopologyEquivalence
+    : public ::testing::TestWithParam<causal::ProtocolKind> {};
+
+TEST_P(TopologyEquivalence, SingleCellTopologyIsByteIdenticalToFlatConfig) {
+  // A one-cell topology routes every channel through the intra profile, so
+  // ScopedLatency degenerates to one UniformLatency making the identical
+  // RNG draws, no gateway layer is built, and the run must reproduce the
+  // flat config exactly — the refactor's backward-compatibility crux.
+  const auto flat = config_for(GetParam(), 6, 29);
+
+  auto topo_config = flat;
+  topo::LinkProfile intra;
+  intra.latency_lo = flat.latency_lo;
+  intra.latency_hi = flat.latency_hi;
+  topo_config.topology = topo::Topology::blocks(6, 1, intra, intra);
+  ASSERT_TRUE(validate(topo_config).empty());
+
+  EXPECT_EQ(run_fingerprint(flat), run_fingerprint(topo_config));
+}
+
+TEST_P(TopologyEquivalence, MultiCellGatewayPreservesPerKindMessageCounts) {
+  // Latency and coalescing shape timing, never the protocol traffic: the
+  // per-kind message counts are schedule/placement determined, so a
+  // two-cell gateway run must send exactly what the flat run sends.
+  const auto flat = config_for(GetParam(), 6, 31);
+
+  auto geo = flat;
+  geo.topology = block_topology(6, 2);
+  geo.gateway.enabled = true;
+  ASSERT_TRUE(validate(geo).empty());
+
+  dsm::Cluster flat_cluster(flat);
+  flat_cluster.execute(schedule_for(6, 31));
+  dsm::Cluster geo_cluster(geo);
+  geo_cluster.execute(schedule_for(6, 31));
+
+  EXPECT_TRUE(geo_cluster.check().ok());
+  for (const MessageKind kind : kAllMessageKinds) {
+    EXPECT_EQ(flat_cluster.aggregate_message_stats().of(kind).count,
+              geo_cluster.aggregate_message_stats().of(kind).count)
+        << causim::to_string(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, TopologyEquivalence,
+    ::testing::Values(causal::ProtocolKind::kFullTrack,
+                      causal::ProtocolKind::kOptTrack,
+                      causal::ProtocolKind::kOptTrackCrp,
+                      causal::ProtocolKind::kOptP),
+    [](const ::testing::TestParamInfo<causal::ProtocolKind>& param_info) {
+      std::string name = to_string(param_info.param);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
 
 // ---------------------------------------------------------------------------
 

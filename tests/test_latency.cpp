@@ -1,6 +1,8 @@
 // Unit tests for the channel latency models.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "sim/latency.hpp"
 
 namespace causim::sim {
@@ -65,6 +67,73 @@ TEST(Latency, DefaultSampleForIgnoresSize) {
   const FixedLatency model(77);
   Pcg32 rng(6);
   EXPECT_EQ(model.sample_for(rng, 0, 1, 123456), 77);
+}
+
+TEST(ScopedLatencyTest, RoutesEachPairToItsScopeModel) {
+  // Two sites per cell: {0,1} and {2,3}. Intra-cell pairs hit the fast
+  // fixed model, cross-cell pairs the slow one.
+  auto scope_of = [](SiteId from, SiteId to) -> std::size_t {
+    return (from / 2 == to / 2) ? 0 : 1;
+  };
+  const ScopedLatency model(scope_of, {std::make_shared<FixedLatency>(5),
+                                       std::make_shared<FixedLatency>(80)});
+  Pcg32 rng(7);
+  EXPECT_EQ(model.scopes(), 2u);
+  EXPECT_EQ(model.sample(rng, 0, 1), 5);
+  EXPECT_EQ(model.sample(rng, 2, 3), 5);
+  EXPECT_EQ(model.sample(rng, 0, 2), 80);
+  EXPECT_EQ(model.sample(rng, 3, 1), 80);
+}
+
+TEST(ScopedLatencyTest, SupportsAsymmetricDirectedPairs) {
+  // The scope function sees the ordered (from, to) pair, so uplink and
+  // downlink of the same site pair can ride different profiles — the
+  // asymmetric-placement shape ext_geo's pair_overrides produce.
+  auto scope_of = [](SiteId from, SiteId to) -> std::size_t {
+    return (from < to) ? 0 : 1;  // uplink slow only one way
+  };
+  const ScopedLatency model(scope_of, {std::make_shared<FixedLatency>(120),
+                                       std::make_shared<FixedLatency>(40)});
+  Pcg32 rng(8);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(model.sample(rng, 0, 3), 120);
+    ASSERT_EQ(model.sample(rng, 3, 0), 40);
+  }
+}
+
+TEST(ScopedLatencyTest, SingleScopeMatchesItsModelDrawForDraw) {
+  // The byte-identity crux of the topology refactor: a one-scope composite
+  // must consume the RNG exactly as its model would standalone.
+  const auto uniform = std::make_shared<UniformLatency>(10, 500);
+  const ScopedLatency model([](SiteId, SiteId) -> std::size_t { return 0; },
+                            {uniform});
+  Pcg32 direct(9), scoped(9);
+  for (int i = 0; i < 2000; ++i) {
+    const SiteId from = static_cast<SiteId>(i % 5);
+    const SiteId to = static_cast<SiteId>((i + 1) % 5);
+    ASSERT_EQ(model.sample(scoped, from, to), uniform->sample(direct, from, to));
+  }
+}
+
+TEST(ScopedLatencyTest, SampleForDispatchesSizeAwareModels) {
+  const FixedLatency base(1000);
+  const ScopedLatency model(
+      [](SiteId from, SiteId to) -> std::size_t { return (from / 2 == to / 2) ? 0 : 1; },
+      {std::make_shared<FixedLatency>(5),
+       std::make_shared<BandwidthLatency>(base, /*bytes_per_second=*/1'000'000.0)});
+  Pcg32 rng(10);
+  // Intra scope ignores size; the WAN scope charges serialization time.
+  EXPECT_EQ(model.sample_for(rng, 0, 1, 4096), 5);
+  EXPECT_EQ(model.sample_for(rng, 0, 2, 1000), 2000);
+}
+
+TEST(ScopedLatencyDeathTest, RejectsEmptyModelsAndOutOfRangeScopes) {
+  EXPECT_DEATH(ScopedLatency([](SiteId, SiteId) -> std::size_t { return 0; }, {}),
+               "at least one scope model");
+  const ScopedLatency model([](SiteId, SiteId) -> std::size_t { return 7; },
+                            {std::make_shared<FixedLatency>(5)});
+  Pcg32 rng(11);
+  EXPECT_DEATH(model.sample(rng, 0, 1), "only 1 models exist");
 }
 
 TEST(LatencyDeathTest, NonSquareMatrixPanics) {

@@ -17,7 +17,9 @@ counters (message counts, bytes, log entries) get a tight relative
 tolerance; visibility-latency quantiles — which depend on log-bucket
 resolution — a looser one plus a small absolute floor. Wall-clock time is
 reported but never gated by default (CI machines are too noisy); use
---gate-wall to enforce it.
+--gate-wall to enforce it. Pooled-executor and gateway-coalescing lanes
+reorder deliveries, so their interleaving-shaped metrics (meta bytes,
+visibility quantiles) are exempt from comparison.
 """
 
 import argparse
@@ -45,6 +47,12 @@ GATED_COUNTERS = [
     ("recorded_reads",),
     ("runs",),
     ("log_entries", "count"),
+    # Geo lanes only (dig() skips them on flat cells): the LAN/WAN message
+    # split is schedule+placement determined, so it gates as tightly as
+    # the per-kind counts. Frame counts are flush-timing shaped and stay
+    # ungated.
+    ("topology", "lan_messages"),
+    ("topology", "wan_messages"),
 ]
 
 GATED_VISIBILITY = ["mean", "p50", "p90", "p99", "p999"]
@@ -122,6 +130,35 @@ def validate(doc, name, failures):
                         and batch["frames"] > batch["messages"]):
                     fail(f"{where}: batch frames ({batch['frames']}) exceed "
                          f"batched messages ({batch['messages']})", failures)
+        topo = cell.get("topology")
+        if topo is not None:
+            if not isinstance(topo, dict):
+                fail(f"{where}: 'topology' is not an object", failures)
+            else:
+                cells_n = topo.get("cells")
+                if not isinstance(cells_n, int) or cells_n < 1:
+                    fail(f"{where}: topology needs integer 'cells' >= 1", failures)
+                gateway = topo.get("gateway")
+                if gateway not in ("on", "off"):
+                    fail(f"{where}: topology.gateway is {gateway!r}, expected "
+                         "'on' or 'off'", failures)
+                for key in ("lan_messages", "wan_messages", "lan_bytes",
+                            "wan_bytes", "wan_frames", "gateway_frames",
+                            "gateway_frame_messages", "gateway_enroute"):
+                    v = topo.get(key)
+                    if not isinstance(v, int) or v < 0:
+                        fail(f"{where}: topology missing integer {key!r} >= 0",
+                             failures)
+                frames = topo.get("gateway_frames")
+                framed = topo.get("gateway_frame_messages")
+                if gateway == "off" and isinstance(frames, int) and frames != 0:
+                    fail(f"{where}: gateway off but {frames} mailbox frames "
+                         "shipped", failures)
+                if (gateway == "on" and isinstance(frames, int)
+                        and isinstance(framed, int) and framed < frames):
+                    fail(f"{where}: gateway frames ({frames}) exceed framed "
+                         f"messages ({framed}); every frame carries >= 1",
+                         failures)
         vis = cell.get("visibility_us")
         if vis is not None:
             for key in ("count", "unmatched", "mean", "max", "p50", "p90",
@@ -150,8 +187,15 @@ def compare_cell(bench, label, base, cand, args, failures):
     # and visibility latency (wall clock) vary run to run, so those gates
     # don't apply.
     pooled = "pooled" in (base.get("executor"), cand.get("executor"))
+    # Gateway lanes coalesce cross-cell traffic, which reorders deliveries:
+    # message counts stay schedule-determined, but piggybacked meta bytes
+    # and visibility latency follow the new interleaving, so those gates
+    # are as inapplicable as on pooled lanes.
+    gateway_on = "on" in (dig(base, ("topology", "gateway")),
+                          dig(cand, ("topology", "gateway")))
+    interleaved = pooled or gateway_on
     for path in GATED_COUNTERS:
-        if pooled and path[-1] == "meta_bytes":
+        if interleaved and path[-1] == "meta_bytes":
             continue
         b, c = dig(base, path), dig(cand, path)
         if b is None or c is None:
@@ -160,7 +204,7 @@ def compare_cell(bench, label, base, cand, args, failures):
             fail(f"{where}: {'.'.join(path)} drifted {b} -> {c} "
                  f"(> {COUNTER_TOLERANCE:.0%} tolerance)", failures)
     bvis, cvis = base.get("visibility_us"), cand.get("visibility_us")
-    if not pooled and isinstance(bvis, dict) and isinstance(cvis, dict):
+    if not interleaved and isinstance(bvis, dict) and isinstance(cvis, dict):
         for key in GATED_VISIBILITY:
             b, c = bvis.get(key), cvis.get(key)
             if b is None or c is None:

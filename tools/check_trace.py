@@ -15,7 +15,10 @@ structurally wrong:
             the `causim` metadata reports zero ring-buffer drops (a
             truncated trace fails the gate); rtt_sample events (adaptive
             RTO) are instants with a peer, a positive sample and a
-            positive resulting RTO; provenance events are consistent:
+            positive resulting RTO; gateway_forward events (cross-DC
+            mailbox ships) are instants addressed to a peer gateway whose
+            frame bytes cover the 0xB5 header plus one record header per
+            coalesced message; provenance events are consistent:
             every buffered event carrying a write id (c) also names its
             blocking dependency (d), every dep_satisfied segment carries
             a write id and a resolved blocker, and each buffered
@@ -43,8 +46,10 @@ structurally wrong:
             op census is self-consistent (activated + unmatched = sends,
             every blocker chain resolved, no segment-sum mismatches),
             the segment shares tile the visibility total, per-site
-            totals sum to the grid totals, and every top op's segments
-            sum to its visibility latency exactly.
+            totals sum to the grid totals, every top op's segments
+            sum to its visibility latency exactly, and a link-scope split
+            (critpath --cells) carries all four LAN/WAN aggregates with
+            totals bounded by their parents.
 A metrics file ending in .csv is checked as long-form CSV instead.
 """
 
@@ -167,6 +172,22 @@ def check_trace(path: str) -> None:
                     fail(f"{path}: dep_satisfied chain for write {wid} "
                          f"sums to {cursor - e['ts']}, activation waited "
                          f"{e.get('dur', 0)}")
+        if e["name"] == "gateway_forward":
+            # Cross-DC mailbox ship: an instant on the origin gateway's
+            # track, peer = destination gateway, a = coalesced message
+            # count, b = frame bytes. The 0xB5 frame layout bounds b from
+            # below: a 9-byte frame header plus an 8-byte record header
+            # per message (payloads only add to that).
+            if e["ph"] != "i":
+                fail(f"{path}: gateway_forward must be an instant event: {e}")
+            args = e.get("args", {})
+            if args.get("peer") is None:
+                fail(f"{path}: gateway_forward without a peer: {e}")
+            if args.get("a", 0) < 1:
+                fail(f"{path}: gateway_forward with an empty mailbox: {e}")
+            if args.get("b", 0) < 9 + 8 * args.get("a", 0):
+                fail(f"{path}: gateway_forward frame bytes below the 0xB5 "
+                     f"wire minimum: {e}")
         if e["name"] == "rtt_sample":
             # Adaptive-RTO estimator input: an instant on the data
             # sender's track, a = round-trip sample (µs), b = the RTO the
@@ -372,6 +393,21 @@ def check_provenance(path: str) -> None:
                     for f in ("wire", "arq", "dep_wait", "apply"))
         if abs(share - 1.0) > 1e-9:
             fail(f"{path}: segment shares sum to {share}, expected 1")
+    if "wire_lan_us" in seg:
+        # Link-scope split (critpath --cells): the four scope aggregates
+        # travel together, and each scope pair partitions a subset of its
+        # parent aggregate — ops outside the cell map fall in neither
+        # bucket, so the split can only undershoot the total.
+        for field in ("wire_wan_us", "visibility_lan_us", "visibility_wan_us"):
+            if field not in seg:
+                fail(f"{path}: scope split missing '{field}'")
+        for lan, wan, parent in (("wire_lan_us", "wire_wan_us", "wire_us"),
+                                 ("visibility_lan_us", "visibility_wan_us",
+                                  "visibility_us")):
+            split = seg[lan]["total"] + seg[wan]["total"]
+            if split > seg[parent]["total"] * (1 + 1e-9) + 1e-6:
+                fail(f"{path}: {lan}+{wan} totals {split} exceed "
+                     f"{parent} total {seg[parent]['total']}")
     per_site = doc.get("per_site", {})
     if sum(s.get("activated", 0) for s in per_site.values()) != ops["activated"]:
         fail(f"{path}: per-site activations do not sum to {ops['activated']}")
