@@ -132,7 +132,8 @@ ExperimentResult Observability::run_cell(const std::string& label,
 void Observability::append_cell(const std::string& label,
                                 const ExperimentParams& params,
                                 const ExperimentResult& result, double wall_s,
-                                const obs::live::LiveTelemetry* live) {
+                                const obs::live::LiveTelemetry* live,
+                                const std::string& extra) {
   std::ostringstream out;
   out << "{\"label\":\"" << obs::analysis::json_escape(label) << "\"";
   out << ",\"protocol\":\"" << to_string(params.protocol) << "\"";
@@ -243,8 +244,103 @@ void Observability::append_cell(const std::string& label,
       out << "]}";
     }
   }
+  // Caller-supplied trailing block (the KV service block); empty for
+  // every classic cell, so pre-existing artifacts stay byte-identical.
+  if (!extra.empty()) out << "," << extra;
   out << "}";
   cells_.push_back(out.str());
+}
+
+kv::ServiceResult Observability::run_service_cell(const std::string& label,
+                                                  kv::ServiceParams params) {
+  // Same instrument wiring as run_cell: the first cell claims the shared
+  // trace sink, every cell gets a visibility tracker when machine-readable
+  // results are wanted, the first cell alone feeds the time-series stream.
+  if (params.engine.trace_sink == nullptr) {
+    params.engine.trace_sink = claim_trace_sink();
+    params.engine.log_sample_interval = log_sample_interval();
+  }
+  params.metrics = metrics();
+  std::unique_ptr<obs::live::LiveTelemetry> cell_live;
+  const bool want_visibility = !json_out_.empty();
+  const bool want_timeseries = !timeseries_out_.empty() && timeseries_live_ == nullptr;
+  if (want_visibility || want_timeseries) {
+    obs::live::LiveConfig lc;
+    lc.sites = params.engine.sites;
+    lc.variables = params.engine.variables;
+    lc.critpath = critpath_;
+    if (want_timeseries) lc.sample_interval = 100 * kMillisecond;
+    cell_live = std::make_unique<obs::live::LiveTelemetry>(lc);
+    params.engine.live = cell_live.get();
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const kv::ServiceResult result = kv::run_service(params);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  if (want_visibility) {
+    // The standard cell view of the run, so the common counter blocks
+    // (messages, log_entries, faults, topology, …) serialize and gate
+    // exactly like a closed-schedule cell.
+    ExperimentParams view;
+    view.protocol = params.engine.protocol;
+    view.sites = params.engine.sites;
+    view.replication = params.engine.replication;
+    view.variables = params.engine.variables;
+    view.ops_per_site = params.workload.ops_per_site;
+    view.write_rate = params.workload.write_rate;
+    view.zipf_s = params.workload.zipf_s;
+    view.payload_lo = params.workload.payload_lo;
+    view.payload_hi = params.workload.payload_hi;
+    view.seeds = {params.workload.seed};
+    view.causal_fetch = params.engine.causal_fetch;
+    view.fault_plan = params.engine.fault_plan;
+    view.reliable_channel = params.engine.reliable_channel;
+    view.executor = params.substrate == kv::Substrate::kPooled
+                        ? engine::ExecutorKind::kPooled
+                        : engine::ExecutorKind::kPerSite;
+    view.workers = params.workers;
+    view.batch = params.engine.batch;
+    view.topology = params.engine.topology;
+    view.gateway = params.engine.gateway;
+
+    ExperimentResult res;
+    res.stats = result.stats;
+    res.runs = 1;
+    res.recorded_writes = result.recorded_writes;
+    res.recorded_reads = result.recorded_reads;
+    res.log_entries = result.log_entries;
+    res.log_bytes = result.log_bytes;
+    res.fetch_latency_us = result.fetch_latency_us;
+    res.apply_delay_us = result.apply_delay_us;
+    res.check_ok = result.check_ok;
+    res.drops = result.drops;
+    res.retransmits = result.retransmits;
+    res.dup_suppressed = result.dup_suppressed;
+    res.reliable_frames = result.reliable_frames;
+    res.reliable_packets = result.reliable_packets;
+    res.rtt_samples = result.rtt_samples;
+    res.wire_frames = result.wire_frames;
+    res.batch_frames = result.batch_frames;
+    res.batch_messages = result.batch_messages;
+    res.lan_messages = result.lan_messages;
+    res.wan_messages = result.wan_messages;
+    res.lan_bytes = result.lan_bytes;
+    res.wan_bytes = result.wan_bytes;
+    res.wan_frames = result.wan_frames;
+    res.gateway_frames = result.gateway_frames;
+    res.gateway_frame_messages = result.gateway_frame_messages;
+    res.gateway_enroute = result.gateway_enroute;
+
+    append_cell(label, view, res, wall_s, cell_live.get(),
+                "\"service\":" + kv::service_block_json(params, result));
+  }
+  if (cell_live != nullptr && metrics() != nullptr) {
+    cell_live->export_metrics(registry_);
+  }
+  if (want_timeseries) timeseries_live_ = std::move(cell_live);
+  return result;
 }
 
 bool Observability::finish() {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench_support/experiment.hpp"
+#include "kv/service.hpp"
 #include "obs/live/live_telemetry.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace_sink.hpp"
@@ -71,6 +72,15 @@ class Observability {
   /// shared --trace-out sink.
   ExperimentResult run_cell(const std::string& label, ExperimentParams params);
 
+  /// Runs one open-loop KV service cell (kv::run_service) with the same
+  /// instrument wiring as run_cell — first-cell trace sink, metrics
+  /// registry, per-cell live telemetry — and appends a bench.v1 cell that
+  /// carries the standard counter blocks plus a `service` block
+  /// (sustained ops/sec, client-latency quantiles, session counters; see
+  /// docs/OBSERVABILITY.md).
+  kv::ServiceResult run_service_cell(const std::string& label,
+                                     kv::ServiceParams params);
+
   /// Writes the requested files; returns false (after printing the reason
   /// to stderr) when one of them could not be written or ok() was already
   /// false.
@@ -80,7 +90,8 @@ class Observability {
   bool probe_writable(const std::string& path, const char* flag);
   void append_cell(const std::string& label, const ExperimentParams& params,
                    const ExperimentResult& result, double wall_s,
-                   const obs::live::LiveTelemetry* live);
+                   const obs::live::LiveTelemetry* live,
+                   const std::string& extra = std::string());
 
   std::string bench_name_;
   bool quick_ = false;

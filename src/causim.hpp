@@ -18,7 +18,9 @@
 //   engine/    node-stack assembly + schedule execution shared by both
 //              cluster substrates (validated EngineConfig, NodeStack,
 //              ScheduleDriver with Sim/Thread executors)
-//   workload/  randomized operation schedules
+//   workload/  randomized operation schedules + open-loop service traffic
+//   kv/        key-value front-end: keyspace mapping, client sessions
+//              with causal cuts, open-loop service harness
 //   stats/     metrics and table rendering
 //   obs/       structured tracing + metrics registry, Perfetto export
 //   checker/   execution recording + causal-consistency verification
@@ -54,6 +56,10 @@
 #include "engine/schedule_driver.hpp"
 #include "ksmulticast/ks_process.hpp"
 #include "ksmulticast/multicast_group.hpp"
+#include "kv/key_map.hpp"
+#include "kv/service.hpp"
+#include "kv/session.hpp"
+#include "kv/store.hpp"
 #include "net/sim_transport.hpp"
 #include "net/thread_transport.hpp"
 #include "net/transport.hpp"
@@ -70,4 +76,5 @@
 #include "stats/histogram.hpp"
 #include "stats/message_stats.hpp"
 #include "stats/table.hpp"
+#include "workload/open_loop.hpp"
 #include "workload/schedule.hpp"

@@ -56,6 +56,10 @@ class Cluster {
   const faults::FaultInjector* injector() const { return stack_->injector(); }
   const net::ReliableTransport* reliable() const { return stack_->reliable(); }
 
+  /// The schedule-execution driver (hook installation point for layers
+  /// above the raw DSM ops — see ScheduleDriver::set_dispatch_hook).
+  engine::ScheduleDriver& driver() { return *driver_; }
+
   /// Plays the schedule to completion and verifies the network drained and
   /// every received update was applied.
   void execute(const workload::Schedule& schedule);

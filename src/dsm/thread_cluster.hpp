@@ -50,6 +50,10 @@ class ThreadCluster {
   const faults::FaultInjector* injector() const { return stack_->injector(); }
   const net::ReliableTransport* reliable() const { return stack_->reliable(); }
 
+  /// The schedule-execution driver (hook installation point for layers
+  /// above the raw DSM ops — see ScheduleDriver::set_dispatch_hook).
+  engine::ScheduleDriver& driver() { return *driver_; }
+
   /// Plays the schedule with one application thread per site, waits for
   /// network quiescence, and verifies every update was applied.
   void execute(const workload::Schedule& schedule);

@@ -26,6 +26,10 @@ void ScheduleDriver::execute(const workload::Schedule& schedule) {
 
 void ScheduleDriver::dispatch(SiteId s, const workload::Op& op,
                               std::function<void()> done) {
+  if (hook_) {
+    hook_(s, op, std::move(done));
+    return;
+  }
   dsm::SiteRuntime& site = stack_.site(s);
   if (op.kind == workload::Op::Kind::kWrite) {
     site.write(op.var, op.payload_bytes, op.record);

@@ -68,11 +68,26 @@ class ScheduleDriver {
   /// op before it does (the blocking-fetch rule).
   void dispatch(SiteId s, const workload::Op& op, std::function<void()> done);
 
+  /// Optional interceptor for layers built above the raw DSM ops: when
+  /// set, dispatch() hands the op to the hook instead of issuing the
+  /// site-runtime read/write itself (the KV front-end routes schedule
+  /// slots through client sessions this way). The hook inherits the full
+  /// dispatch contract — invoke `done` exactly once, after the op (and
+  /// anything the layer adds, e.g. freshness retries) completed — and the
+  /// executors' ordering guarantee holds unchanged: a site's ops reach
+  /// the hook one at a time, in schedule order, on every substrate.
+  /// Install before execute(); the empty default keeps the closed
+  /// schedule path byte-identical.
+  using DispatchHook =
+      std::function<void(SiteId, const workload::Op&, std::function<void()>)>;
+  void set_dispatch_hook(DispatchHook hook) { hook_ = std::move(hook); }
+
   NodeStack& stack() { return stack_; }
 
  private:
   NodeStack& stack_;
   Executor& executor_;
+  DispatchHook hook_;
 };
 
 /// Discrete-event substrate: ops become simulator events at

@@ -1,0 +1,66 @@
+// KeyMap — the keyspace -> variable mapping of the KV front-end.
+//
+// The DSM layer replicates a configured number of variables (q) across
+// the sites; a service stores millions of keys. The map folds the large
+// keyspace onto the variables: every key deterministically lives in one
+// variable's replica set, so placement, destination sets and protocol
+// metadata all keep their configured shape while the API above speaks
+// keys. All keys that share a variable share one storage slot (the DSM
+// holds one value per variable) — the front-end models key routing and
+// causal ordering, not per-key materialization, which is exactly what the
+// message/metadata measurements need.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "common/panic.hpp"
+
+namespace causim::kv {
+
+using KvKey = std::uint64_t;
+
+class KeyMap {
+ public:
+  enum class Mode : std::uint8_t {
+    /// key -> splitmix64(key) % variables: uniform spreading, any keyspace
+    /// size. The service default.
+    kHashed = 0,
+    /// key -> key directly (key < variables required): exact control of
+    /// which variable a key hits, for test oracles.
+    kDirect,
+  };
+
+  explicit KeyMap(VarId variables, Mode mode = Mode::kHashed)
+      : variables_(variables), mode_(mode) {
+    CAUSIM_CHECK(variables > 0, "KeyMap needs at least one variable");
+  }
+
+  VarId variables() const { return variables_; }
+  Mode mode() const { return mode_; }
+
+  VarId var_of(KvKey key) const {
+    if (mode_ == Mode::kDirect) {
+      CAUSIM_CHECK(key < variables_, "direct-mapped key " << key
+                                         << " outside the " << variables_
+                                         << "-variable space");
+      return static_cast<VarId>(key);
+    }
+    return static_cast<VarId>(mix(key) % variables_);
+  }
+
+  /// splitmix64 finalizer: a full-avalanche 64-bit mix, so consecutive
+  /// keys spread uniformly over the variables.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  VarId variables_;
+  Mode mode_;
+};
+
+}  // namespace causim::kv

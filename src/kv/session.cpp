@@ -1,0 +1,76 @@
+#include "kv/session.hpp"
+
+#include <algorithm>
+
+namespace causim::kv {
+
+void Session::raise_locked(VarId var, const WriteId& w) {
+  if (is_null(w)) return;
+  Frontier& frontier = required_[var];
+  const auto it = std::find_if(frontier.begin(), frontier.end(),
+                               [&](const auto& e) { return e.first == w.writer; });
+  if (it == frontier.end()) {
+    frontier.emplace_back(w.writer, w.clock);
+  } else {
+    it->second = std::max(it->second, w.clock);
+  }
+}
+
+void Session::note_put(VarId var, const WriteId& w) {
+  std::lock_guard lock(mutex_);
+  raise_locked(var, w);
+}
+
+void Session::note_get(VarId var, const WriteId& w) {
+  std::lock_guard lock(mutex_);
+  raise_locked(var, w);
+}
+
+bool Session::admissible(VarId var, const WriteId& w) const {
+  std::lock_guard lock(mutex_);
+  const auto var_it = required_.find(var);
+  if (var_it == required_.end()) return true;  // nothing required yet
+  const Frontier& frontier = var_it->second;
+  if (is_null(w)) {
+    // "No write yet" after the session issued or observed a write to this
+    // variable is a read-your-writes / monotonic-reads violation.
+    return frontier.empty();
+  }
+  const auto it = std::find_if(frontier.begin(), frontier.end(),
+                               [&](const auto& e) { return e.first == w.writer; });
+  // A writer the session never saw on this variable cannot regress the
+  // cut; same-writer clocks must not go backwards.
+  return it == frontier.end() || w.clock >= it->second;
+}
+
+void Session::count_stale() {
+  std::lock_guard lock(mutex_);
+  ++stats_.stale_observations;
+}
+
+void Session::count_retry() {
+  std::lock_guard lock(mutex_);
+  ++stats_.retries;
+}
+
+void Session::count_violation() {
+  std::lock_guard lock(mutex_);
+  ++stats_.violations;
+}
+
+void Session::count_put() {
+  std::lock_guard lock(mutex_);
+  ++stats_.puts;
+}
+
+void Session::count_get() {
+  std::lock_guard lock(mutex_);
+  ++stats_.gets;
+}
+
+SessionStats Session::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace causim::kv

@@ -1,0 +1,90 @@
+#include "kv/store.hpp"
+
+#include "common/panic.hpp"
+#include "dsm/site_runtime.hpp"
+
+namespace causim::kv {
+
+Store::Store(engine::NodeStack& stack, StoreConfig config)
+    : stack_(stack), config_(config) {
+  CAUSIM_CHECK(config_.map.variables() == stack_.placement().variables(),
+               "KeyMap spans " << config_.map.variables()
+                               << " variables but the stack replicates "
+                               << stack_.placement().variables());
+}
+
+Session& Store::open_session(SiteId home) {
+  CAUSIM_CHECK(home < stack_.sites(), "session home " << home << " out of range");
+  std::lock_guard lock(mutex_);
+  sessions_.push_back(
+      std::make_unique<Session>(static_cast<SessionId>(sessions_.size()), home));
+  return *sessions_.back();
+}
+
+std::size_t Store::session_count() const {
+  std::lock_guard lock(mutex_);
+  return sessions_.size();
+}
+
+void Store::put(Session& session, KvKey key, std::uint32_t payload_bytes, bool record,
+                const PutCallback& done) {
+  const VarId var = config_.map.var_of(key);
+  const WriteId w = stack_.site(session.home()).write(var, payload_bytes, record);
+  session.note_put(var, w);
+  session.count_put();
+  if (done) done(w);
+}
+
+void Store::get(Session& session, KvKey key, bool record, GetCallback done) {
+  CAUSIM_CHECK(done != nullptr, "get needs a completion callback");
+  session.count_get();
+  issue_get(session, config_.map.var_of(key), record, 0, std::move(done));
+}
+
+void Store::issue_get(Session& session, VarId var, bool record, std::uint32_t attempt,
+                      GetCallback done) {
+  dsm::SiteRuntime& site = stack_.site(session.home());
+  site.read(
+      var,
+      [this, &session, var, record, attempt, done = std::move(done)](Value value,
+                                                                     WriteId w) {
+        if (session.admissible(var, w)) {
+          session.note_get(var, w);
+          GetResult r;
+          r.value = value;
+          r.write = w;
+          r.retries = attempt;
+          r.fresh = true;
+          done(r);
+          return;
+        }
+        session.count_stale();
+        if (config_.enforce && attempt < config_.max_retries) {
+          // Re-issue from inside the completion: the runtime cleared its
+          // outstanding-fetch slot before invoking us, and a locally
+          // replicated variable can never be stale (the home store is
+          // same-writer monotone), so this recursion is always one more
+          // asynchronous fetch round trip, never unbounded stack depth.
+          session.count_retry();
+          issue_get(session, var, record, attempt + 1, std::move(done));
+          return;
+        }
+        if (config_.enforce) session.count_violation();
+        GetResult r;
+        r.value = value;
+        r.write = w;
+        r.retries = attempt;
+        r.fresh = false;
+        done(r);
+      },
+      record);
+}
+
+SessionStats Store::aggregate_stats() const {
+  std::lock_guard lock(mutex_);
+  SessionStats total;
+  for (const auto& s : sessions_) total += s->stats();
+  return total;
+}
+
+}  // namespace causim::kv

@@ -1,6 +1,7 @@
 #include "sim/rng.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace causim::sim {
 
@@ -12,14 +13,25 @@ ZipfSampler::ZipfSampler(std::uint32_t n, double s) {
     acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
     cdf_[k] = acc;
   }
+  CAUSIM_CHECK(acc > 0.0 && std::isfinite(acc),
+               "Zipf normalization H(" << n << ", " << s << ") = " << acc);
   for (auto& c : cdf_) c /= acc;
   cdf_.back() = 1.0;  // guard against rounding
+  // Normalization sanity: the CDF must be monotone with every rank
+  // carrying non-negative mass, or inversion misassigns probability.
+  CAUSIM_CHECK(std::is_sorted(cdf_.begin(), cdf_.end()),
+               "Zipf CDF not monotone after normalization");
 }
 
 std::uint32_t ZipfSampler::sample(Pcg32& rng) const {
   const double u = rng.uniform();
   const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
   return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::uint32_t k) const {
+  CAUSIM_CHECK(k < cdf_.size(), "Zipf rank " << k << " outside domain " << cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
 }
 
 }  // namespace causim::sim

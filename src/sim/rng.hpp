@@ -80,10 +80,24 @@ class Pcg32 {
 
 /// Zipf(s) sampler over {0, …, n-1} via precomputed CDF inversion.
 /// s = 0 degenerates to the uniform distribution.
+///
+/// Inversion semantics: sample() draws u in [0, 1) and returns the first
+/// rank whose CDF value is >= u, so rank k owns the half-open mass
+/// (cdf[k-1], cdf[k]] — exactly p_k = k^-s / H(n, s) up to the 2^-32
+/// granularity of the uniform draw. Rank 0 is reachable (u = 0 maps to
+/// it) and rank n-1 is reachable (cdf_.back() is pinned to 1.0, and u
+/// never reaches 1.0, so lower_bound never runs off the end).
 class ZipfSampler {
  public:
   ZipfSampler(std::uint32_t n, double s);
   std::uint32_t sample(Pcg32& rng) const;
+
+  std::uint32_t domain() const { return static_cast<std::uint32_t>(cdf_.size()); }
+
+  /// The sampler's own probability mass for rank k (the CDF increment) —
+  /// what a frequency test should compare observed counts against. Within
+  /// accumulated rounding of the analytic k^-s / H(n, s).
+  double probability(std::uint32_t k) const;
 
  private:
   std::vector<double> cdf_;

@@ -111,9 +111,14 @@ double Histogram::quantile(double q) const {
 }
 
 Histogram& Histogram::operator+=(const Histogram& other) {
+  // Element-wise edge comparison, not just the count: two log histograms
+  // with equal lo/hi/size but different bucket boundaries would otherwise
+  // silently misbin every merged sample. (Observed maxima are summary
+  // state, not configuration — merging histograms that saw different
+  // ranges is the whole point.)
   CAUSIM_CHECK(lo_ == other.lo_ && hi_ == other.hi_ &&
                    buckets_.size() == other.buckets_.size() &&
-                   edges_.size() == other.edges_.size(),
+                   edges_ == other.edges_,
                "histogram merge with mismatched configuration: [" << lo_ << ", " << hi_
                    << ")/" << buckets_.size() << (is_log() ? " log" : " linear")
                    << " += [" << other.lo_ << ", " << other.hi_ << ")/"

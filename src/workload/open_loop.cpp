@@ -1,0 +1,94 @@
+#include "workload/open_loop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/panic.hpp"
+#include "sim/rng.hpp"
+
+namespace causim::workload {
+
+namespace {
+
+/// Popularity rank -> key. Phase 1 (the flash crowd) rotates the ranking
+/// by half the keyspace, so the new hot set is disjoint from the old one
+/// whenever the hot ranks cover less than half the keys.
+std::uint64_t key_of_rank(std::uint64_t rank, std::uint64_t keys, int phase) {
+  return (rank + static_cast<std::uint64_t>(phase) * (keys / 2)) % keys;
+}
+
+}  // namespace
+
+OpenLoopWorkload generate_open_loop(SiteId sites, const OpenLoopParams& params,
+                                    const std::function<VarId(std::uint64_t)>& var_of) {
+  CAUSIM_CHECK(sites > 0, "empty system");
+  CAUSIM_CHECK(params.keys > 0, "need at least one key");
+  CAUSIM_CHECK(params.keys <= 0xFFFFFFFFULL,
+               "keyspace larger than 2^32 (the Zipf ranking is 32-bit)");
+  CAUSIM_CHECK(params.write_rate >= 0.0 && params.write_rate <= 1.0,
+               "write rate " << params.write_rate << " out of [0, 1]");
+  CAUSIM_CHECK(params.rate_ops_per_sec > 0.0,
+               "open-loop rate must be positive (got " << params.rate_ops_per_sec << ")");
+  CAUSIM_CHECK(params.sessions_per_site > 0, "need at least one session per site");
+  CAUSIM_CHECK(params.payload_lo <= params.payload_hi, "bad payload range");
+  CAUSIM_CHECK(params.warmup_fraction >= 0.0 && params.warmup_fraction <= 1.0,
+               "warmup fraction " << params.warmup_fraction << " out of [0, 1]");
+  CAUSIM_CHECK(params.flash_at >= 0.0 && params.flash_at <= 1.0,
+               "flash point " << params.flash_at << " out of [0, 1]");
+  CAUSIM_CHECK(var_of != nullptr, "open-loop generation needs a key -> variable map");
+
+  OpenLoopWorkload wl;
+  wl.schedule.per_site.resize(sites);
+  wl.per_site.resize(sites);
+
+  // Distinct stream constant from generate_schedule ("svcgen"): the open
+  // and closed generators must never correlate for a shared seed.
+  sim::Pcg32 root(params.seed, /*stream=*/0x73766367656EULL);
+  const sim::ZipfSampler zipf(static_cast<std::uint32_t>(params.keys), params.zipf_s);
+  const double mean_gap_us = 1e6 / params.rate_ops_per_sec;
+
+  // Both cutoffs use the schedule generator's epsilon-guarded floor so
+  // every site flips at exactly the same op index.
+  const auto cut = [&](double fraction) {
+    return std::min(params.ops_per_site,
+                    static_cast<std::size_t>(
+                        fraction * static_cast<double>(params.ops_per_site) + 1e-9));
+  };
+  const std::size_t warmup = cut(params.warmup_fraction);
+  const std::size_t flash_at = params.flash ? cut(params.flash_at) : params.ops_per_site;
+
+  for (SiteId s = 0; s < sites; ++s) {
+    sim::Pcg32 rng = root.split();
+    auto& ops = wl.schedule.per_site[s];
+    auto& keys = wl.per_site[s];
+    ops.reserve(params.ops_per_site);
+    keys.reserve(params.ops_per_site);
+    SimTime t = 0;
+    for (std::size_t k = 0; k < params.ops_per_site; ++k) {
+      // Poisson arrivals: exponential inter-arrival gaps, floored at 1 µs
+      // so issue times stay strictly increasing per site.
+      t += std::max<SimTime>(
+          1, static_cast<SimTime>(std::llround(rng.exponential(mean_gap_us))));
+      const int phase = (params.flash && k >= flash_at) ? 1 : 0;
+      const std::uint64_t rank = zipf.sample(rng);
+      KeyOp key_op;
+      key_op.key = key_of_rank(rank, params.keys, phase);
+      key_op.session =
+          static_cast<std::uint32_t>(rng.uniform_int(0, params.sessions_per_site - 1));
+      Op op;
+      op.kind = rng.bernoulli(params.write_rate) ? Op::Kind::kWrite : Op::Kind::kRead;
+      op.var = var_of(key_op.key);
+      op.at = t;
+      if (op.kind == Op::Kind::kWrite && params.payload_hi > 0) {
+        op.payload_bytes =
+            static_cast<std::uint32_t>(rng.uniform_int(params.payload_lo, params.payload_hi));
+      }
+      op.record = k >= warmup;
+      ops.push_back(op);
+      keys.push_back(key_op);
+    }
+  }
+  return wl;
+}
+
+}  // namespace causim::workload

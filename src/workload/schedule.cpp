@@ -1,5 +1,7 @@
 #include "workload/schedule.hpp"
 
+#include <algorithm>
+
 #include "common/panic.hpp"
 #include "sim/rng.hpp"
 
@@ -47,8 +49,18 @@ Schedule generate_schedule(SiteId sites, const WorkloadParams& params) {
   schedule.per_site.resize(sites);
   sim::Pcg32 root(params.seed, /*stream=*/0x736368656455ULL);
   const sim::ZipfSampler zipf(params.variables, params.zipf_s);
-  const auto warmup =
-      static_cast<std::size_t>(params.warmup_fraction * static_cast<double>(params.ops_per_site));
+  // The warm-up cutoff is computed once, before the per-site loop, so every
+  // site marks the same count. The epsilon guard keeps the floor exact when
+  // the product lands one rounding error under an integer (0.15 * 600 must
+  // be 90 everywhere, never 89); products more than 1e-9 below an integer
+  // still floor, preserving the documented floor semantics.
+  CAUSIM_CHECK(params.warmup_fraction >= 0.0 && params.warmup_fraction <= 1.0,
+               "warmup fraction " << params.warmup_fraction << " out of [0, 1]");
+  const auto warmup = std::min(
+      params.ops_per_site,
+      static_cast<std::size_t>(params.warmup_fraction *
+                                   static_cast<double>(params.ops_per_site) +
+                               1e-9));
 
   for (SiteId s = 0; s < sites; ++s) {
     sim::Pcg32 rng = root.split();

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cmath>
+#include <vector>
 
 #include "sim/rng.hpp"
 
@@ -98,6 +100,54 @@ TEST(Zipf, SamplesStayInDomain) {
   const ZipfSampler zipf(7, 2.0);
   Pcg32 rng(23);
   for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(rng), 7u);
+}
+
+TEST(Zipf, ProbabilityMatchesAnalyticWeights) {
+  // The sampler's per-rank mass (the CDF increment the inversion assigns)
+  // must equal the analytic (k+1)^-s / H(n, s) up to accumulated rounding,
+  // and must sum to one exactly (the CDF is pinned to 1 at the top).
+  const std::uint32_t n = 200;
+  const double s = 0.99;
+  const ZipfSampler zipf(n, s);
+  EXPECT_EQ(zipf.domain(), n);
+  double harmonic = 0.0;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    harmonic += 1.0 / std::pow(static_cast<double>(k + 1), s);
+  }
+  double total = 0.0;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    const double analytic = 1.0 / std::pow(static_cast<double>(k + 1), s) / harmonic;
+    EXPECT_NEAR(zipf.probability(k), analytic, 1e-12) << "rank " << k;
+    total += zipf.probability(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, FrequencyRatiosFollowTheHarmonicLaw) {
+  // Property test: sampled frequencies must track probability(k), and the
+  // rank-to-rank frequency *ratios* must follow (j+1)^s / (k+1)^s — the
+  // law the workload generators rely on for popularity skew. Tolerances
+  // are 4-sigma binomial bands (the generator is deterministic, so this
+  // cannot flake).
+  const std::uint32_t n = 50;
+  const double s = 1.2;
+  const ZipfSampler zipf(n, s);
+  Pcg32 rng(29);
+  const int samples = 400'000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < samples; ++i) ++counts[zipf.sample(rng)];
+  for (const std::uint32_t k : {0u, 1u, 2u, 4u, 9u, 19u, 49u}) {
+    const double p = zipf.probability(k);
+    const double sigma = std::sqrt(p * (1.0 - p) / samples);
+    EXPECT_NEAR(static_cast<double>(counts[k]) / samples, p, 4.0 * sigma)
+        << "rank " << k;
+  }
+  for (const std::uint32_t k : {1u, 4u, 9u}) {
+    const double measured =
+        static_cast<double>(counts[0]) / static_cast<double>(counts[k]);
+    const double analytic = std::pow(static_cast<double>(k + 1), s);
+    EXPECT_NEAR(measured / analytic, 1.0, 0.15) << "rank ratio 0:" << k;
+  }
 }
 
 }  // namespace

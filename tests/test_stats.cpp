@@ -173,6 +173,47 @@ TEST(HistogramDeathTest, LogLinearMergePanics) {
   EXPECT_DEATH(log_h += linear, "mismatched configuration");
 }
 
+TEST(HistogramDeathTest, ShiftedLogEdgesMergePanics) {
+  // Same bucket *count* (two decades at 4/decade), different bucket
+  // *boundaries*: a size-only merge check would silently misbin every
+  // sample. The element-wise edge comparison must reject it.
+  Histogram a = Histogram::log_scale(1.0, 100.0, 4);
+  Histogram b = Histogram::log_scale(2.0, 200.0, 4);
+  EXPECT_DEATH(a += b, "mismatched configuration");
+}
+
+TEST(Histogram, MergeWithDifferentObservedMaximaIsExact) {
+  // Observed min/max are summary state, not configuration: merging
+  // histograms that saw disjoint ranges (the per-site latency lanes) must
+  // combine into exactly the histogram that recorded every sample
+  // directly — counts, overflow, extrema, and every quantile.
+  Histogram small = Histogram::log_scale(1.0, 1e8, 16);
+  Histogram large = Histogram::log_scale(1.0, 1e8, 16);
+  Histogram oracle = Histogram::log_scale(1.0, 1e8, 16);
+  for (int i = 1; i <= 500; ++i) {
+    const double v = 1.5 * i;  // 1.5 .. 750: a low-latency site
+    small.record(v);
+    oracle.record(v);
+  }
+  for (int i = 1; i <= 300; ++i) {
+    const double v = 1e4 * i;  // 10 ms .. 3 s: a cross-WAN site
+    large.record(v);
+    oracle.record(v);
+  }
+  large.record(5e9);  // one overflow outlier
+  oracle.record(5e9);
+
+  small += large;
+  EXPECT_EQ(small.count(), oracle.count());
+  EXPECT_EQ(small.overflow(), oracle.overflow());
+  EXPECT_DOUBLE_EQ(small.max(), oracle.max());
+  EXPECT_DOUBLE_EQ(small.min(), oracle.min());
+  EXPECT_DOUBLE_EQ(small.mean(), oracle.mean());
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(small.quantile(q), oracle.quantile(q)) << "q=" << q;
+  }
+}
+
 TEST(Histogram, EmptyCloneCopiesShapeNotCounts) {
   Histogram h = Histogram::log_scale(1.0, 1e6, 16);
   for (int i = 1; i < 100; ++i) h.record(i * 37.0);

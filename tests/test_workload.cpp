@@ -1,6 +1,11 @@
-// Unit tests for the schedule generator (§IV-C methodology).
+// Unit tests for the schedule generators (§IV-C methodology and the
+// open-loop service extension).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
+#include "workload/open_loop.hpp"
 #include "workload/schedule.hpp"
 
 namespace causim::workload {
@@ -138,6 +143,218 @@ TEST(Workload, RecordedCountsConsistent) {
   params.ops_per_site = 100;
   const Schedule s = generate_schedule(4, params);
   EXPECT_EQ(s.recorded_writes() + s.recorded_reads(), 4u * 85u);
+}
+
+TEST(Workload, WarmupCutoffIsExactAtThePaperShape) {
+  // §V methodology: 15 % of 600 operations must trim *exactly* 90 at
+  // every site — one op off and every recorded average shifts.
+  WorkloadParams params;
+  params.ops_per_site = 600;
+  params.warmup_fraction = 0.15;
+  const Schedule s = generate_schedule(8, params);
+  for (const auto& ops : s.per_site) {
+    const auto warm = static_cast<std::size_t>(
+        std::count_if(ops.begin(), ops.end(), [](const Op& op) { return !op.record; }));
+    EXPECT_EQ(warm, 90u);
+    for (std::size_t k = 0; k < ops.size(); ++k) EXPECT_EQ(ops[k].record, k >= 90);
+  }
+  EXPECT_EQ(s.recorded_writes() + s.recorded_reads(), 8u * 510u);
+}
+
+TEST(Workload, WarmupFloorIsEpsilonGuarded) {
+  // 0.29 * 100 = 28.999999999999996 in binary floating point: a naive
+  // floor trims 28 and silently shifts the measurement window. The
+  // epsilon-guarded floor must trim the intended 29.
+  WorkloadParams params;
+  params.ops_per_site = 100;
+  params.warmup_fraction = 0.29;
+  const Schedule s = generate_schedule(2, params);
+  for (const auto& ops : s.per_site) {
+    for (std::size_t k = 0; k < ops.size(); ++k) {
+      EXPECT_EQ(ops[k].record, k >= 29) << "op " << k;
+    }
+  }
+}
+
+TEST(Workload, WarmupFractionBounds) {
+  WorkloadParams all;
+  all.ops_per_site = 40;
+  all.warmup_fraction = 1.0;  // everything is warm-up
+  const Schedule s_all = generate_schedule(2, all);
+  EXPECT_EQ(s_all.recorded_writes() + s_all.recorded_reads(), 0u);
+
+  WorkloadParams none;
+  none.ops_per_site = 40;
+  none.warmup_fraction = 0.0;  // nothing is
+  const Schedule s_none = generate_schedule(2, none);
+  EXPECT_EQ(s_none.recorded_writes() + s_none.recorded_reads(), 2u * 40u);
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop generator (the KV service workload)
+
+OpenLoopParams small_open_loop() {
+  OpenLoopParams params;
+  params.keys = 1000;
+  params.zipf_s = 1.1;
+  params.write_rate = 0.5;
+  params.rate_ops_per_sec = 100.0;
+  params.ops_per_site = 400;
+  params.sessions_per_site = 3;
+  params.payload_lo = 16;
+  params.payload_hi = 128;
+  params.seed = 5;
+  return params;
+}
+
+VarId var_mod_7(std::uint64_t key) { return static_cast<VarId>(key % 7); }
+
+TEST(OpenLoop, ShapeAndRouting) {
+  const OpenLoopParams params = small_open_loop();
+  const OpenLoopWorkload wl = generate_open_loop(3, params, var_mod_7);
+  ASSERT_EQ(wl.schedule.sites(), 3);
+  ASSERT_EQ(wl.per_site.size(), 3u);
+  for (SiteId s = 0; s < 3; ++s) {
+    ASSERT_EQ(wl.schedule.per_site[s].size(), params.ops_per_site);
+    ASSERT_EQ(wl.per_site[s].size(), params.ops_per_site);
+    for (std::size_t k = 0; k < params.ops_per_site; ++k) {
+      const Op& op = wl.schedule.per_site[s][k];
+      const KeyOp& ko = wl.per_site[s][k];
+      EXPECT_LT(ko.key, params.keys);
+      EXPECT_LT(ko.session, params.sessions_per_site);
+      // The schedule slot targets exactly the variable backing the key.
+      EXPECT_EQ(op.var, var_mod_7(ko.key));
+      if (op.kind == Op::Kind::kWrite) {
+        EXPECT_GE(op.payload_bytes, params.payload_lo);
+        EXPECT_LE(op.payload_bytes, params.payload_hi);
+      } else {
+        EXPECT_EQ(op.payload_bytes, 0u);
+      }
+    }
+  }
+}
+
+TEST(OpenLoop, DeterministicPerSeedDistinctAcrossSeeds) {
+  const OpenLoopParams params = small_open_loop();
+  const OpenLoopWorkload a = generate_open_loop(3, params, var_mod_7);
+  const OpenLoopWorkload b = generate_open_loop(3, params, var_mod_7);
+  for (SiteId s = 0; s < 3; ++s) {
+    for (std::size_t k = 0; k < params.ops_per_site; ++k) {
+      const Op& x = a.schedule.per_site[s][k];
+      const Op& y = b.schedule.per_site[s][k];
+      ASSERT_EQ(x.at, y.at);
+      ASSERT_EQ(x.kind, y.kind);
+      ASSERT_EQ(x.var, y.var);
+      ASSERT_EQ(x.payload_bytes, y.payload_bytes);
+      ASSERT_EQ(x.record, y.record);
+      ASSERT_EQ(a.per_site[s][k].key, b.per_site[s][k].key);
+      ASSERT_EQ(a.per_site[s][k].session, b.per_site[s][k].session);
+    }
+  }
+  OpenLoopParams other = params;
+  other.seed = params.seed + 1;
+  const OpenLoopWorkload c = generate_open_loop(3, other, var_mod_7);
+  bool differs = false;
+  for (std::size_t k = 0; k < params.ops_per_site && !differs; ++k) {
+    differs = a.per_site[0][k].key != c.per_site[0][k].key ||
+              a.schedule.per_site[0][k].at != c.schedule.per_site[0][k].at;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(OpenLoop, PoissonArrivalsHitTheTargetRate) {
+  OpenLoopParams params = small_open_loop();
+  params.rate_ops_per_sec = 200.0;  // mean gap 5000 µs
+  params.ops_per_site = 4000;
+  const OpenLoopWorkload wl = generate_open_loop(2, params, var_mod_7);
+  for (const auto& ops : wl.schedule.per_site) {
+    SimTime prev = 0;
+    double sum_gap = 0.0;
+    for (const Op& op : ops) {
+      EXPECT_GT(op.at, prev);  // strictly increasing issue times
+      sum_gap += static_cast<double>(op.at - prev);
+      prev = op.at;
+    }
+    const double mean_gap = sum_gap / static_cast<double>(ops.size());
+    EXPECT_NEAR(mean_gap, 5000.0, 5000.0 * 0.08);
+  }
+}
+
+TEST(OpenLoop, WarmupMarksThePrefix) {
+  OpenLoopParams params = small_open_loop();
+  params.ops_per_site = 600;
+  params.warmup_fraction = 0.15;
+  const OpenLoopWorkload wl = generate_open_loop(2, params, var_mod_7);
+  for (const auto& ops : wl.schedule.per_site) {
+    for (std::size_t k = 0; k < ops.size(); ++k) {
+      EXPECT_EQ(ops[k].record, k >= 90) << "op " << k;
+    }
+  }
+}
+
+TEST(OpenLoop, ZipfPopularityConcentratesOnFewKeys) {
+  const OpenLoopParams params = small_open_loop();
+  const OpenLoopWorkload wl = generate_open_loop(4, params, var_mod_7);
+  std::map<std::uint64_t, int> freq;
+  for (const auto& site : wl.per_site) {
+    for (const KeyOp& ko : site) ++freq[ko.key];
+  }
+  int hottest = 0;
+  for (const auto& [key, n] : freq) hottest = std::max(hottest, n);
+  const double total = 4.0 * static_cast<double>(params.ops_per_site);
+  // Zipf(1.1) over 1000 keys gives the top rank ~12 % of the mass; a
+  // uniform draw would give 0.1 %.
+  EXPECT_GT(hottest, static_cast<int>(total * 0.05));
+  EXPECT_LT(freq.size(), static_cast<std::size_t>(total));  // heavy reuse
+}
+
+TEST(OpenLoop, FlashCrowdRotatesTheHotSet) {
+  OpenLoopParams params = small_open_loop();
+  params.flash = true;
+  params.flash_at = 0.5;
+  const OpenLoopWorkload wl = generate_open_loop(2, params, var_mod_7);
+  const std::size_t cut = params.ops_per_site / 2;
+  std::map<std::uint64_t, int> before, after;
+  for (const auto& site : wl.per_site) {
+    for (std::size_t k = 0; k < site.size(); ++k) {
+      ++(k < cut ? before : after)[site[k].key];
+    }
+  }
+  const auto hottest = [](const std::map<std::uint64_t, int>& freq) {
+    std::uint64_t key = 0;
+    int best = -1;
+    for (const auto& [k, n] : freq) {
+      if (n > best) best = n, key = k;
+    }
+    return key;
+  };
+  // The popularity ranking rotates by keys/2: the pre-flash hot key goes
+  // cold and the key half the keyspace away takes over.
+  const std::uint64_t hot_before = hottest(before);
+  const std::uint64_t hot_after = hottest(after);
+  EXPECT_NE(hot_before, hot_after);
+  EXPECT_EQ(hot_after, (hot_before + params.keys / 2) % params.keys);
+
+  // Without the flash flag the same seed keeps one hot set throughout.
+  params.flash = false;
+  const OpenLoopWorkload steady = generate_open_loop(2, params, var_mod_7);
+  std::map<std::uint64_t, int> s_before, s_after;
+  for (const auto& site : steady.per_site) {
+    for (std::size_t k = 0; k < site.size(); ++k) {
+      ++(k < cut ? s_before : s_after)[site[k].key];
+    }
+  }
+  EXPECT_EQ(hottest(s_before), hottest(s_after));
+}
+
+TEST(OpenLoop, WriteRateIsRespected) {
+  OpenLoopParams params = small_open_loop();
+  params.ops_per_site = 2000;
+  params.write_rate = 0.3;
+  const OpenLoopWorkload wl = generate_open_loop(4, params, var_mod_7);
+  const double measured = static_cast<double>(wl.schedule.total_writes()) /
+                          static_cast<double>(wl.schedule.total_ops());
+  EXPECT_NEAR(measured, 0.3, 0.03);
 }
 
 }  // namespace

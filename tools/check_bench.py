@@ -57,6 +57,20 @@ GATED_COUNTERS = [
 
 GATED_VISIBILITY = ["mean", "p50", "p90", "p99", "p999"]
 
+# Service cells (the open-loop KV lanes): counts are schedule-determined
+# on every substrate; rate and latency are simulated time on the "sim"
+# substrate (deterministic, gated) and wall clock on the thread
+# substrates (ungated, like pooled meta bytes).
+GATED_SERVICE_COUNTS = ["ops", "recorded_ops", "puts", "gets"]
+GATED_SERVICE_RATES = ["sustained_ops_per_sec", "duration_s"]
+REQUIRED_SERVICE_KEYS = [
+    "substrate", "rate_per_site", "keys", "key_zipf_s", "sessions", "flash",
+    "enforce", "ops", "recorded_ops", "puts", "gets", "retries", "stale",
+    "violations", "duration_s", "sustained_ops_per_sec", "get_latency_us",
+    "put_latency_us",
+]
+SERVICE_LATENCY_KEYS = ["count", "mean", "max", "p50", "p90", "p99", "p999"]
+
 REQUIRED_CELL_KEYS = [
     "label", "protocol", "sites", "replication", "variables", "ops_per_site",
     "write_rate", "seeds", "runs", "recorded_writes", "recorded_reads",
@@ -159,6 +173,42 @@ def validate(doc, name, failures):
                     fail(f"{where}: gateway frames ({frames}) exceed framed "
                          f"messages ({framed}); every frame carries >= 1",
                          failures)
+        service = cell.get("service")
+        if service is not None:
+            if not isinstance(service, dict):
+                fail(f"{where}: 'service' is not an object", failures)
+            else:
+                for key in REQUIRED_SERVICE_KEYS:
+                    if key not in service:
+                        fail(f"{where}: service missing {key!r}", failures)
+                substrate = service.get("substrate")
+                if substrate not in ("sim", "thread", "pooled"):
+                    fail(f"{where}: service.substrate is {substrate!r}, "
+                         "expected 'sim', 'thread' or 'pooled'", failures)
+                if service.get("violations", 0) != 0:
+                    fail(f"{where}: {service['violations']} session-guarantee "
+                         "violations (the retry budget ran out — the store "
+                         "failed to enforce its own contract)", failures)
+                ops = service.get("ops")
+                puts, gets = service.get("puts"), service.get("gets")
+                if (isinstance(ops, int) and isinstance(puts, int)
+                        and isinstance(gets, int) and puts + gets != ops):
+                    fail(f"{where}: service puts ({puts}) + gets ({gets}) != "
+                         f"ops ({ops}) — schedule slots were dropped or "
+                         "double-served", failures)
+                for name_l in ("get_latency_us", "put_latency_us"):
+                    lat = service.get(name_l)
+                    if not isinstance(lat, dict):
+                        fail(f"{where}: service.{name_l} missing", failures)
+                        continue
+                    for key in SERVICE_LATENCY_KEYS:
+                        if key not in lat:
+                            fail(f"{where}: service.{name_l} missing {key!r}",
+                                 failures)
+                    q = [lat.get(k, 0) for k in ("p50", "p90", "p99", "p999")]
+                    if any(a > b + 1e-9 for a, b in zip(q, q[1:])):
+                        fail(f"{where}: service.{name_l} quantiles not "
+                             f"monotone: {q}", failures)
         vis = cell.get("visibility_us")
         if vis is not None:
             for key in ("count", "unmatched", "mean", "max", "p50", "p90",
@@ -214,6 +264,39 @@ def compare_cell(bench, label, base, cand, args, failures):
                 fail(f"{where}: visibility_us.{key} drifted {b} -> {c} "
                      f"(> {VISIBILITY_TOLERANCE:.0%} + {VISIBILITY_ABS_US}us)",
                      failures)
+    bsvc, csvc = base.get("service"), cand.get("service")
+    if isinstance(bsvc, dict) and isinstance(csvc, dict):
+        for key in GATED_SERVICE_COUNTS:
+            b, c = bsvc.get(key), csvc.get(key)
+            if b is None or c is None:
+                continue
+            if not within(float(b), float(c), COUNTER_TOLERANCE):
+                fail(f"{where}: service.{key} drifted {b} -> {c} "
+                     f"(> {COUNTER_TOLERANCE:.0%} tolerance)", failures)
+        # Rate and latency are deterministic simulated time only on the
+        # DES substrate; the thread lanes measure the host's wall clock.
+        if "sim" == bsvc.get("substrate") == csvc.get("substrate"):
+            for key in GATED_SERVICE_RATES:
+                b, c = bsvc.get(key), csvc.get(key)
+                if b is None or c is None:
+                    continue
+                if not within(float(b), float(c), VISIBILITY_TOLERANCE):
+                    fail(f"{where}: service.{key} drifted {b} -> {c} "
+                         f"(> {VISIBILITY_TOLERANCE:.0%})", failures)
+            for name_l in ("get_latency_us", "put_latency_us"):
+                blat = bsvc.get(name_l)
+                clat = csvc.get(name_l)
+                if not isinstance(blat, dict) or not isinstance(clat, dict):
+                    continue
+                for key in GATED_VISIBILITY:
+                    b, c = blat.get(key), clat.get(key)
+                    if b is None or c is None:
+                        continue
+                    if not within(float(b), float(c), VISIBILITY_TOLERANCE,
+                                  VISIBILITY_ABS_US):
+                        fail(f"{where}: service.{name_l}.{key} drifted "
+                             f"{b} -> {c} (> {VISIBILITY_TOLERANCE:.0%} + "
+                             f"{VISIBILITY_ABS_US}us)", failures)
     if args.gate_wall:
         b, c = base.get("wall_s"), cand.get("wall_s")
         if b and c and float(c) > float(b) * (1 + args.wall_tolerance):
